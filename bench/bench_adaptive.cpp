@@ -1,0 +1,114 @@
+// Experiment E10 (extension) — the Section 10 deployment idea: advertise the
+// extra routes only where oscillation is DETECTED.
+//
+// Every node starts on standard I-BGP; a controller upgrades nodes whose
+// best route flaps past a threshold within a sliding window to the modified
+// protocol.  Measures, on the paper's oscillators and on random oscillating
+// ensembles: how many nodes end up upgraded (vs "deploy everywhere"), how
+// fast the system settles, and how the detection threshold trades flap
+// damage against deployed add-paths state.
+
+#include "bench_common.hpp"
+
+#include "engine/adaptive.hpp"
+#include "topo/figures.hpp"
+#include "topo/random.hpp"
+
+namespace {
+
+using namespace ibgp;
+
+void report_instance(const char* name, const core::Instance& inst) {
+  auto rr = engine::make_round_robin(inst.node_count());
+  engine::AdaptiveOptions options;
+  const auto result = engine::run_adaptive(inst, *rr, options);
+  std::printf("  %-7s | %-9s | steps=%-6zu flaps=%-4zu upgraded %zu/%zu%s",
+              name, result.converged ? "converged" : "step-cap", result.steps,
+              result.best_flips, result.upgraded.size(), inst.node_count(),
+              result.escalated_all ? " (global fallback)" : "");
+  if (!result.upgraded.empty()) {
+    std::printf("  [");
+    for (std::size_t i = 0; i < result.upgraded.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", inst.node_name(result.upgraded[i]).c_str());
+    }
+    std::printf("]");
+  }
+  std::printf("\n");
+}
+
+void report() {
+  bench::heading("E10 / extension: oscillation-triggered modified protocol",
+                 "Section 10: 'propagation of extra routes ... only triggered "
+                 "when route oscillations are detected'");
+
+  std::printf("paper oscillators under adaptive deployment (round-robin):\n");
+  report_instance("fig1a", topo::fig1a());
+  report_instance("fig13", topo::fig13());
+  {
+    bgp::SelectionPolicy policy;
+    policy.order = bgp::RuleOrder::kIgpCostFirst;
+    report_instance("fig1b*", topo::fig1b().with_policy(policy));
+  }
+
+  // Threshold ablation on a random oscillating ensemble.
+  topo::RandomConfig config;
+  config.clusters = 3;
+  config.max_clients = 2;
+  config.exits = 5;
+  config.max_med = 3;
+  config.extra_link_prob = 0.3;
+
+  std::printf("\nthreshold ablation over 300 random instances "
+              "(only instances where standard I-BGP oscillates):\n");
+  std::printf("  threshold | oscillators | converged | mean upgraded | mean steps | fallbacks\n");
+  for (const std::size_t threshold : {2, 3, 5, 8}) {
+    std::size_t oscillators = 0, converged = 0, fallbacks = 0;
+    double upgraded_total = 0, steps_total = 0;
+    for (std::uint64_t seed = 2000; seed < 2300; ++seed) {
+      const auto inst = topo::random_instance(config, seed);
+      if (!analysis::classify(inst, core::ProtocolKind::kStandard, 4000).oscillates()) {
+        continue;
+      }
+      ++oscillators;
+      auto rr = engine::make_round_robin(inst.node_count());
+      engine::AdaptiveOptions options;
+      options.flap_threshold = threshold;
+      const auto result = engine::run_adaptive(inst, *rr, options);
+      if (result.converged) {
+        ++converged;
+        upgraded_total += static_cast<double>(result.upgraded.size());
+        steps_total += static_cast<double>(result.steps);
+        if (result.escalated_all) ++fallbacks;
+      }
+    }
+    std::printf("  %9zu | %11zu | %9zu | %13.2f | %10.1f | %zu\n", threshold, oscillators,
+                converged, converged ? upgraded_total / converged : 0.0,
+                converged ? steps_total / converged : 0.0, fallbacks);
+  }
+  std::printf("\n(mean upgraded << node count means the add-paths state stays "
+              "confined to the oscillating core)\n");
+}
+
+void BM_AdaptiveFig1a(benchmark::State& state) {
+  const auto inst = topo::fig1a();
+  for (auto _ : state) {
+    auto rr = engine::make_round_robin(inst.node_count());
+    auto result = engine::run_adaptive(inst, *rr);
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(BM_AdaptiveFig1a);
+
+void BM_AdaptiveFig13(benchmark::State& state) {
+  const auto inst = topo::fig13();
+  for (auto _ : state) {
+    auto rr = engine::make_round_robin(inst.node_count());
+    auto result = engine::run_adaptive(inst, *rr);
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(BM_AdaptiveFig13);
+
+}  // namespace
+
+IBGP_BENCH_MAIN(report)

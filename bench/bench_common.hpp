@@ -1,0 +1,87 @@
+#pragma once
+// Shared helpers for the per-figure bench binaries.
+//
+// Each bench binary prints a human-readable report reproducing its paper
+// artifact (the rows EXPERIMENTS.md records), then runs its google-benchmark
+// timings.  Reports go to stdout before benchmark output so piping a bench
+// run into a log keeps the experiment result adjacent to the timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/finder.hpp"
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "engine/activation.hpp"
+#include "engine/oscillation.hpp"
+
+namespace ibgp::bench {
+
+inline void heading(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  paper claim: %s\n", experiment, claim);
+  std::printf("================================================================\n");
+}
+
+/// Runs one (protocol, schedule) cell and prints a report row.
+inline engine::RunOutcome report_row(const core::Instance& inst,
+                                     core::ProtocolKind protocol, bool synchronous,
+                                     std::size_t max_steps = 20000) {
+  auto schedule = synchronous ? engine::make_full_set(inst.node_count())
+                              : engine::make_round_robin(inst.node_count());
+  engine::RunLimits limits;
+  limits.max_steps = max_steps;
+  const auto outcome = engine::run_protocol(inst, protocol, *schedule, limits);
+  std::printf("  %-9s | %-11s | %-10s |", core::protocol_name(protocol),
+              synchronous ? "synchronous" : "round-robin",
+              engine::run_status_name(outcome.status));
+  if (outcome.converged()) {
+    std::printf(" steps=%-5zu flaps=%-4zu best: %s\n", outcome.quiescent_since,
+                outcome.best_flips, engine::describe_best(inst, outcome.final_best).c_str());
+  } else if (outcome.oscillated()) {
+    std::printf(" cycle=%-4zu flaps=%zu (persistent oscillation)\n", outcome.cycle_length,
+                outcome.best_flips);
+  } else {
+    std::printf(" no verdict in %zu steps\n", outcome.steps);
+  }
+  return outcome;
+}
+
+/// The standard three-protocol, two-schedule grid.
+inline void report_grid(const core::Instance& inst, std::size_t max_steps = 20000) {
+  std::printf("  %-9s | %-11s | %-10s |\n", "protocol", "schedule", "verdict");
+  std::printf("  ----------+-------------+------------+\n");
+  for (const auto kind : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+                          core::ProtocolKind::kModified}) {
+    for (const bool synchronous : {false, true}) {
+      report_row(inst, kind, synchronous, max_steps);
+    }
+  }
+}
+
+/// google-benchmark driver for a full protocol run on an instance.
+inline void run_protocol_benchmark(benchmark::State& state, const core::Instance& inst,
+                                   core::ProtocolKind protocol, std::size_t max_steps) {
+  for (auto _ : state) {
+    auto schedule = engine::make_round_robin(inst.node_count());
+    engine::RunLimits limits;
+    limits.max_steps = max_steps;
+    auto outcome = engine::run_protocol(inst, protocol, *schedule, limits);
+    benchmark::DoNotOptimize(outcome.final_hash);
+  }
+}
+
+}  // namespace ibgp::bench
+
+/// Prints the report, then hands argv to google-benchmark.
+#define IBGP_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                      \
+    report_fn();                                         \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    ::benchmark::Shutdown();                             \
+    return 0;                                            \
+  }

@@ -1,0 +1,75 @@
+// Experiment E6 — Figure 13: the persistent-oscillation counterexample to
+// the Walton et al. solution (Section 8).
+//
+// Reproduces: with MEDs active, BOTH classic I-BGP and the Walton per-AS
+// vector protocol cycle under every deterministic schedule and fail to
+// converge under random fair schedules; exhaustive search confirms no stable
+// configuration exists for the standard protocol.  The oscillation is
+// MED-induced: with MEDs ignored the same configuration converges at once.
+// The paper's modified protocol converges deterministically.
+
+#include "bench_common.hpp"
+
+#include "analysis/determinism.hpp"
+#include "analysis/stable_search.hpp"
+#include "core/fixed_point.hpp"
+#include "topo/figures.hpp"
+
+namespace {
+
+using namespace ibgp;
+
+void report() {
+  bench::heading("E6 / Figure 13: Walton et al. counterexample",
+                 "MED-induced persistent oscillation that the Walton fix "
+                 "does not prevent; the modified protocol converges");
+  const auto inst = topo::fig13();
+
+  const auto stable = analysis::enumerate_stable_standard(inst);
+  std::printf("stable configurations (standard): %zu%s\n", stable.solutions.size(),
+              stable.exhaustive ? " — exhaustive" : "");
+
+  bench::report_grid(inst);
+
+  std::printf("\nrandom fair schedules (100 runs, 4000-step budget):\n");
+  for (const auto kind : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+                          core::ProtocolKind::kModified}) {
+    analysis::DeterminismOptions options;
+    options.runs = 100;
+    options.max_steps = 4000;
+    const auto determinism = analysis::check_determinism(inst, kind, options);
+    std::printf("  %-9s : %zu/100 converged, %zu distinct outcomes\n",
+                core::protocol_name(kind), determinism.converged,
+                determinism.outcomes.size());
+  }
+
+  std::printf("\nMED-induced check (MedMode::kIgnore):\n");
+  bgp::SelectionPolicy no_med;
+  no_med.med = bgp::MedMode::kIgnore;
+  const auto without = inst.with_policy(no_med);
+  for (const auto kind : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton}) {
+    const auto sig = analysis::classify(without, kind);
+    std::printf("  %-9s without MEDs: round-robin=%s synchronous=%s\n",
+                core::protocol_name(kind), engine::run_status_name(sig.round_robin),
+                engine::run_status_name(sig.synchronous));
+  }
+
+  const auto prediction = core::predict_fixed_point(inst);
+  std::vector<PathId> best;
+  for (const auto& view : prediction.best) best.push_back(view ? view->path : kNoPath);
+  std::printf("\nmodified fixed point: %s\n", engine::describe_best(inst, best).c_str());
+}
+
+void BM_WaltonUntilCycle(benchmark::State& state) {
+  bench::run_protocol_benchmark(state, topo::fig13(), core::ProtocolKind::kWalton, 20000);
+}
+BENCHMARK(BM_WaltonUntilCycle);
+
+void BM_ModifiedUntilConverged(benchmark::State& state) {
+  bench::run_protocol_benchmark(state, topo::fig13(), core::ProtocolKind::kModified, 20000);
+}
+BENCHMARK(BM_ModifiedUntilConverged);
+
+}  // namespace
+
+IBGP_BENCH_MAIN(report)

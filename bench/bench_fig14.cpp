@@ -1,0 +1,52 @@
+// Experiment E7 — Figure 14: forwarding loops (Section 8, from Dube-Scudder).
+//
+// Reproduces: under classic I-BGP and under Walton's fix the converged
+// routing configuration forwards packets c1 -> c2 -> c1 forever; under the
+// paper's modified protocol each client learns both exits, picks the
+// IGP-closer one, and every forwarding trace leaves the AS (Lemma 7.6).
+
+#include "bench_common.hpp"
+
+#include "analysis/forwarding.hpp"
+#include "topo/figures.hpp"
+
+namespace {
+
+using namespace ibgp;
+
+void report() {
+  bench::heading("E7 / Figure 14: routing loops in the forwarding plane",
+                 "standard I-BGP and Walton both loop c1<->c2; the modified "
+                 "protocol is loop-free");
+  const auto inst = topo::fig14();
+
+  for (const auto kind : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+                          core::ProtocolKind::kModified}) {
+    auto rr = engine::make_round_robin(inst.node_count());
+    const auto outcome = engine::run_protocol(inst, kind, *rr);
+    std::printf("\n--- %s (converged: %s) ---\n", core::protocol_name(kind),
+                outcome.converged() ? "yes" : "no");
+    const auto fwd = analysis::analyze_forwarding(inst, outcome.final_best);
+    for (const auto& trace : fwd.traces) {
+      std::printf("  from %-4s : %s\n", inst.node_name(trace.source).c_str(),
+                  analysis::describe_trace(inst, trace).c_str());
+    }
+    std::printf("  => %zu loop(s); loop-free: %s\n", fwd.loops,
+                fwd.loop_free() ? "YES" : "no");
+  }
+}
+
+void BM_ForwardingAnalysis(benchmark::State& state) {
+  const auto inst = topo::fig14();
+  auto rr = engine::make_round_robin(inst.node_count());
+  const auto outcome = engine::run_protocol(inst, core::ProtocolKind::kStandard, *rr);
+  for (auto _ : state) {
+    auto report = analysis::analyze_forwarding(inst, outcome.final_best);
+    benchmark::DoNotOptimize(report.loops);
+  }
+}
+BENCHMARK(BM_ForwardingAnalysis);
+
+}  // namespace
+
+IBGP_BENCH_MAIN(report)

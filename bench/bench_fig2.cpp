@@ -1,0 +1,85 @@
+// Experiment E3 — Figure 2: transient route oscillation.
+//
+// Reproduces: exactly two stable configurations; the synchronous schedule
+// oscillates forever while sequential schedules converge (a timing-
+// coincidence oscillation); over random fair schedules the STANDARD protocol
+// is nondeterministic (both solutions occur), Walton coincides with standard
+// (one neighboring AS), and the MODIFIED protocol reaches one schedule-
+// independent fixed point — including across router crash/restarts.
+
+#include "bench_common.hpp"
+
+#include "analysis/determinism.hpp"
+#include "analysis/stable_search.hpp"
+#include "topo/figures.hpp"
+
+namespace {
+
+using namespace ibgp;
+
+void report() {
+  bench::heading("E3 / Figure 2: transient oscillation & nondeterminism",
+                 "two stable solutions; outcome is schedule-dependent for "
+                 "standard I-BGP, unique for the modified protocol");
+  const auto inst = topo::fig2();
+
+  const auto stable = analysis::enumerate_stable_standard(inst);
+  std::printf("stable configurations (standard): %zu — exhaustive\n",
+              stable.solutions.size());
+  for (const auto& solution : stable.solutions) {
+    std::printf("    %s\n", engine::describe_best(inst, solution).c_str());
+  }
+
+  bench::report_grid(inst);
+
+  std::printf("\noutcome distribution over 400 random fair schedules:\n");
+  std::printf("  %-9s | converged | distinct outcomes | mean steps | crash-proof\n",
+              "protocol");
+  for (const auto kind : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+                          core::ProtocolKind::kModified}) {
+    analysis::DeterminismOptions options;
+    options.runs = 400;
+    const auto report = analysis::check_determinism(inst, kind, options);
+    analysis::DeterminismOptions crash_options;
+    crash_options.runs = 100;
+    crash_options.crash_prob = 1.0;
+    const auto crash = analysis::check_determinism(inst, kind, crash_options);
+    std::printf("  %-9s | %5zu/400 | %17zu | %10.1f | %s\n", core::protocol_name(kind),
+                report.converged, report.outcomes.size(), report.mean_steps,
+                crash.deterministic() ? "yes" : "no");
+  }
+}
+
+void BM_RandomScheduleStandard(benchmark::State& state) {
+  const auto inst = topo::fig2();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto schedule = engine::make_random_fair(inst.node_count(), ++seed);
+    engine::RunLimits limits;
+    limits.max_steps = 5000;
+    limits.detect_cycles = false;
+    auto outcome = engine::run_protocol(inst, core::ProtocolKind::kStandard, *schedule,
+                                        limits);
+    benchmark::DoNotOptimize(outcome.final_hash);
+  }
+}
+BENCHMARK(BM_RandomScheduleStandard);
+
+void BM_RandomScheduleModified(benchmark::State& state) {
+  const auto inst = topo::fig2();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto schedule = engine::make_random_fair(inst.node_count(), ++seed);
+    engine::RunLimits limits;
+    limits.max_steps = 5000;
+    limits.detect_cycles = false;
+    auto outcome = engine::run_protocol(inst, core::ProtocolKind::kModified, *schedule,
+                                        limits);
+    benchmark::DoNotOptimize(outcome.final_hash);
+  }
+}
+BENCHMARK(BM_RandomScheduleModified);
+
+}  // namespace
+
+IBGP_BENCH_MAIN(report)

@@ -1,0 +1,56 @@
+#include "analysis/determinism.hpp"
+
+#include "engine/activation.hpp"
+#include "engine/sync_engine.hpp"
+#include "util/rng.hpp"
+
+namespace ibgp::analysis {
+
+DeterminismReport check_determinism(const core::Instance& inst, core::ProtocolKind protocol,
+                                    const DeterminismOptions& options) {
+  DeterminismReport report;
+  report.runs = options.runs;
+
+  std::size_t total_steps = 0;
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    const std::uint64_t run_seed = util::derive_seed(options.seed, i);
+    util::Xoshiro256 rng(util::derive_seed(run_seed, 0xC0FFEE));
+
+    engine::SyncEngine sim(inst, protocol);
+    auto schedule = engine::make_random_fair(inst.node_count(), run_seed);
+
+    // Optional mid-run crash + restart of a random node: run a bounded
+    // prefix, crash, then continue.  Fair sequences resume activating the
+    // node, which models the restart.
+    if (options.crash_prob > 0.0 && rng.chance(options.crash_prob)) {
+      for (std::size_t s = 0; s < inst.node_count() * 3; ++s) sim.step(schedule->next());
+      sim.crash_node(static_cast<NodeId>(rng.below(inst.node_count())));
+    }
+
+    engine::RunLimits limits;
+    limits.max_steps = options.max_steps;
+    limits.detect_cycles = false;  // randomized schedule: recurrence is not a proof
+    const auto outcome = engine::run(sim, *schedule, limits);
+
+    if (outcome.converged()) {
+      ++report.converged;
+      ++report.outcomes[outcome.final_best];
+      const std::size_t steps = outcome.steps;
+      if (report.converged == 1) {
+        report.min_steps = report.max_steps = steps;
+      } else {
+        report.min_steps = std::min(report.min_steps, steps);
+        report.max_steps = std::max(report.max_steps, steps);
+      }
+      total_steps += steps;
+    } else {
+      ++report.not_converged;
+    }
+  }
+  if (report.converged > 0) {
+    report.mean_steps = static_cast<double>(total_steps) / report.converged;
+  }
+  return report;
+}
+
+}  // namespace ibgp::analysis

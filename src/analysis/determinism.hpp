@@ -1,0 +1,50 @@
+#pragma once
+// Schedule-(in)dependence measurements.
+//
+// The paper's headline guarantee: the modified protocol converges to the
+// SAME configuration under every fair activation sequence, even across
+// router crashes and restarts.  Standard I-BGP enjoys no such property —
+// Fig 2 converges to either of two configurations (or not at all) depending
+// on ordering.  check_determinism() quantifies both sides empirically.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "engine/oscillation.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::analysis {
+
+struct DeterminismOptions {
+  std::size_t runs = 100;            ///< random-fair schedules to sample
+  std::uint64_t seed = 1;
+  std::size_t max_steps = 20000;
+  /// Per-run probability of injecting a crash+restart of a random node
+  /// mid-run (the paper's failure/restart scenario).
+  double crash_prob = 0.0;
+};
+
+struct DeterminismReport {
+  std::size_t runs = 0;
+  std::size_t converged = 0;
+  std::size_t not_converged = 0;
+  /// Distinct final best-route tuples among converged runs, with counts.
+  std::map<std::vector<PathId>, std::size_t> outcomes;
+  std::size_t min_steps = 0;  ///< over converged runs
+  std::size_t max_steps = 0;
+  double mean_steps = 0.0;
+
+  [[nodiscard]] bool deterministic() const {
+    return not_converged == 0 && outcomes.size() <= 1;
+  }
+};
+
+/// Samples random fair schedules (singleton permutations) and reports the
+/// outcome distribution.
+DeterminismReport check_determinism(const core::Instance& inst, core::ProtocolKind protocol,
+                                    const DeterminismOptions& options = {});
+
+}  // namespace ibgp::analysis

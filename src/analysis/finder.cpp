@@ -1,0 +1,63 @@
+#include "analysis/finder.hpp"
+
+#include "engine/activation.hpp"
+
+namespace ibgp::analysis {
+
+ConvergenceSignature classify(const core::Instance& inst, core::ProtocolKind protocol,
+                              std::size_t max_steps) {
+  ConvergenceSignature signature;
+  engine::RunLimits limits;
+  limits.max_steps = max_steps;
+  limits.detect_cycles = true;
+
+  {
+    auto schedule = engine::make_round_robin(inst.node_count());
+    signature.round_robin = engine::run_protocol(inst, protocol, *schedule, limits).status;
+  }
+  {
+    auto schedule = engine::make_full_set(inst.node_count());
+    signature.synchronous = engine::run_protocol(inst, protocol, *schedule, limits).status;
+  }
+  return signature;
+}
+
+FinderResult find_counterexample(const topo::RandomConfig& config,
+                                 const FinderCriteria& criteria, std::uint64_t seed,
+                                 std::size_t attempts) {
+  FinderResult result;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    ++result.attempts_used;
+    const std::uint64_t instance_seed = seed + i;
+    core::Instance inst = topo::random_instance(config, instance_seed);
+    if (inst.exits().empty()) continue;
+
+    const auto signature = classify(inst, criteria.protocol, criteria.max_steps);
+    if (!signature.oscillates()) continue;
+    if (criteria.both_schedules &&
+        (signature.round_robin != engine::RunStatus::kCycleDetected ||
+         signature.synchronous != engine::RunStatus::kCycleDetected)) {
+      continue;
+    }
+
+    if (criteria.med_induced) {
+      bgp::SelectionPolicy no_med = inst.policy();
+      no_med.med = bgp::MedMode::kIgnore;
+      const auto without_med = classify(inst.with_policy(no_med), criteria.protocol,
+                                        criteria.max_steps);
+      if (!without_med.converges_always_tested()) continue;
+    }
+
+    if (criteria.modified_converges) {
+      const auto modified = classify(inst, core::ProtocolKind::kModified, criteria.max_steps);
+      if (!modified.converges_always_tested()) continue;
+    }
+
+    result.found = std::move(inst);
+    result.seed_found = instance_seed;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace ibgp::analysis

@@ -1,0 +1,78 @@
+#include "analysis/forwarding.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace ibgp::analysis {
+
+ForwardTrace trace_forwarding(const core::Instance& inst, std::span<const PathId> best,
+                              NodeId source) {
+  ForwardTrace trace;
+  trace.source = source;
+  std::vector<bool> visited(inst.node_count(), false);
+
+  NodeId cur = source;
+  while (true) {
+    trace.hops.push_back(cur);
+    if (visited[cur]) {
+      trace.outcome = ForwardOutcome::kLoop;
+      return trace;
+    }
+    visited[cur] = true;
+
+    const PathId b = best[cur];
+    if (b == kNoPath) {
+      trace.outcome = ForwardOutcome::kNoRoute;
+      return trace;
+    }
+    const NodeId exit_point = inst.exits()[b].exit_point;
+    if (exit_point == cur) {
+      trace.outcome = ForwardOutcome::kExits;
+      trace.exit_node = cur;
+      trace.exit_path = b;
+      return trace;
+    }
+    const NodeId next = inst.igp().next_hop(cur, exit_point);
+    if (next == kNoNode) {
+      trace.outcome = ForwardOutcome::kNoRoute;  // IGP-unreachable exit point
+      return trace;
+    }
+    cur = next;
+  }
+}
+
+ForwardingReport analyze_forwarding(const core::Instance& inst,
+                                    std::span<const PathId> best) {
+  ForwardingReport report;
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    report.traces.push_back(trace_forwarding(inst, best, v));
+    switch (report.traces.back().outcome) {
+      case ForwardOutcome::kLoop: ++report.loops; break;
+      case ForwardOutcome::kNoRoute: ++report.no_route; break;
+      case ForwardOutcome::kExits: break;
+    }
+  }
+  return report;
+}
+
+std::string describe_trace(const core::Instance& inst, const ForwardTrace& trace) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    if (i > 0) oss << " -> ";
+    oss << inst.node_name(trace.hops[i]);
+  }
+  switch (trace.outcome) {
+    case ForwardOutcome::kExits:
+      oss << " => exits via " << inst.exits()[trace.exit_path].name;
+      break;
+    case ForwardOutcome::kLoop:
+      oss << " (LOOP)";
+      break;
+    case ForwardOutcome::kNoRoute:
+      oss << " (no route)";
+      break;
+  }
+  return oss.str();
+}
+
+}  // namespace ibgp::analysis

@@ -1,0 +1,61 @@
+#pragma once
+// Exact enumeration of the stable configurations of STANDARD I-BGP with
+// route reflection — the object whose existence Section 5 proves NP-complete
+// to decide.
+//
+// Under the standard protocol a configuration is fully determined by the
+// tuple of best routes (each node advertises exactly its best, so
+// PossibleExits derive from the tuple via the Transfer relation).  A tuple
+// (b_v) is a *stable solution* iff for every u,
+//
+//   b_u = Choose_best(u, MyExits(u) ∪ ⋃_v Transfer_{v->u}({b_v}))
+//
+// with learnedFrom = min BGP id over supplying peers, exactly as the
+// engines compute it.
+//
+// The enumerator backtracks over per-node candidate domains with two
+// soundness-preserving prunes:
+//   - domain restriction: b_u must be an own exit or a path some peer is
+//     allowed to transfer to u;
+//   - E-BGP dominance: under the default rule order, a node owning an exit
+//     that survives rules 1-3 against the *whole* exit universe always
+//     selects one of its own exits (rule 4), so its domain shrinks to them.
+//
+// The search is exact: if it completes within budget, `solutions` is the
+// complete list.  NP-hardness (Theorem 5.1) shows up as budget growth on the
+// reduction instances — which bench_npc measures.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::analysis {
+
+/// One stable solution: best exit path per node (kNoPath = no route).
+using StableSolution = std::vector<PathId>;
+
+struct StableSearchResult {
+  std::vector<StableSolution> solutions;
+  bool exhaustive = false;        ///< search space fully covered
+  std::uint64_t nodes_explored = 0;
+
+  [[nodiscard]] bool any() const { return !solutions.empty(); }
+};
+
+struct StableSearchLimits {
+  std::uint64_t max_nodes = 20'000'000;  ///< backtracking node budget
+  std::size_t max_solutions = 64;
+};
+
+/// Enumerates every stable solution of the standard protocol on `inst`.
+StableSearchResult enumerate_stable_standard(const core::Instance& inst,
+                                             const StableSearchLimits& limits = {});
+
+/// Verifies that a given best-route tuple is a stable solution of the
+/// standard protocol (cheap; used to check solutions produced from SAT
+/// assignments in the Section 5 reduction).
+bool is_stable_standard(const core::Instance& inst, const StableSolution& solution);
+
+}  // namespace ibgp::analysis

@@ -1,0 +1,57 @@
+#pragma once
+// Exit paths: the paper's abstraction of an E-BGP route injected into AS0
+// (Section 4, "Routes and Exit Paths").
+//
+// An exit path carries the BGP attributes relevant to the selection
+// procedure — LOCAL-PREF, AS-path length, the neighboring AS it goes through
+// (nextAS), its MED value — plus the node of AS0 at which it exits
+// (exitPoint) and the cost of the final external link (exitCost).  The
+// NEXT-HOP attribute is modeled by the identity of the E-BGP peer
+// (`ebgp_peer`), which also serves as learnedFrom for E-BGP-learned routes.
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibgp::bgp {
+
+struct ExitPath {
+  /// Dense identifier assigned by the ExitTable.
+  PathId id = kNoPath;
+
+  /// Human-readable label ("r1", "r2", ...), used in traces and reports.
+  std::string name;
+
+  /// The router of AS0 that learned this route via E-BGP.
+  NodeId exit_point = kNoNode;
+
+  /// nextAS(p): the neighboring AS the route goes through.  MED values are
+  /// only compared among routes with equal nextAS (selection rule 3).
+  AsId next_as = 0;
+
+  /// LOCAL-PREF; higher preferred (selection rule 1).  The paper assumes
+  /// LOCAL-PREF is used as the degree of preference (end of Section 2).
+  LocalPref local_pref = 100;
+
+  /// Length of the AS-PATH attribute; lower preferred (selection rule 2).
+  std::uint32_t as_path_length = 1;
+
+  /// Multi-Exit-Discriminator; lower preferred within the same nextAS.
+  Med med = 0;
+
+  /// Cost of the exit link from exit_point to the E-BGP NEXT-HOP.
+  /// "usually 0 in practice, but can be set to a value > 0" (Section 4).
+  Cost exit_cost = 0;
+
+  /// BGP identifier of the E-BGP peer that announced the route: the
+  /// learnedFrom value at the exit point and the final-tie-break input there.
+  BgpId ebgp_peer = 0;
+
+  friend bool operator==(const ExitPath&, const ExitPath&) = default;
+};
+
+/// One-line rendering ("r3[exit=5 AS2 lp=100 len=1 med=0 ec=0]").
+std::string to_string(const ExitPath& path);
+
+}  // namespace ibgp::bgp

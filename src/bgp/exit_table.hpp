@@ -1,0 +1,51 @@
+#pragma once
+// Registry of every exit path in an experiment instance.
+//
+// Exit paths get dense PathIds so engine state can be plain bitsets/sorted
+// id vectors; the table is immutable during a simulation run (which exits are
+// *currently announced* is separate, per-node MyExits state owned by the
+// engines, so withdraw/restore experiments never mutate the table).
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bgp/exit_path.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::bgp {
+
+class ExitTable {
+ public:
+  /// Registers a path; assigns and returns its dense id.
+  /// Throws std::invalid_argument if the path names a node that will not
+  /// exist (cannot be checked here) — exit_point range is validated by the
+  /// Instance that combines table and graphs.
+  PathId add(ExitPath path);
+
+  [[nodiscard]] std::size_t size() const { return paths_.size(); }
+  [[nodiscard]] bool empty() const { return paths_.empty(); }
+
+  [[nodiscard]] const ExitPath& at(PathId id) const {
+    if (id >= paths_.size()) throw std::out_of_range("ExitTable: bad path id");
+    return paths_[id];
+  }
+  [[nodiscard]] const ExitPath& operator[](PathId id) const { return paths_[id]; }
+
+  [[nodiscard]] std::span<const ExitPath> all() const { return paths_; }
+
+  /// Ids of every path exiting at node v, ascending.
+  [[nodiscard]] std::vector<PathId> exits_from(NodeId v) const;
+
+  /// Looks a path up by its label; kNoPath when absent.
+  [[nodiscard]] PathId find_by_name(std::string_view name) const;
+
+  /// All distinct neighboring AS ids referenced by any path, ascending.
+  [[nodiscard]] std::vector<AsId> neighbor_ases() const;
+
+ private:
+  std::vector<ExitPath> paths_;
+};
+
+}  // namespace ibgp::bgp

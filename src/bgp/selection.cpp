@@ -1,0 +1,201 @@
+#include "bgp/selection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace ibgp::bgp {
+
+namespace {
+
+/// Keeps only the elements of `views` minimizing key(view).
+template <typename Key>
+void keep_min(std::vector<RouteView>& views, Key key) {
+  if (views.empty()) return;
+  auto best = key(views.front());
+  for (const auto& view : views) best = std::min(best, key(view));
+  std::erase_if(views, [&](const RouteView& view) { return key(view) != best; });
+}
+
+/// Keeps only the elements maximizing key(view).
+template <typename Key>
+void keep_max(std::vector<RouteView>& views, Key key) {
+  if (views.empty()) return;
+  auto best = key(views.front());
+  for (const auto& view : views) best = std::max(best, key(view));
+  std::erase_if(views, [&](const RouteView& view) { return key(view) != best; });
+}
+
+/// Rule 3: per-neighbor-AS MED elimination over route views.
+void med_eliminate(const ExitTable& table, std::vector<RouteView>& views, MedMode mode) {
+  if (mode == MedMode::kIgnore || views.empty()) return;
+  // Minimum MED per group; kAlwaysCompare treats everything as one group.
+  std::map<AsId, Med> group_min;
+  for (const auto& view : views) {
+    const ExitPath& path = table[view.path];
+    const AsId group = (mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
+    const auto it = group_min.find(group);
+    if (it == group_min.end() || path.med < it->second) group_min[group] = path.med;
+  }
+  std::erase_if(views, [&](const RouteView& view) {
+    const ExitPath& path = table[view.path];
+    const AsId group = (mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
+    return path.med != group_min.at(group);
+  });
+}
+
+/// Rules 4-6 in the paper's default order: prefer E-BGP outright, then
+/// minimum metric within the surviving class, then lowest learnedFrom.
+void narrow_prefer_ebgp_first(std::vector<RouteView>& views) {
+  const bool any_ebgp =
+      std::any_of(views.begin(), views.end(), [](const RouteView& v) { return v.is_ebgp; });
+  if (any_ebgp) {
+    std::erase_if(views, [](const RouteView& v) { return !v.is_ebgp; });
+  }
+  keep_min(views, [](const RouteView& v) { return v.metric; });
+  keep_min(views, [](const RouteView& v) { return v.learned_from; });
+}
+
+/// RFC-1771-style order: minimum metric across all routes first, then prefer
+/// E-BGP among the ties, then lowest learnedFrom.
+void narrow_igp_cost_first(std::vector<RouteView>& views) {
+  keep_min(views, [](const RouteView& v) { return v.metric; });
+  const bool any_ebgp =
+      std::any_of(views.begin(), views.end(), [](const RouteView& v) { return v.is_ebgp; });
+  if (any_ebgp) {
+    std::erase_if(views, [](const RouteView& v) { return !v.is_ebgp; });
+  }
+  keep_min(views, [](const RouteView& v) { return v.learned_from; });
+}
+
+std::vector<PathId> ids_of(const std::vector<RouteView>& views) {
+  std::vector<PathId> ids;
+  ids.reserve(views.size());
+  for (const auto& view : views) ids.push_back(view.path);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+std::vector<PathId> choose_survivors(const ExitTable& table, std::span<const PathId> paths,
+                                     MedMode med_mode) {
+  if (paths.empty()) return {};
+
+  // Rule 1: highest LOCAL-PREF.
+  LocalPref best_lp = 0;
+  for (const PathId id : paths) best_lp = std::max(best_lp, table[id].local_pref);
+  std::vector<PathId> alive;
+  for (const PathId id : paths) {
+    if (table[id].local_pref == best_lp) alive.push_back(id);
+  }
+
+  // Rule 2: shortest AS-path.
+  std::uint32_t best_len = std::numeric_limits<std::uint32_t>::max();
+  for (const PathId id : alive) best_len = std::min(best_len, table[id].as_path_length);
+  std::erase_if(alive, [&](PathId id) { return table[id].as_path_length != best_len; });
+
+  // Rule 3: per-neighbor-AS MED elimination.
+  if (med_mode != MedMode::kIgnore) {
+    std::map<AsId, Med> group_min;
+    for (const PathId id : alive) {
+      const ExitPath& path = table[id];
+      const AsId group = (med_mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
+      const auto it = group_min.find(group);
+      if (it == group_min.end() || path.med < it->second) group_min[group] = path.med;
+    }
+    std::erase_if(alive, [&](PathId id) {
+      const ExitPath& path = table[id];
+      const AsId group = (med_mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
+      return path.med != group_min.at(group);
+    });
+  }
+
+  std::sort(alive.begin(), alive.end());
+  alive.erase(std::unique(alive.begin(), alive.end()), alive.end());
+  return alive;
+}
+
+std::optional<RouteView> make_route_view(const ExitTable& table,
+                                         const netsim::ShortestPaths& igp, NodeId u,
+                                         const Candidate& candidate) {
+  const ExitPath& path = table[candidate.path];
+  if (!igp.reachable(u, path.exit_point)) return std::nullopt;
+  RouteView view;
+  view.path = candidate.path;
+  view.metric = igp.cost(u, path.exit_point) + path.exit_cost;
+  view.learned_from = candidate.learned_from;
+  view.is_ebgp = (path.exit_point == u);
+  return view;
+}
+
+namespace {
+
+std::vector<RouteView> usable_views(const ExitTable& table, const netsim::ShortestPaths& igp,
+                                    NodeId u, std::span<const Candidate> candidates) {
+  std::vector<RouteView> views;
+  views.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    if (auto view = make_route_view(table, igp, u, candidate)) views.push_back(*view);
+  }
+  return views;
+}
+
+std::optional<RouteView> finish(const ExitTable& table, std::vector<RouteView> views,
+                                const SelectionPolicy& policy,
+                                SelectionExplanation* explanation) {
+  auto record = [&](const char* stage) {
+    if (explanation != nullptr) explanation->stages.emplace_back(stage, ids_of(views));
+  };
+  record("input (usable)");
+
+  // Rule 1.
+  keep_max(views, [&](const RouteView& v) { return table[v.path].local_pref; });
+  record("rule 1: max LOCAL-PREF");
+
+  // Rule 2.
+  keep_min(views, [&](const RouteView& v) { return table[v.path].as_path_length; });
+  record("rule 2: min AS-path length");
+
+  // Rule 3.
+  med_eliminate(table, views, policy.med);
+  record("rule 3: per-AS MED elimination");
+
+  // Rules 4-6.
+  if (policy.order == RuleOrder::kPreferEbgpFirst) {
+    narrow_prefer_ebgp_first(views);
+  } else {
+    narrow_igp_cost_first(views);
+  }
+  record("rules 4-6: E-BGP/IGP-cost/BGP-id");
+
+  if (views.empty()) return std::nullopt;
+  // learned_from is usually unique by now; break pathological duplicate
+  // announcements by path id for full determinism.
+  const auto best =
+      std::min_element(views.begin(), views.end(), [](const RouteView& a, const RouteView& b) {
+        return a.path < b.path;
+      });
+  return *best;
+}
+
+}  // namespace
+
+std::optional<RouteView> choose_best(const ExitTable& table, const netsim::ShortestPaths& igp,
+                                     NodeId u, std::span<const Candidate> candidates,
+                                     const SelectionPolicy& policy) {
+  return finish(table, usable_views(table, igp, u, candidates), policy, nullptr);
+}
+
+SelectionExplanation explain_selection(const ExitTable& table,
+                                       const netsim::ShortestPaths& igp, NodeId u,
+                                       std::span<const Candidate> candidates,
+                                       const SelectionPolicy& policy) {
+  SelectionExplanation explanation;
+  explanation.best = finish(table, usable_views(table, igp, u, candidates), policy,
+                            &explanation);
+  return explanation;
+}
+
+}  // namespace ibgp::bgp

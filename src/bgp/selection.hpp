@@ -1,0 +1,115 @@
+#pragma once
+// The BGP route-selection procedure of Section 2 (procedure Choose_best,
+// Fig 6) and its truncated form Choose^B (Fig 10) used by the paper's
+// modified protocol.
+//
+// Rules, in the paper's default order:
+//   1. highest LOCAL-PREF (degree of preference),
+//   2. shortest AS-PATH length,
+//   3. per-neighbor-AS MED elimination: within each nextAS group keep only
+//      the minimum-MED routes (routes through different ASes are *not*
+//      compared — the root cause of the oscillations),
+//   4. if any E-BGP routes remain, keep only E-BGP routes and among them the
+//      minimum (IGP-)cost ones; otherwise
+//   5. keep the minimum-cost I-BGP routes,
+//   6. the route learned from the peer with the minimum BGP identifier wins.
+//
+// Footnote 4 of the paper notes that RFC 1771 / Halabi order rules 4 and 5
+// differently: first minimum IGP cost over *all* routes, then prefer E-BGP.
+// Figure 1(b) converges under the default ordering and diverges under the
+// RFC ordering, so both are implemented (RuleOrder).
+//
+// Choose^B = rules 1-3 only; its output is a *set* of exit paths and — key
+// to the convergence theorem — depends only on path attributes, never on the
+// evaluating node, so every router computes the same survivor set from the
+// same inputs (Lemma 7.4).
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/exit_table.hpp"
+#include "netsim/shortest_paths.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::bgp {
+
+/// Relative order of the E-BGP-preference and IGP-cost rules (footnote 4).
+enum class RuleOrder {
+  /// Paper default (Cisco/Juniper/Halabi): E-BGP routes beat I-BGP routes
+  /// outright, IGP cost compared within each class.
+  kPreferEbgpFirst,
+  /// RFC 1771 / Stewart ordering: minimum IGP cost first across all routes,
+  /// E-BGP preferred only among cost-ties.  Diverges on Fig 1(b).
+  kIgpCostFirst,
+};
+
+/// MED comparison regime (Section 1 lists these operational mitigations).
+enum class MedMode {
+  kPerNeighborAs,  ///< standard semantics: compare only within one nextAS
+  kAlwaysCompare,  ///< Cisco "bgp always-compare-med": one global MED group
+  kIgnore,         ///< MEDs disabled entirely
+};
+
+struct SelectionPolicy {
+  RuleOrder order = RuleOrder::kPreferEbgpFirst;
+  MedMode med = MedMode::kPerNeighborAs;
+
+  friend bool operator==(const SelectionPolicy&, const SelectionPolicy&) = default;
+};
+
+/// A route as evaluated at a particular node u: exit path + the IGP metric of
+/// the internal part + who advertised it to u (Section 4's route(p, u) with
+/// learnedFrom).
+struct RouteView {
+  PathId path = kNoPath;
+  Cost metric = kInfCost;    ///< cost(SP(u, exitPoint)) + exitCost
+  BgpId learned_from = 0;    ///< BGP id of the advertising peer
+  bool is_ebgp = false;      ///< exitPoint == u (learned directly via E-BGP)
+
+  friend bool operator==(const RouteView&, const RouteView&) = default;
+};
+
+/// Input candidate: a visible exit path and the peer it was learned from.
+struct Candidate {
+  PathId path = kNoPath;
+  BgpId learned_from = 0;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// Rules 1-3 (Choose^B, Fig 10) over bare exit paths.  Node-independent.
+/// Returns surviving ids in ascending order.
+std::vector<PathId> choose_survivors(const ExitTable& table, std::span<const PathId> paths,
+                                     MedMode med_mode = MedMode::kPerNeighborAs);
+
+/// Materializes route(p, u): metric and E-BGP-ness of `path` as seen from
+/// node u.  Returns nullopt when the exit point is IGP-unreachable from u.
+std::optional<RouteView> make_route_view(const ExitTable& table,
+                                         const netsim::ShortestPaths& igp, NodeId u,
+                                         const Candidate& candidate);
+
+/// Full Choose_best (Fig 6) at node u over `candidates`.
+/// Deterministic: ties after rule 6 (identical learnedFrom — possible only
+/// for duplicate announcements) fall back to the lowest PathId.
+/// Returns nullopt when no candidate is usable (empty set or unreachable).
+std::optional<RouteView> choose_best(const ExitTable& table, const netsim::ShortestPaths& igp,
+                                     NodeId u, std::span<const Candidate> candidates,
+                                     const SelectionPolicy& policy = {});
+
+/// Step-by-step record of one selection, for explanation tools and tests.
+struct SelectionExplanation {
+  /// Survivor path ids after each rule, in application order; entry 0 is the
+  /// usable input set.
+  std::vector<std::pair<std::string, std::vector<PathId>>> stages;
+  std::optional<RouteView> best;
+};
+
+/// Runs choose_best while recording every elimination stage.
+SelectionExplanation explain_selection(const ExitTable& table,
+                                       const netsim::ShortestPaths& igp, NodeId u,
+                                       std::span<const Candidate> candidates,
+                                       const SelectionPolicy& policy = {});
+
+}  // namespace ibgp::bgp

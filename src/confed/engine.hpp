@@ -1,0 +1,169 @@
+#pragma once
+// Event-driven simulator for BGP confederations.
+//
+// Differences from the route-reflection event engine:
+//  * announcement rules: a router forwards to its sub-AS mesh every route it
+//    learned via E-BGP or over a confed-E-BGP border (never routes learned
+//    from the mesh); across a border it announces its advertised set with
+//    the AS_CONFED_SEQUENCE extended by its own sub-AS;
+//  * loop prevention: a border router rejects any announcement whose
+//    confed path already contains its own sub-AS (the confederation
+//    analogue of AS-path loop detection);
+//  * route selection adds the confederation class rule: own E-BGP >
+//    confed-external > internal (the Cisco/Juniper behavior matching the
+//    paper's rule-4 ordering), while LOCAL-PREF, MED and IGP metric to the
+//    exit point pass through the confederation unchanged — the combination
+//    RFC 3345 Section 2.2 blames for persistent oscillation.
+//
+// Two advertisement policies mirror the paper's dichotomy:
+//  * kStandard: announce the single best route;
+//  * kModified: announce every LOCAL-PREF/AS-path/MED survivor (Choose^B),
+//    the paper's fix transplanted onto confederations.  The paper leaves
+//    this case open (Section 1); experiment E11 probes it empirically.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "confed/layout.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::confed {
+
+enum class ConfedProtocol {
+  kStandard,
+  kModified,
+};
+
+/// How a node currently knows a path (best class among its copies).
+enum class RouteClass : std::uint8_t {
+  kOwnEbgp = 0,        ///< exit point is this node
+  kConfedExternal = 1, ///< learned over a border session
+  kInternal = 2,       ///< learned from the sub-AS mesh
+};
+
+class ConfedEngine {
+ public:
+  using SimTime = std::uint64_t;
+  using DelayFn = std::function<SimTime(NodeId from, NodeId to, std::uint64_t seq)>;
+
+  ConfedEngine(const ConfedInstance& inst, ConfedProtocol protocol, DelayFn delay = {});
+
+  void inject_exit(PathId p, SimTime when);
+  void inject_all_exits(SimTime when = 0);
+  void withdraw_exit(PathId p, SimTime when);
+
+  struct Result {
+    bool converged = false;
+    std::size_t deliveries = 0;
+    std::size_t updates_sent = 0;
+    std::size_t best_flips = 0;
+    std::vector<PathId> final_best;
+  };
+
+  Result run(std::size_t max_deliveries = 1'000'000);
+
+  [[nodiscard]] PathId best_path(NodeId v) const {
+    return nodes_.at(v).best ? *nodes_.at(v).best : kNoPath;
+  }
+  [[nodiscard]] std::span<const std::size_t> flips_by_node() const { return flips_by_node_; }
+
+ private:
+  struct Copy {
+    /// AS_CONFED_SEQUENCE the announcement carried (empty for mesh-internal
+    /// announcements).
+    std::vector<SubAsId> confed_path;
+  };
+
+  struct NodeState {
+    /// rib_in[peer][path] -> the copy announced by that peer (absent = none).
+    std::map<NodeId, std::map<PathId, Copy>> rib_in;
+    std::vector<bool> own;  // E-BGP-injected exits
+    std::optional<PathId> best;
+    /// advertised_out[peer] = path set last announced to that peer.
+    std::map<NodeId, std::vector<PathId>> advertised_out;
+  };
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t { kInject, kWithdrawExit, kUpdate } kind = Kind::kUpdate;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    PathId path = kNoPath;
+    bool announce = true;
+    std::vector<SubAsId> confed_path;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// The class and attribution of path p at node u, across all its copies.
+  struct View {
+    RouteClass route_class = RouteClass::kInternal;
+    BgpId learned_from = 0;
+    const std::vector<SubAsId>* confed_path = nullptr;
+  };
+  [[nodiscard]] std::optional<View> view_of(NodeId u, PathId p) const;
+
+  /// Full confederation route selection over the currently visible paths.
+  [[nodiscard]] std::optional<PathId> select_best(NodeId u,
+                                                  std::span<const PathId> candidates) const;
+
+  /// The advertised set under the active protocol.
+  [[nodiscard]] std::vector<PathId> advertised_set(NodeId u,
+                                                   std::span<const PathId> visible) const;
+
+  [[nodiscard]] bool may_send(NodeId u, NodeId peer, PathId p) const;
+
+  void reconsider(NodeId u, SimTime now);
+  void enqueue_update(NodeId from, NodeId to, PathId p, bool announce, SimTime now);
+
+  const ConfedInstance* inst_;
+  ConfedProtocol protocol_;
+  DelayFn delay_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<NodeState> nodes_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> session_last_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t updates_sent_ = 0;
+  std::size_t best_flips_ = 0;
+  std::vector<std::size_t> flips_by_node_;
+};
+
+/// The RFC 3345 Section 2.2-shaped oscillator: the Fig 1(a) scenario with
+/// clusters replaced by member sub-ASes (border routers in place of route
+/// reflectors).  Oscillates under the standard confederation protocol; the
+/// Choose^B advertisement empirically settles it.
+ConfedInstance rfc3345_confederation();
+
+/// Random confederation ensembles (mirrors topo::random_instance): a chain
+/// of member sub-ASes with 1-3 routers each, random border sessions between
+/// adjacent (and occasionally non-adjacent) sub-AS pairs, random IGP costs,
+/// and random exits/MEDs.  Used to probe, empirically, whether the Choose^B
+/// advertisement ever fails to settle a confederation — a question the
+/// paper's proofs do NOT answer (they cover route reflection only).
+struct RandomConfedConfig {
+  std::size_t sub_ases = 3;
+  std::size_t min_routers = 1;
+  std::size_t max_routers = 3;
+  std::size_t neighbor_ases = 2;
+  std::size_t exits = 4;
+  Med max_med = 3;
+  Cost max_link_cost = 10;
+  Cost max_exit_cost = 4;
+  /// Probability of an extra border session between a non-adjacent sub-AS
+  /// pair (adjacent pairs in the chain always get one).
+  double extra_border_prob = 0.3;
+  bgp::SelectionPolicy policy = {};
+};
+ConfedInstance random_confederation(const RandomConfedConfig& config, std::uint64_t seed);
+
+}  // namespace ibgp::confed

@@ -1,0 +1,82 @@
+#pragma once
+// BGP confederations (RFC 3065 / RFC 5065): the OTHER mechanism for scaling
+// I-BGP past the full mesh — and the other mechanism for which RFC 3345
+// reports persistent MED oscillations.  The paper's positive results cover
+// route reflection only (Section 1); this module reproduces the
+// confederation side of the problem statement and empirically extends the
+// paper's fix to it (Experiment E11).
+//
+// Model: AS0 is partitioned into member sub-ASes.  Routers inside one
+// sub-AS run classic fully-meshed I-BGP; designated border-router pairs run
+// confed-E-BGP sessions between sub-ASes.  Within the confederation,
+// LOCAL-PREF, MED and the IGP metric to the exit point are all preserved —
+// which is exactly what re-creates the Fig 1(a)-style hide/reveal toggles:
+// a border router announces only its current best route into the next
+// sub-AS, just as a route reflector announces only its best into the mesh.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/exit_table.hpp"
+#include "bgp/selection.hpp"
+#include "netsim/physical_graph.hpp"
+#include "netsim/shortest_paths.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::confed {
+
+using SubAsId = std::uint32_t;
+
+/// A confederation instance: physical substrate, the member-sub-AS
+/// partition, explicit confed-E-BGP border sessions, and the exit paths.
+class ConfedInstance {
+ public:
+  /// `sub_as_of[v]` assigns every node to a member sub-AS (dense ids from
+  /// 0).  `borders` lists confed-E-BGP sessions; both ends must be in
+  /// different sub-ASes.  Intra-sub-AS I-BGP is an implicit full mesh.
+  ConfedInstance(std::string name, netsim::PhysicalGraph physical,
+                 std::vector<SubAsId> sub_as_of,
+                 std::vector<std::pair<NodeId, NodeId>> borders, bgp::ExitTable exits,
+                 bgp::SelectionPolicy policy = {},
+                 std::vector<std::string> node_names = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t node_count() const { return physical_.node_count(); }
+  [[nodiscard]] const netsim::PhysicalGraph& physical() const { return physical_; }
+  [[nodiscard]] const netsim::ShortestPaths& igp() const { return igp_; }
+  [[nodiscard]] const bgp::ExitTable& exits() const { return exits_; }
+  [[nodiscard]] const bgp::SelectionPolicy& policy() const { return policy_; }
+
+  [[nodiscard]] SubAsId sub_as_of(NodeId v) const { return sub_as_of_.at(v); }
+  [[nodiscard]] std::size_t sub_as_count() const { return sub_as_count_; }
+  [[nodiscard]] bool same_sub_as(NodeId u, NodeId v) const {
+    return sub_as_of(u) == sub_as_of(v);
+  }
+
+  /// All I-BGP / confed-E-BGP peers of v (mesh mates + border peers).
+  [[nodiscard]] std::span<const NodeId> peers(NodeId v) const { return peers_.at(v); }
+
+  /// True iff u—v is a confed-E-BGP (inter-sub-AS border) session.
+  [[nodiscard]] bool is_border_session(NodeId u, NodeId v) const;
+
+  [[nodiscard]] BgpId bgp_id(NodeId v) const { return v; }
+  [[nodiscard]] const std::string& node_name(NodeId v) const { return node_names_.at(v); }
+  [[nodiscard]] NodeId find_node(std::string_view label) const;
+
+ private:
+  std::string name_;
+  netsim::PhysicalGraph physical_;
+  std::vector<SubAsId> sub_as_of_;
+  std::size_t sub_as_count_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> borders_;  // normalized u < v
+  bgp::ExitTable exits_;
+  bgp::SelectionPolicy policy_;
+  std::vector<std::string> node_names_;
+  std::vector<std::vector<NodeId>> peers_;
+  netsim::ShortestPaths igp_;
+};
+
+}  // namespace ibgp::confed

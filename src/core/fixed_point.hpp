@@ -1,0 +1,51 @@
+#pragma once
+// Closed-form fixed point of the modified protocol (Section 7).
+//
+// Theorem (Lemmas 7.4/7.5 + the discussion after them): starting from a valid
+// configuration with announced exit set S, every fair activation sequence
+// drives the modified protocol to the SAME configuration:
+//
+//   S'              = Choose^B(S)                       (node-independent)
+//   GoodExits(u)    = S'                                (for every u)
+//   BestRoute(u)    = best_u(route(S', u))
+//
+// predict_fixed_point() computes this directly — no simulation.  The engines
+// then *verify* the theorem by checking that, under arbitrary fair schedules,
+// they terminate in exactly this configuration.  PossibleExits visibility and
+// learnedFrom attribution are derived by a small reachability closure over
+// the Transfer relation.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/selection.hpp"
+#include "core/instance.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::core {
+
+struct FixedPointPrediction {
+  /// S' = Choose^B over the announced exits: the paths everyone eventually
+  /// advertises, ascending ids.
+  std::vector<PathId> s_prime;
+
+  /// Predicted eventual PossibleExits per node (MyExits plus every S' member
+  /// that can reach the node through the Transfer relation), ascending ids.
+  std::vector<std::vector<PathId>> possible;
+
+  /// Predicted eventual best route per node (nullopt if the node can use no
+  /// path at all — e.g. unreachable exits).
+  std::vector<std::optional<bgp::RouteView>> best;
+};
+
+/// Computes the unique fixed point for the given announced exit set.
+/// `announced` lists the path ids currently injected via E-BGP (MyExits
+/// union); pass every id in the table for the default "all announced" state.
+FixedPointPrediction predict_fixed_point(const Instance& inst,
+                                         std::span<const PathId> announced);
+
+/// Convenience overload: all registered exit paths announced.
+FixedPointPrediction predict_fixed_point(const Instance& inst);
+
+}  // namespace ibgp::core

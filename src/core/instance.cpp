@@ -1,0 +1,67 @@
+#include "core/instance.hpp"
+
+#include <stdexcept>
+
+namespace ibgp::core {
+
+Instance::Instance(std::string name, netsim::PhysicalGraph physical,
+                   netsim::ClusterLayout clusters, netsim::SessionGraph sessions,
+                   bgp::ExitTable exits, bgp::SelectionPolicy policy,
+                   std::vector<BgpId> bgp_ids, std::vector<std::string> node_names)
+    : name_(std::move(name)),
+      physical_(std::move(physical)),
+      clusters_(std::move(clusters)),
+      sessions_(std::move(sessions)),
+      exits_(std::move(exits)),
+      policy_(policy),
+      bgp_ids_(std::move(bgp_ids)),
+      node_names_(std::move(node_names)) {
+  const auto report = netsim::validate(physical_, clusters_, sessions_);
+  if (!report.ok()) {
+    std::string message = "Instance '" + name_ + "' invalid:";
+    for (const auto& error : report.errors) message += "\n  - " + error;
+    throw std::invalid_argument(message);
+  }
+  warnings_ = report.warnings;
+
+  for (const auto& path : exits_.all()) {
+    if (path.exit_point >= physical_.node_count()) {
+      throw std::invalid_argument("Instance '" + name_ + "': exit path " + path.name +
+                                  " names non-existent node " +
+                                  std::to_string(path.exit_point));
+    }
+  }
+
+  if (bgp_ids_.empty()) {
+    bgp_ids_.resize(physical_.node_count());
+    for (NodeId v = 0; v < bgp_ids_.size(); ++v) bgp_ids_[v] = v;
+  } else if (bgp_ids_.size() != physical_.node_count()) {
+    throw std::invalid_argument("Instance '" + name_ + "': bgp_ids size mismatch");
+  }
+
+  if (node_names_.empty()) {
+    node_names_.reserve(physical_.node_count());
+    for (NodeId v = 0; v < physical_.node_count(); ++v) {
+      node_names_.push_back("n" + std::to_string(v));
+    }
+  } else if (node_names_.size() != physical_.node_count()) {
+    throw std::invalid_argument("Instance '" + name_ + "': node_names size mismatch");
+  }
+
+  igp_ = std::make_shared<const netsim::ShortestPaths>(physical_);
+}
+
+NodeId Instance::find_node(std::string_view label) const {
+  for (NodeId v = 0; v < node_names_.size(); ++v) {
+    if (node_names_[v] == label) return v;
+  }
+  return kNoNode;
+}
+
+Instance Instance::with_policy(bgp::SelectionPolicy policy) const {
+  Instance copy = *this;
+  copy.policy_ = policy;
+  return copy;
+}
+
+}  // namespace ibgp::core

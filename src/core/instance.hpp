@@ -1,0 +1,78 @@
+#pragma once
+// An Instance bundles everything static about one experiment: the physical
+// graph G_P, the cluster layout, the logical session graph G_I, the universe
+// of exit paths, per-node BGP identifiers and the selection policy.  It
+// corresponds to the tuple SR = (G_P, G_I, config(0)) of Section 5 minus the
+// mutable parts of config(t) (which exits are currently announced and each
+// node's PossibleExits/BestRoute live in the engines).
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/exit_table.hpp"
+#include "bgp/selection.hpp"
+#include "netsim/cluster_layout.hpp"
+#include "netsim/physical_graph.hpp"
+#include "netsim/session_graph.hpp"
+#include "netsim/shortest_paths.hpp"
+#include "netsim/validate.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::core {
+
+class Instance {
+ public:
+  /// Assembles and finalizes an instance.  Computes all-pairs shortest
+  /// paths, assigns default BGP identifiers (bgp_id(v) = v) when `bgp_ids`
+  /// is empty, and validates:
+  ///   - structural session constraints (netsim::validate),
+  ///   - every exit point names an existing node.
+  /// Throws std::invalid_argument on any validation error.
+  Instance(std::string name, netsim::PhysicalGraph physical, netsim::ClusterLayout clusters,
+           netsim::SessionGraph sessions, bgp::ExitTable exits,
+           bgp::SelectionPolicy policy = {}, std::vector<BgpId> bgp_ids = {},
+           std::vector<std::string> node_names = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t node_count() const { return physical_.node_count(); }
+
+  [[nodiscard]] const netsim::PhysicalGraph& physical() const { return physical_; }
+  [[nodiscard]] const netsim::ClusterLayout& clusters() const { return clusters_; }
+  [[nodiscard]] const netsim::SessionGraph& sessions() const { return sessions_; }
+  [[nodiscard]] const bgp::ExitTable& exits() const { return exits_; }
+  [[nodiscard]] const netsim::ShortestPaths& igp() const { return *igp_; }
+  [[nodiscard]] const bgp::SelectionPolicy& policy() const { return policy_; }
+
+  [[nodiscard]] BgpId bgp_id(NodeId v) const { return bgp_ids_.at(v); }
+
+  /// Human-readable node label ("RR1", "c2", ...); defaults to "n<v>".
+  [[nodiscard]] const std::string& node_name(NodeId v) const { return node_names_.at(v); }
+
+  /// Node id for a label, or kNoNode.
+  [[nodiscard]] NodeId find_node(std::string_view label) const;
+
+  /// Structural warnings gathered during validation (non-fatal).
+  [[nodiscard]] std::span<const std::string> warnings() const { return warnings_; }
+
+  /// Convenience: a copy of this instance with a different selection policy
+  /// (used by the rule-ordering experiments, e.g. Fig 1(b)).
+  [[nodiscard]] Instance with_policy(bgp::SelectionPolicy policy) const;
+
+ private:
+  std::string name_;
+  netsim::PhysicalGraph physical_;
+  netsim::ClusterLayout clusters_;
+  netsim::SessionGraph sessions_;
+  bgp::ExitTable exits_;
+  bgp::SelectionPolicy policy_;
+  std::vector<BgpId> bgp_ids_;
+  std::vector<std::string> node_names_;
+  std::vector<std::string> warnings_;
+  std::shared_ptr<const netsim::ShortestPaths> igp_;  // shared so copies are cheap
+};
+
+}  // namespace ibgp::core

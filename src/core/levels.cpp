@@ -1,0 +1,25 @@
+#include "core/levels.hpp"
+
+#include "core/transfer.hpp"
+
+namespace ibgp::core {
+
+int level_of(const Instance& inst, PathId p, NodeId u) {
+  const NodeId v = inst.exits()[p].exit_point;
+  if (u == v) return 0;
+  const auto& clusters = inst.clusters();
+  const bool same = clusters.same_cluster(u, v);
+  if (same) return clusters.is_reflector(u) ? 1 : 2;
+  return clusters.is_reflector(u) ? 2 : 3;
+}
+
+NodeId lower_level_supplier(const Instance& inst, PathId p, NodeId u) {
+  const int h = level_of(inst, p, u);
+  if (h == 0) return kNoNode;
+  for (const NodeId w : inst.sessions().peers(u)) {
+    if (level_of(inst, p, w) < h && transfer_allowed(inst, w, u, p)) return w;
+  }
+  return kNoNode;
+}
+
+}  // namespace ibgp::core

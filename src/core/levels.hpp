@@ -1,0 +1,32 @@
+#pragma once
+// The level function of Section 7 (Fig 11): the distance, in Transfer hops,
+// of a node u from the exit point v of a path p.
+//
+//   level_p(u) = 0  if u = v,
+//   level_p(u) = 1  if u is another reflector of v's cluster,
+//   level_p(u) = 2  if u is another client of v's cluster,
+//   level_p(u) = 2  if u is a reflector of another cluster,
+//   level_p(u) = 3  if u is a client of another cluster.
+//
+// The convergence proof rests on two monotonicity facts tested against the
+// implementation:
+//   Lemma 7.1: Transfer never carries p from a node of level >= h to a node
+//              of level  h (information flows strictly up-level);
+//   Lemma 7.3: every node of level h > 0 has a session neighbor of strictly
+//              smaller level allowed to transfer p to it.
+
+#include "core/instance.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::core {
+
+/// level_p(u); p must be a valid path id and u a valid node.
+int level_of(const Instance& inst, PathId p, NodeId u);
+
+/// Lemma 7.3, constructively: a session neighbor w of u with
+/// level_p(w) < level_p(u) and transfer_allowed(w, u, p), or kNoNode if
+/// level_p(u) == 0.  For a structurally valid instance this never fails for
+/// levels > 0; it is exposed so tests can assert exactly that.
+NodeId lower_level_supplier(const Instance& inst, PathId p, NodeId u);
+
+}  // namespace ibgp::core

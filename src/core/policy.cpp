@@ -1,0 +1,88 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ibgp::core {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kStandard: return "standard";
+    case ProtocolKind::kWalton: return "walton";
+    case ProtocolKind::kModified: return "modified";
+  }
+  return "?";
+}
+
+std::vector<PathId> walton_advertised(const Instance& inst, NodeId node,
+                                      std::span<const bgp::Candidate> possible) {
+  const auto& table = inst.exits();
+  const auto overall = bgp::choose_best(table, inst.igp(), node, possible, inst.policy());
+  if (!overall) return {};
+  const LocalPref best_lp = table[overall->path].local_pref;
+  const std::uint32_t best_len = table[overall->path].as_path_length;
+
+  // Partition candidates by neighboring AS; the vector preserves the
+  // learnedFrom attribution needed by the per-AS selection.
+  std::map<AsId, std::vector<bgp::Candidate>> by_as;
+  for (const auto& candidate : possible) {
+    by_as[table[candidate.path].next_as].push_back(candidate);
+  }
+
+  std::vector<PathId> advertised;
+  for (const auto& [as, group] : by_as) {
+    const auto group_best = bgp::choose_best(table, inst.igp(), node, group, inst.policy());
+    if (!group_best) continue;
+    // Only announced when it matches the overall best's LOCAL-PREF and
+    // AS-path length (Section 8, "Brief Overview of the Walton et al.
+    // Solution").
+    const auto& path = table[group_best->path];
+    if (path.local_pref == best_lp && path.as_path_length == best_len) {
+      advertised.push_back(group_best->path);
+    }
+  }
+  std::sort(advertised.begin(), advertised.end());
+  advertised.erase(std::unique(advertised.begin(), advertised.end()), advertised.end());
+  return advertised;
+}
+
+NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
+                    std::span<const bgp::Candidate> possible) {
+  NodeDecision decision;
+  const auto& table = inst.exits();
+
+  switch (kind) {
+    case ProtocolKind::kStandard: {
+      decision.best = bgp::choose_best(table, inst.igp(), node, possible, inst.policy());
+      if (decision.best) decision.advertised.push_back(decision.best->path);
+      break;
+    }
+    case ProtocolKind::kWalton: {
+      decision.best = bgp::choose_best(table, inst.igp(), node, possible, inst.policy());
+      decision.advertised = walton_advertised(inst, node, possible);
+      break;
+    }
+    case ProtocolKind::kModified: {
+      // GoodExits = Choose^B(PossibleExits): rules 1-3 over bare paths.
+      std::vector<PathId> ids;
+      ids.reserve(possible.size());
+      for (const auto& candidate : possible) ids.push_back(candidate.path);
+      decision.advertised = bgp::choose_survivors(table, ids, inst.policy().med);
+
+      // BestRoute is chosen from GoodExits (Section 6), so restrict the
+      // candidate set to the survivors while keeping learnedFrom intact.
+      std::vector<bgp::Candidate> good;
+      for (const auto& candidate : possible) {
+        if (std::binary_search(decision.advertised.begin(), decision.advertised.end(),
+                               candidate.path)) {
+          good.push_back(candidate);
+        }
+      }
+      decision.best = bgp::choose_best(table, inst.igp(), node, good, inst.policy());
+      break;
+    }
+  }
+  return decision;
+}
+
+}  // namespace ibgp::core

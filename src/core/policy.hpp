@@ -1,0 +1,55 @@
+#pragma once
+// Advertisement policies: what a router announces to its I-BGP peers
+// (before the per-peer Transfer filtering).
+//
+//  - kStandard: classic I-BGP — the single best route (Section 2).
+//  - kWalton:   the Walton et al. proposal (Section 8) — for each neighboring
+//               AS, the best route through that AS, provided it matches the
+//               overall best route's LOCAL-PREF and AS-path length.
+//  - kModified: the paper's protocol (Section 6) — GoodExits =
+//               Choose^B(PossibleExits), i.e. every path surviving selection
+//               rules 1-3.  The best route is then chosen from GoodExits.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/selection.hpp"
+#include "core/instance.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::core {
+
+enum class ProtocolKind {
+  kStandard,
+  kWalton,
+  kModified,
+};
+
+/// Display name ("standard", "walton", "modified").
+const char* protocol_name(ProtocolKind kind);
+
+/// Everything a node derives from its current PossibleExits in one step.
+struct NodeDecision {
+  /// The set the node offers to peers (Transfer still filters per peer);
+  /// ascending path ids.
+  std::vector<PathId> advertised;
+  /// The node's best route, if any candidate is usable.
+  std::optional<bgp::RouteView> best;
+};
+
+/// Computes best route + advertised set for `node` under `kind`.
+///
+/// `possible` is PossibleExits(node) with the learnedFrom attribution the
+/// engine tracked for each path.  For kModified the best route is chosen
+/// from GoodExits, exactly as Section 6 prescribes.
+NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
+                    std::span<const bgp::Candidate> possible);
+
+/// The Walton advertised set in isolation (exposed for tests): best route
+/// per neighboring AS among `possible`, filtered to those matching the
+/// overall best's LOCAL-PREF and AS-path length.
+std::vector<PathId> walton_advertised(const Instance& inst, NodeId node,
+                                      std::span<const bgp::Candidate> possible);
+
+}  // namespace ibgp::core

@@ -1,0 +1,44 @@
+#include "core/transfer.hpp"
+
+#include <algorithm>
+
+namespace ibgp::core {
+
+bool transfer_allowed(const Instance& inst, NodeId v, NodeId u, PathId p) {
+  if (v == u) return false;
+  if (!inst.sessions().has_session(v, u)) return false;
+
+  const auto& clusters = inst.clusters();
+  const NodeId exit_point = inst.exits()[p].exit_point;
+
+  // Condition 1: v learned p via E-BGP.
+  if (exit_point == v) return true;
+
+  // Condition 2: reflector-to-reflector across clusters, client-learned path.
+  if (clusters.is_reflector(v) && clusters.is_reflector(u) &&
+      !clusters.same_cluster(v, u) && clusters.is_client(exit_point) &&
+      clusters.same_cluster(v, exit_point)) {
+    return true;
+  }
+
+  // Condition 3: reflector to own client, not the client's own exit.
+  if (clusters.is_reflector(v) && clusters.is_client(u) && clusters.same_cluster(v, u) &&
+      exit_point != u) {
+    return true;
+  }
+
+  return false;
+}
+
+std::vector<PathId> transfer_set(const Instance& inst, NodeId v, NodeId u,
+                                 std::span<const PathId> advertised) {
+  std::vector<PathId> out;
+  for (const PathId p : advertised) {
+    if (transfer_allowed(inst, v, u, p)) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ibgp::core

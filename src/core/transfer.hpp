@@ -1,0 +1,37 @@
+#pragma once
+// The Transfer relation of Section 4 ("Modeling Communication").
+//
+// Transfer_{v->u}(P) selects which exit paths p in an advertised set P the
+// router v may announce to its I-BGP peer u.  p is transferred iff vu is a
+// session edge and one of:
+//   (1) exitPoint(p) = v                 — v learned p itself via E-BGP;
+//   (2) v in R_i, u in R_j, i != j, and exitPoint(p) in N_i
+//                                        — a reflector relays its *clients'*
+//                                          exits to reflectors of other
+//                                          clusters;
+//   (3) v in R_i, u in N_i, exitPoint(p) != u
+//                                        — a reflector relays everything to
+//                                          its clients, except a client's own
+//                                          exits back to that client.
+//
+// The relation is deliberately memoryless (it depends on where p *exits*,
+// not on which session v heard it over); the event-driven engine implements
+// the operational learned-from-based rules for comparison.
+
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::core {
+
+/// True iff v may announce exit path p to u (all three-condition logic plus
+/// the session-edge requirement).
+bool transfer_allowed(const Instance& inst, NodeId v, NodeId u, PathId p);
+
+/// Transfer_{v->u}(P): the announceable subset of `advertised`, ascending.
+std::vector<PathId> transfer_set(const Instance& inst, NodeId v, NodeId u,
+                                 std::span<const PathId> advertised);
+
+}  // namespace ibgp::core

@@ -1,0 +1,164 @@
+#include "engine/activation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ibgp::engine {
+
+namespace {
+
+class RoundRobin final : public ActivationSequence {
+ public:
+  explicit RoundRobin(std::size_t n) : n_(n) {
+    if (n == 0) throw std::invalid_argument("RoundRobin: empty node set");
+  }
+  ActivationSet next() override {
+    const NodeId v = static_cast<NodeId>(cursor_);
+    cursor_ = (cursor_ + 1) % n_;
+    return {v};
+  }
+  [[nodiscard]] std::size_t period() const override { return n_; }
+  [[nodiscard]] std::string describe() const override { return "round-robin"; }
+
+ private:
+  std::size_t n_;
+  std::size_t cursor_ = 0;
+};
+
+class FullSet final : public ActivationSequence {
+ public:
+  explicit FullSet(std::size_t n) : n_(n) {
+    if (n == 0) throw std::invalid_argument("FullSet: empty node set");
+  }
+  ActivationSet next() override {
+    ActivationSet all(n_);
+    std::iota(all.begin(), all.end(), NodeId{0});
+    return all;
+  }
+  [[nodiscard]] std::size_t period() const override { return 1; }
+  [[nodiscard]] std::string describe() const override { return "full-set (synchronous)"; }
+
+ private:
+  std::size_t n_;
+};
+
+class RandomFair final : public ActivationSequence {
+ public:
+  RandomFair(std::size_t n, std::uint64_t seed) : n_(n), rng_(seed), order_(n) {
+    if (n == 0) throw std::invalid_argument("RandomFair: empty node set");
+    std::iota(order_.begin(), order_.end(), NodeId{0});
+    reshuffle();
+  }
+  ActivationSet next() override {
+    if (cursor_ == n_) {
+      reshuffle();
+      cursor_ = 0;
+    }
+    return {order_[cursor_++]};
+  }
+  // Two partial rounds can separate consecutive activations of a node, so
+  // the fairness window is 2n-1; use 2n as a safe bound.
+  [[nodiscard]] std::size_t period() const override { return 2 * n_; }
+  [[nodiscard]] std::string describe() const override { return "random-fair permutations"; }
+
+ private:
+  void reshuffle() { rng_.shuffle(std::span<NodeId>(order_)); }
+
+  std::size_t n_;
+  util::Xoshiro256 rng_;
+  std::vector<NodeId> order_;
+  std::size_t cursor_ = 0;
+};
+
+class RandomSubsets final : public ActivationSequence {
+ public:
+  RandomSubsets(std::size_t n, std::uint64_t seed, std::size_t window)
+      : n_(n), window_(window == 0 ? 2 * n : window), rng_(seed), last_seen_(n, 0) {
+    if (n == 0) throw std::invalid_argument("RandomSubsets: empty node set");
+  }
+  ActivationSet next() override {
+    ++clock_;
+    ActivationSet set;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (rng_.chance(0.5)) set.push_back(v);
+    }
+    // Fairness patch: force-in any node starved for a full window, and never
+    // emit an empty set.
+    for (NodeId v = 0; v < n_; ++v) {
+      if (clock_ - last_seen_[v] >= window_ &&
+          !std::binary_search(set.begin(), set.end(), v)) {
+        set.push_back(v);
+      }
+    }
+    if (set.empty()) set.push_back(static_cast<NodeId>(rng_.below(n_)));
+    std::sort(set.begin(), set.end());
+    for (const NodeId v : set) last_seen_[v] = clock_;
+    return set;
+  }
+  [[nodiscard]] std::size_t period() const override { return window_ + 1; }
+  [[nodiscard]] std::string describe() const override { return "random fair subsets"; }
+
+ private:
+  std::size_t n_;
+  std::size_t window_;
+  util::Xoshiro256 rng_;
+  std::vector<std::size_t> last_seen_;
+  std::size_t clock_ = 0;
+};
+
+class Scripted final : public ActivationSequence {
+ public:
+  Scripted(std::size_t n, std::vector<ActivationSet> prefix)
+      : n_(n), prefix_(std::move(prefix)), tail_(n) {
+    for (auto& set : prefix_) {
+      if (set.empty()) throw std::invalid_argument("Scripted: empty activation set");
+      std::sort(set.begin(), set.end());
+      for (const NodeId v : set) {
+        if (v >= n) throw std::invalid_argument("Scripted: node out of range");
+      }
+    }
+  }
+  ActivationSet next() override {
+    if (cursor_ < prefix_.size()) return prefix_[cursor_++];
+    return tail_.next();
+  }
+  [[nodiscard]] std::size_t period() const override { return prefix_.size() + n_; }
+  [[nodiscard]] std::string describe() const override {
+    return "scripted prefix (" + std::to_string(prefix_.size()) + " steps) + round-robin";
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<ActivationSet> prefix_;
+  std::size_t cursor_ = 0;
+  RoundRobin tail_;
+};
+
+}  // namespace
+
+std::unique_ptr<ActivationSequence> make_round_robin(std::size_t node_count) {
+  return std::make_unique<RoundRobin>(node_count);
+}
+
+std::unique_ptr<ActivationSequence> make_full_set(std::size_t node_count) {
+  return std::make_unique<FullSet>(node_count);
+}
+
+std::unique_ptr<ActivationSequence> make_random_fair(std::size_t node_count,
+                                                     std::uint64_t seed) {
+  return std::make_unique<RandomFair>(node_count, seed);
+}
+
+std::unique_ptr<ActivationSequence> make_random_subsets(std::size_t node_count,
+                                                        std::uint64_t seed,
+                                                        std::size_t window) {
+  return std::make_unique<RandomSubsets>(node_count, seed, window);
+}
+
+std::unique_ptr<ActivationSequence> make_scripted(std::size_t node_count,
+                                                  std::vector<ActivationSet> prefix) {
+  return std::make_unique<Scripted>(node_count, std::move(prefix));
+}
+
+}  // namespace ibgp::engine

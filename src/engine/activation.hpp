@@ -1,0 +1,69 @@
+#pragma once
+// Fair activation sequences (Section 4).
+//
+// A fair activation sequence is an infinite sequence of non-empty activation
+// sets in which every node occurs infinitely often.  Generators produce the
+// sequence lazily; all of them are fair by construction (each emits every
+// node at least once within a bounded window, the generator's `period`).
+//
+//  - RoundRobin:    {0}, {1}, ..., {n-1}, {0}, ...      (sequential)
+//  - FullSet:       {0..n-1}, {0..n-1}, ...             (synchronous)
+//  - RandomFair:    a fresh uniformly random permutation of V each round,
+//                   emitted as singletons (schedule-randomization used by the
+//                   determinism experiments)
+//  - RandomSubsets: random non-empty subsets, patched every `period` steps to
+//                   include any node starved during the window (fairness)
+//  - Scripted:      an explicit finite prefix, then round-robin (used to
+//                   replay the paper's narrated update orders)
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::engine {
+
+using ActivationSet = std::vector<NodeId>;  // ascending node ids, non-empty
+
+/// Abstract lazy generator of a fair activation sequence.
+class ActivationSequence {
+ public:
+  virtual ~ActivationSequence() = default;
+
+  /// The next activation set.  Never empty.
+  virtual ActivationSet next() = 0;
+
+  /// An upper bound on the number of steps within which every node is
+  /// guaranteed to have been activated at least once, measured from any
+  /// point in the sequence.  Drives convergence detection: a configuration
+  /// unchanged for a full period is a fixed point.
+  [[nodiscard]] virtual std::size_t period() const = 0;
+
+  /// Human-readable description for reports.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// {0}, {1}, ..., {n-1}, repeat.
+std::unique_ptr<ActivationSequence> make_round_robin(std::size_t node_count);
+
+/// {V}, {V}, ... — the fully synchronous schedule.
+std::unique_ptr<ActivationSequence> make_full_set(std::size_t node_count);
+
+/// Singletons from a fresh random permutation each round.
+std::unique_ptr<ActivationSequence> make_random_fair(std::size_t node_count,
+                                                     std::uint64_t seed);
+
+/// Random non-empty subsets with starvation patching every `window` steps.
+std::unique_ptr<ActivationSequence> make_random_subsets(std::size_t node_count,
+                                                        std::uint64_t seed,
+                                                        std::size_t window = 0);
+
+/// Plays `prefix` verbatim, then falls back to round-robin.  Empty sets in
+/// the prefix are rejected.
+std::unique_ptr<ActivationSequence> make_scripted(std::size_t node_count,
+                                                  std::vector<ActivationSet> prefix);
+
+}  // namespace ibgp::engine

@@ -1,0 +1,82 @@
+#include "engine/adaptive.hpp"
+
+#include <algorithm>
+
+#include "core/policy.hpp"
+
+namespace ibgp::engine {
+
+AdaptiveResult run_adaptive(const core::Instance& inst, ActivationSequence& sequence,
+                            const AdaptiveOptions& options) {
+  AdaptiveResult result;
+  SyncEngine engine(inst, core::ProtocolKind::kStandard);
+
+  const std::size_t period = std::max<std::size_t>(1, sequence.period());
+  const std::size_t window = options.window == 0 ? 4 * period : options.window;
+
+  std::vector<std::size_t> flips_at_window_start(inst.node_count(), 0);
+  std::vector<bool> upgraded(inst.node_count(), false);
+  std::size_t stale_windows = 0;  // churning windows without new upgrades
+  std::size_t quiet_run = 0;
+
+  while (engine.steps() < options.max_steps) {
+    // One window of activations, tracking quiescence.
+    bool changed_in_window = false;
+    for (std::size_t i = 0; i < window && engine.steps() < options.max_steps; ++i) {
+      if (engine.step(sequence.next())) {
+        changed_in_window = true;
+        quiet_run = 0;
+      } else if (++quiet_run >= period) {
+        result.converged = true;
+        break;
+      }
+    }
+    if (result.converged) break;
+
+    if (!changed_in_window) {
+      result.converged = true;
+      break;
+    }
+
+    // Detect flapping nodes and upgrade them.
+    bool any_upgrade = false;
+    const auto flips = engine.best_flips_by_node();
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      const std::size_t in_window = flips[v] - flips_at_window_start[v];
+      flips_at_window_start[v] = flips[v];
+      if (!upgraded[v] && in_window >= options.flap_threshold) {
+        upgraded[v] = true;
+        any_upgrade = true;
+        engine.set_node_protocol(v, core::ProtocolKind::kModified);
+        result.upgraded.push_back(v);
+        result.upgrade_step.push_back(engine.steps());
+      }
+    }
+
+    if (any_upgrade) {
+      stale_windows = 0;
+    } else if (++stale_windows >= options.escalation_rounds) {
+      // Global fallback: upgrade everyone (guaranteed convergence, §7).
+      result.escalated_all = true;
+      for (NodeId v = 0; v < inst.node_count(); ++v) {
+        if (!upgraded[v]) {
+          upgraded[v] = true;
+          engine.set_node_protocol(v, core::ProtocolKind::kModified);
+          result.upgraded.push_back(v);
+          result.upgrade_step.push_back(engine.steps());
+        }
+      }
+      stale_windows = 0;
+    }
+  }
+
+  result.steps = engine.steps();
+  result.best_flips = engine.best_flips();
+  result.final_best.reserve(inst.node_count());
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    result.final_best.push_back(engine.best_path(v));
+  }
+  return result;
+}
+
+}  // namespace ibgp::engine

@@ -1,0 +1,66 @@
+#pragma once
+// Oscillation-triggered deployment of the modified protocol — the Section 10
+// future-work idea, made concrete:
+//
+//   "it is possible to treat the propagation of extra routes as a feature
+//    that is only triggered when route oscillations are detected for some
+//    destination prefix."
+//
+// Every node starts on STANDARD I-BGP.  A controller watches per-node
+// best-route flap counts over a sliding window of activation steps; a node
+// whose flaps exceed the threshold is upgraded to the MODIFIED protocol
+// (it starts advertising its MED-survivor set).  If the system is still
+// churning after `escalation_rounds` windows with no new upgrades, every
+// node is upgraded — which by the Section 7 theorem forces convergence, so
+// the controller always terminates on oscillation-free outcomes.
+//
+// The interesting measurements (bench_adaptive): how FEW nodes need the
+// upgrade in practice, and how the detection threshold trades flap damage
+// against deployed add-paths state.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "engine/activation.hpp"
+#include "engine/sync_engine.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::engine {
+
+struct AdaptiveOptions {
+  /// Sliding-window length in activation steps (default: 4 fairness periods,
+  /// set by run_adaptive when 0).
+  std::size_t window = 0;
+
+  /// Flap count within one window that marks a node as oscillating.
+  std::size_t flap_threshold = 3;
+
+  /// After this many consecutive windows with churn but no new upgrades,
+  /// upgrade every node (the global fallback that guarantees termination).
+  std::size_t escalation_rounds = 6;
+
+  /// Hard cap on activation steps.
+  std::size_t max_steps = 200000;
+};
+
+struct AdaptiveResult {
+  bool converged = false;
+  std::size_t steps = 0;
+  /// Nodes running the modified protocol at the end.
+  std::vector<NodeId> upgraded;
+  /// Step at which each upgrade happened (parallel to `upgraded`).
+  std::vector<std::size_t> upgrade_step;
+  /// True when the global fallback fired.
+  bool escalated_all = false;
+  /// Total best-route flaps observed before quiescence.
+  std::size_t best_flips = 0;
+  /// Final best route per node.
+  std::vector<PathId> final_best;
+};
+
+/// Runs the adaptive deployment on `inst` under `sequence`.
+AdaptiveResult run_adaptive(const core::Instance& inst, ActivationSequence& sequence,
+                            const AdaptiveOptions& options = {});
+
+}  // namespace ibgp::engine

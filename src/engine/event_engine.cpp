@@ -1,0 +1,254 @@
+#include "engine/event_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ibgp::engine {
+
+EventEngine::EventEngine(const core::Instance& inst, core::ProtocolKind protocol,
+                         DelayFn delay)
+    : inst_(&inst),
+      protocol_(protocol),
+      delay_(delay ? std::move(delay)
+                   : [](NodeId, NodeId, std::uint64_t) -> SimTime { return 1; }),
+      nodes_(inst.node_count()),
+      session_last_delivery_(inst.node_count() * inst.node_count(), 0),
+      flips_by_node_(inst.node_count(), 0) {
+  const std::size_t paths = inst.exits().size();
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const std::size_t peer_count = inst.sessions().peers(v).size();
+    nodes_[v].holders.resize(paths);
+    nodes_[v].own.assign(paths, false);
+    nodes_[v].advertised_out.resize(peer_count);
+    nodes_[v].desired_out.resize(peer_count);
+    nodes_[v].mrai_ready.assign(peer_count, 0);
+    nodes_[v].flush_scheduled.assign(peer_count, false);
+  }
+}
+
+void EventEngine::inject_exit(PathId p, SimTime when) {
+  Event event;
+  event.time = when;
+  event.seq = next_seq_++;
+  event.kind = EventKind::kEbgpAnnounce;
+  event.to = inst_->exits()[p].exit_point;
+  event.path = p;
+  queue_.push(event);
+}
+
+void EventEngine::inject_all_exits(SimTime when) {
+  for (PathId p = 0; p < inst_->exits().size(); ++p) inject_exit(p, when);
+}
+
+void EventEngine::withdraw_exit(PathId p, SimTime when) {
+  Event event;
+  event.time = when;
+  event.seq = next_seq_++;
+  event.kind = EventKind::kEbgpWithdraw;
+  event.to = inst_->exits()[p].exit_point;
+  event.path = p;
+  queue_.push(event);
+}
+
+std::size_t EventEngine::peer_index(NodeId u, NodeId peer) const {
+  const auto peers = inst_->sessions().peers(u);
+  const auto it = std::lower_bound(peers.begin(), peers.end(), peer);
+  if (it == peers.end() || *it != peer) {
+    throw std::logic_error("EventEngine: not a session peer");
+  }
+  return static_cast<std::size_t>(it - peers.begin());
+}
+
+NodeId EventEngine::attributed_source(NodeId u, PathId p) const {
+  const auto& holders = nodes_[u].holders[p];
+  NodeId best = kNoNode;
+  BgpId best_id = std::numeric_limits<BgpId>::max();
+  for (const NodeId v : holders) {
+    if (inst_->bgp_id(v) < best_id) {
+      best_id = inst_->bgp_id(v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool EventEngine::may_send(NodeId u, NodeId peer, PathId p) const {
+  const auto& clusters = inst_->clusters();
+  const NodeId exit_point = inst_->exits()[p].exit_point;
+
+  if (exit_point == u) return true;  // own E-BGP route: to every peer
+
+  // A path is never announced back to its exit point (it already holds the
+  // E-BGP original; mirrors ORIGINATOR_ID suppression).
+  if (exit_point == peer) return false;
+
+  if (clusters.is_client(u)) return false;  // clients never forward I-BGP routes
+
+  // CLUSTER_LIST loop prevention (RFC 1966): a route exiting inside this
+  // cluster must not bounce between the cluster's reflectors — every one of
+  // them hears it from the exit point directly (constraint 2 of Section 4).
+  // Without this, two same-cluster reflectors endlessly re-attribute each
+  // other's reflections and the protocol livelocks.
+  if (clusters.is_reflector(peer) && clusters.same_cluster(u, peer) &&
+      clusters.same_cluster(exit_point, u)) {
+    return false;
+  }
+
+  const NodeId src = attributed_source(u, p);
+  if (src == kNoNode) return false;  // nothing to forward
+  if (src == peer) return false;     // never echo to the originator session
+
+  const bool src_is_my_client =
+      clusters.is_client(src) && clusters.same_cluster(src, u);
+  if (src_is_my_client) return true;  // reflect to all peers except originator
+
+  // Learned from a non-client: reflect to own clients only.
+  return clusters.is_client(peer) && clusters.same_cluster(peer, u);
+}
+
+void EventEngine::enqueue_update(NodeId from, NodeId to, PathId path, bool announce,
+                                 SimTime now) {
+  Event event;
+  event.kind = EventKind::kUpdate;
+  event.from = from;
+  event.to = to;
+  event.path = path;
+  event.announce = announce;
+  event.seq = next_seq_++;
+  const SimTime requested = now + delay_(from, to, session_msg_seq_++);
+  // FIFO per directed session: never deliver before an earlier message on
+  // the same session.
+  SimTime& last = session_last_delivery_[static_cast<std::size_t>(from) *
+                                             inst_->node_count() +
+                                         to];
+  event.time = std::max(requested, last);
+  last = event.time;
+  queue_.push(event);
+  ++updates_sent_;
+}
+
+void EventEngine::reconsider(NodeId u, SimTime now) {
+  NodeState& node = nodes_[u];
+
+  // Candidates: own injected exits plus everything some peer announced.
+  std::vector<bgp::Candidate> candidates;
+  for (PathId p = 0; p < inst_->exits().size(); ++p) {
+    if (node.own[p]) {
+      candidates.push_back({p, inst_->exits()[p].ebgp_peer});
+    } else if (!node.holders[p].empty()) {
+      BgpId lowest = std::numeric_limits<BgpId>::max();
+      for (const NodeId v : node.holders[p]) lowest = std::min(lowest, inst_->bgp_id(v));
+      candidates.push_back({p, lowest});
+    }
+  }
+
+  const auto decision = core::decide(*inst_, protocol_, u, candidates);
+
+  const PathId old_best = node.best ? node.best->path : kNoPath;
+  const PathId new_best = decision.best ? decision.best->path : kNoPath;
+  if (old_best != new_best) {
+    ++best_flips_;
+    ++flips_by_node_[u];
+    flap_log_.push_back({now, u, old_best, new_best});
+  }
+  node.best = decision.best;
+
+  // Per-peer target sets; UPDATE diffs flow immediately, or — with an MRAI
+  // configured — as batched net diffs at the next permitted send time.
+  const auto peers = inst_->sessions().peers(u);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const NodeId peer = peers[i];
+    std::vector<PathId> target;
+    for (const PathId p : decision.advertised) {
+      if (may_send(u, peer, p)) target.push_back(p);
+    }
+    node.desired_out[i] = std::move(target);
+    sync_peer(u, i, now);
+  }
+}
+
+void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
+  NodeState& node = nodes_[u];
+  const NodeId peer = inst_->sessions().peers(u)[peer_index];
+  if (mrai_ > 0 && now < node.mrai_ready[peer_index]) {
+    // Inside the hold-down window: batch the change into one deferred flush.
+    if (!node.flush_scheduled[peer_index]) {
+      node.flush_scheduled[peer_index] = true;
+      Event event;
+      event.kind = EventKind::kMraiFlush;
+      event.from = u;
+      event.to = peer;
+      event.time = node.mrai_ready[peer_index];
+      event.seq = next_seq_++;
+      queue_.push(event);
+    }
+    return;
+  }
+
+  const std::vector<PathId>& target = node.desired_out[peer_index];
+  std::vector<PathId>& current = node.advertised_out[peer_index];
+  bool sent = false;
+  for (const PathId p : current) {
+    if (!std::binary_search(target.begin(), target.end(), p)) {
+      enqueue_update(u, peer, p, /*announce=*/false, now);
+      sent = true;
+    }
+  }
+  for (const PathId p : target) {
+    if (!std::binary_search(current.begin(), current.end(), p)) {
+      enqueue_update(u, peer, p, /*announce=*/true, now);
+      sent = true;
+    }
+  }
+  current = target;
+  if (sent && mrai_ > 0) node.mrai_ready[peer_index] = now + mrai_;
+}
+
+EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
+  Result result;
+  while (!queue_.empty() && result.deliveries < max_deliveries) {
+    const Event event = queue_.top();
+    queue_.pop();
+    ++result.deliveries;
+    result.end_time = event.time;
+
+    switch (event.kind) {
+      case EventKind::kEbgpAnnounce:
+        nodes_[event.to].own[event.path] = true;
+        reconsider(event.to, event.time);
+        break;
+      case EventKind::kEbgpWithdraw:
+        nodes_[event.to].own[event.path] = false;
+        reconsider(event.to, event.time);
+        break;
+      case EventKind::kUpdate: {
+        auto& holders = nodes_[event.to].holders[event.path];
+        const auto it = std::lower_bound(holders.begin(), holders.end(), event.from);
+        if (event.announce) {
+          if (it == holders.end() || *it != event.from) holders.insert(it, event.from);
+        } else {
+          if (it != holders.end() && *it == event.from) holders.erase(it);
+        }
+        reconsider(event.to, event.time);
+        break;
+      }
+      case EventKind::kMraiFlush: {
+        // event.from = the batching node, event.to = the peer.
+        const std::size_t peer_index = this->peer_index(event.from, event.to);
+        nodes_[event.from].flush_scheduled[peer_index] = false;
+        sync_peer(event.from, peer_index, event.time);
+        break;
+      }
+    }
+  }
+
+  result.converged = queue_.empty();
+  result.updates_sent = updates_sent_;
+  result.best_flips = best_flips_;
+  result.final_best.reserve(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) result.final_best.push_back(best_path(v));
+  return result;
+}
+
+}  // namespace ibgp::engine

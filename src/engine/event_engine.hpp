@@ -1,0 +1,167 @@
+#pragma once
+// Event-driven (message-passing) I-BGP simulator.
+//
+// Where the synchronous engine executes the paper's abstract config(t)
+// semantics, this engine models the *operational* protocol: per-session FIFO
+// UPDATE delivery with arbitrary per-message delays, Adj-RIB-In per peer,
+// and RFC-1966-style reflection rules keyed on the peer class a route was
+// learned from:
+//
+//   at a reflector:  own E-BGP route          -> all peers
+//                    learned from a client    -> all peers except originator
+//                    learned from a non-client-> own clients only
+//   at a client:     own E-BGP route          -> all peers
+//                    learned via I-BGP        -> nobody
+//
+// The advertised *content* is protocol-dependent (core::decide): the single
+// best route (standard), the per-AS best vector (Walton), or GoodExits (the
+// paper's modified protocol, which is essentially BGP add-paths for the
+// MED-survivor set).  Withdraws are path-addressed, matching the add-paths
+// abstraction; for the standard protocol this coincides with classic
+// single-route announce/implicit-withdraw behavior.
+//
+// Message delays are the paper's source of *transient* oscillation (Fig 3 /
+// Table 1): the same topology converges or flaps depending on the delay
+// script.  Delays come from a caller-provided function of (from, to, seq);
+// FIFO order per directed session is enforced regardless of the function.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "bgp/selection.hpp"
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::engine {
+
+using SimTime = std::uint64_t;
+
+class EventEngine {
+ public:
+  /// Delay (in ticks) of the seq-th message on the directed session
+  /// from->to.  Defaults to constant 1.
+  using DelayFn = std::function<SimTime(NodeId from, NodeId to, std::uint64_t seq)>;
+
+  EventEngine(const core::Instance& inst, core::ProtocolKind protocol,
+              DelayFn delay = {});
+
+  /// Enables a MinRouteAdvertisementInterval: after flushing UPDATEs to a
+  /// peer, further changes for that peer are batched and sent as one net
+  /// diff once `interval` ticks have passed.  Models the rate-limiting /
+  /// flap-dampening family of mitigations (Section 9 of the paper): they
+  /// slow persistent oscillations down but cannot remove them — which
+  /// bench_mrai measures.  Call before injecting events.
+  void set_mrai(SimTime interval) { mrai_ = interval; }
+
+  // --- scenario scripting ---------------------------------------------------
+
+  /// Schedules E-BGP injection of path p at its exit point at `when`.
+  void inject_exit(PathId p, SimTime when);
+
+  /// Injects every registered exit path at time `when`.
+  void inject_all_exits(SimTime when = 0);
+
+  /// Schedules an E-BGP withdrawal of path p at `when`.
+  void withdraw_exit(PathId p, SimTime when);
+
+  // --- execution --------------------------------------------------------------
+
+  struct Result {
+    bool converged = false;      ///< event queue drained
+    std::size_t deliveries = 0;  ///< events processed
+    std::size_t updates_sent = 0;  ///< announce+withdraw messages enqueued
+    SimTime end_time = 0;        ///< virtual time of the last processed event
+    std::size_t best_flips = 0;  ///< total best-route changes
+    std::vector<PathId> final_best;  ///< per node; kNoPath = no route
+  };
+
+  /// Processes events until the queue drains or `max_deliveries` is hit.
+  Result run(std::size_t max_deliveries = 1'000'000);
+
+  // --- inspection -------------------------------------------------------------
+
+  [[nodiscard]] PathId best_path(NodeId v) const {
+    return nodes_.at(v).best ? nodes_.at(v).best->path : kNoPath;
+  }
+  [[nodiscard]] const std::optional<bgp::RouteView>& best(NodeId v) const {
+    return nodes_.at(v).best;
+  }
+  [[nodiscard]] std::size_t updates_sent() const { return updates_sent_; }
+  [[nodiscard]] std::span<const std::size_t> flips_by_node() const { return flips_by_node_; }
+
+  /// One best-route change at a node, for flap traces (Table 1 reports).
+  struct FlapRecord {
+    SimTime time = 0;
+    NodeId node = kNoNode;
+    PathId old_best = kNoPath;
+    PathId new_best = kNoPath;
+  };
+  [[nodiscard]] std::span<const FlapRecord> flap_log() const { return flap_log_; }
+
+ private:
+  enum class EventKind : std::uint8_t { kEbgpAnnounce, kEbgpWithdraw, kUpdate, kMraiFlush };
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // global tie-break preserving enqueue order
+    EventKind kind = EventKind::kUpdate;
+    NodeId from = kNoNode;  // kUpdate only
+    NodeId to = kNoNode;
+    PathId path = kNoPath;
+    bool announce = true;  // kUpdate: announce vs withdraw
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct NodeState {
+    /// holders[p] = session peers currently announcing p to us, ascending.
+    std::vector<std::vector<NodeId>> holders;
+    /// Own E-BGP paths currently injected.
+    std::vector<bool> own;
+    std::optional<bgp::RouteView> best;
+    /// advertised_out[peer_index] = path set last sent to that peer.
+    std::vector<std::vector<PathId>> advertised_out;
+    /// MRAI state per peer: the latest desired set, the earliest next send
+    /// time, and whether a flush event is already scheduled.
+    std::vector<std::vector<PathId>> desired_out;
+    std::vector<SimTime> mrai_ready;
+    std::vector<bool> flush_scheduled;
+  };
+
+  void enqueue_update(NodeId from, NodeId to, PathId path, bool announce, SimTime now);
+  void reconsider(NodeId u, SimTime now);
+  /// Sends the net diff desired_out -> advertised_out for one peer (MRAI
+  /// permitting), or schedules the deferred flush.
+  void sync_peer(NodeId u, std::size_t peer_index, SimTime now);
+  [[nodiscard]] bool may_send(NodeId u, NodeId peer, PathId p) const;
+  [[nodiscard]] std::size_t peer_index(NodeId u, NodeId peer) const;
+  /// The peer whose copy of p node u has attributed (lowest BGP id holder),
+  /// or kNoNode for own paths / unseen paths.
+  [[nodiscard]] NodeId attributed_source(NodeId u, PathId p) const;
+
+  const core::Instance* inst_;
+  core::ProtocolKind protocol_;
+  DelayFn delay_;
+  SimTime mrai_ = 0;  // 0 = disabled
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<NodeState> nodes_;
+  std::vector<SimTime> session_last_delivery_;  // FIFO enforcement, per directed session
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t session_msg_seq_ = 0;
+  std::size_t updates_sent_ = 0;
+  std::size_t best_flips_ = 0;
+  std::vector<std::size_t> flips_by_node_;
+  std::vector<FlapRecord> flap_log_;
+};
+
+}  // namespace ibgp::engine

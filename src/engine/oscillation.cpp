@@ -1,0 +1,85 @@
+#include "engine/oscillation.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+
+namespace ibgp::engine {
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kConverged: return "converged";
+    case RunStatus::kCycleDetected: return "oscillates";
+    case RunStatus::kStepLimit: return "step-limit";
+  }
+  return "?";
+}
+
+RunOutcome run(SyncEngine& engine, ActivationSequence& sequence, const RunLimits& limits) {
+  RunOutcome outcome;
+  const std::size_t period = std::max<std::size_t>(1, sequence.period());
+
+  // (state hash, schedule phase) -> step index of first sighting.
+  std::unordered_map<std::uint64_t, std::size_t> seen;
+  std::size_t quiet_run = 0;   // consecutive no-change steps
+  std::size_t last_change = 0;
+
+  for (std::size_t step = 0; step < limits.max_steps; ++step) {
+    const ActivationSet sigma = sequence.next();
+    const bool changed = engine.step(sigma);
+    if (changed) {
+      quiet_run = 0;
+      last_change = engine.steps();
+    } else {
+      ++quiet_run;
+      if (quiet_run >= period) {
+        outcome.status = RunStatus::kConverged;
+        outcome.quiescent_since = last_change;
+        break;
+      }
+    }
+
+    if (limits.detect_cycles && changed) {
+      const std::uint64_t phase = engine.steps() % period;
+      const std::uint64_t key = util::hash_combine(engine.state_hash(), phase);
+      const auto [it, inserted] = seen.emplace(key, engine.steps());
+      if (!inserted) {
+        outcome.status = RunStatus::kCycleDetected;
+        outcome.cycle_length = engine.steps() - it->second;
+        break;
+      }
+    }
+  }
+
+  outcome.steps = engine.steps();
+  outcome.best_flips = engine.best_flips();
+  outcome.final_hash = engine.state_hash();
+  outcome.final_best.reserve(engine.instance().node_count());
+  for (NodeId v = 0; v < engine.instance().node_count(); ++v) {
+    outcome.final_best.push_back(engine.best_path(v));
+  }
+  return outcome;
+}
+
+RunOutcome run_protocol(const core::Instance& inst, core::ProtocolKind protocol,
+                        ActivationSequence& sequence, const RunLimits& limits) {
+  SyncEngine engine(inst, protocol);
+  return run(engine, sequence, limits);
+}
+
+std::string describe_best(const core::Instance& inst, const std::vector<PathId>& best) {
+  std::ostringstream oss;
+  for (NodeId v = 0; v < best.size(); ++v) {
+    if (v > 0) oss << ", ";
+    oss << inst.node_name(v) << "->";
+    if (best[v] == kNoPath) {
+      oss << "(none)";
+    } else {
+      oss << inst.exits()[best[v]].name;
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace ibgp::engine

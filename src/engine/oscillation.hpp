@@ -1,0 +1,80 @@
+#pragma once
+// Convergence / oscillation detection on top of the synchronous engine.
+//
+// Definitions (Section 4, "Convergence" and Section 5):
+//  - the system has CONVERGED under a schedule when a full fairness window
+//    passes with no state change (the configuration is a fixed point);
+//  - it OSCILLATES (persistently, under a deterministic schedule) when the
+//    global state recurs at the same schedule phase while changes are still
+//    happening — the run is then provably periodic and never converges.
+//
+// Cycle detection is sound only for deterministic generators (round-robin,
+// full-set, scripted); for randomized schedules use the step limit and treat
+// kStepLimit as "did not converge within budget".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/activation.hpp"
+#include "engine/sync_engine.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::engine {
+
+enum class RunStatus {
+  kConverged,      ///< fixed point reached
+  kCycleDetected,  ///< periodic non-converging orbit (persistent oscillation)
+  kStepLimit,      ///< budget exhausted without either verdict
+};
+
+const char* run_status_name(RunStatus status);
+
+struct RunOutcome {
+  RunStatus status = RunStatus::kStepLimit;
+
+  /// Steps executed in total.
+  std::size_t steps = 0;
+
+  /// For kConverged: the first step index after which nothing ever changed.
+  std::size_t quiescent_since = 0;
+
+  /// For kCycleDetected: the period of the orbit in steps.
+  std::size_t cycle_length = 0;
+
+  /// Best route (exit path id) per node at the end of the run; kNoPath for
+  /// "no route".  For kConverged this is the stable configuration.
+  std::vector<PathId> final_best;
+
+  /// Fingerprint of the final configuration.
+  std::uint64_t final_hash = 0;
+
+  /// Total best-route changes observed across all nodes (flap volume).
+  std::size_t best_flips = 0;
+
+  [[nodiscard]] bool converged() const { return status == RunStatus::kConverged; }
+  [[nodiscard]] bool oscillated() const { return status == RunStatus::kCycleDetected; }
+};
+
+struct RunLimits {
+  /// Hard cap on activation steps.
+  std::size_t max_steps = 100000;
+
+  /// Enable state-recurrence cycle detection (requires a deterministic
+  /// schedule whose phase repeats every `sequence.period()` steps).
+  bool detect_cycles = true;
+};
+
+/// Drives `engine` with `sequence` until convergence, a detected cycle, or
+/// the step limit.
+RunOutcome run(SyncEngine& engine, ActivationSequence& sequence, const RunLimits& limits = {});
+
+/// One-shot convenience: builds an engine, runs it, returns the outcome.
+RunOutcome run_protocol(const core::Instance& inst, core::ProtocolKind protocol,
+                        ActivationSequence& sequence, const RunLimits& limits = {});
+
+/// Renders the per-node best routes as "node->name" pairs for reports.
+std::string describe_best(const core::Instance& inst, const std::vector<PathId>& best);
+
+}  // namespace ibgp::engine

@@ -1,0 +1,82 @@
+#include "netsim/cluster_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ibgp::netsim {
+
+ClusterLayout::ClusterLayout(std::size_t node_count)
+    : cluster_of_(node_count, kUnassigned), role_of_(node_count, Role::kClient) {}
+
+ClusterLayout ClusterLayout::full_mesh(std::size_t node_count) {
+  ClusterLayout layout(node_count);
+  for (NodeId v = 0; v < node_count; ++v) {
+    layout.assign(v, static_cast<ClusterId>(v), Role::kReflector);
+  }
+  return layout;
+}
+
+void ClusterLayout::assign(NodeId v, ClusterId c, Role role) {
+  if (v >= cluster_of_.size()) {
+    throw std::invalid_argument("ClusterLayout: node " + std::to_string(v) + " out of range");
+  }
+  if (cluster_of_[v] != kUnassigned) {
+    throw std::invalid_argument("ClusterLayout: node " + std::to_string(v) +
+                                " assigned twice");
+  }
+  if (c > cluster_members_.size()) {
+    throw std::invalid_argument("ClusterLayout: cluster ids must be dense; got " +
+                                std::to_string(c) + " with only " +
+                                std::to_string(cluster_members_.size()) + " clusters");
+  }
+  if (c == cluster_members_.size()) cluster_members_.emplace_back();
+  cluster_of_[v] = c;
+  role_of_[v] = role;
+  cluster_members_[c].push_back(v);
+  std::sort(cluster_members_[c].begin(), cluster_members_[c].end());
+}
+
+std::vector<NodeId> ClusterLayout::reflectors_of(ClusterId c) const {
+  std::vector<NodeId> out;
+  for (const NodeId v : members(c)) {
+    if (is_reflector(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> ClusterLayout::clients_of(ClusterId c) const {
+  std::vector<NodeId> out;
+  for (const NodeId v : members(c)) {
+    if (is_client(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> ClusterLayout::all_reflectors() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < cluster_of_.size(); ++v) {
+    if (cluster_of_[v] != kUnassigned && is_reflector(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> ClusterLayout::all_clients() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < cluster_of_.size(); ++v) {
+    if (cluster_of_[v] != kUnassigned && is_client(v)) out.push_back(v);
+  }
+  return out;
+}
+
+bool ClusterLayout::complete() const {
+  for (const ClusterId c : cluster_of_) {
+    if (c == kUnassigned) return false;
+  }
+  for (ClusterId c = 0; c < cluster_members_.size(); ++c) {
+    if (reflectors_of(c).empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace ibgp::netsim

@@ -1,0 +1,78 @@
+#pragma once
+// Route-reflection cluster structure of Section 4.
+//
+// The node set V is partitioned into clusters C_1..C_k.  Within cluster C_i a
+// non-empty subset R_i are route reflectors, the rest N_i are clients of
+// every reflector in R_i.  Fully-meshed I-BGP is the special case where every
+// node is a reflector in its own singleton cluster.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibgp::netsim {
+
+using ClusterId = std::uint32_t;
+
+enum class Role : std::uint8_t {
+  kReflector,  ///< member of R_i: meshed with all other reflectors
+  kClient,     ///< member of N_i: sessions only to the reflectors of C_i
+};
+
+class ClusterLayout {
+ public:
+  ClusterLayout() = default;
+
+  /// Creates a layout over `node_count` nodes with no assignments yet.
+  explicit ClusterLayout(std::size_t node_count);
+
+  /// Fully-meshed I-BGP: every node a reflector in its own cluster.
+  static ClusterLayout full_mesh(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const { return cluster_of_.size(); }
+  [[nodiscard]] std::size_t cluster_count() const { return cluster_members_.size(); }
+
+  /// Assigns node v to cluster c with the given role.  Clusters are created
+  /// implicitly; cluster ids must be used densely starting from 0.
+  void assign(NodeId v, ClusterId c, Role role);
+
+  [[nodiscard]] ClusterId cluster_of(NodeId v) const { return cluster_of_.at(v); }
+  [[nodiscard]] Role role_of(NodeId v) const { return role_of_.at(v); }
+  [[nodiscard]] bool is_reflector(NodeId v) const { return role_of(v) == Role::kReflector; }
+  [[nodiscard]] bool is_client(NodeId v) const { return role_of(v) == Role::kClient; }
+  [[nodiscard]] bool same_cluster(NodeId u, NodeId v) const {
+    return cluster_of(u) == cluster_of(v);
+  }
+
+  /// All members of cluster c (reflectors and clients, in node order).
+  [[nodiscard]] std::span<const NodeId> members(ClusterId c) const {
+    return cluster_members_.at(c);
+  }
+
+  /// Reflectors of cluster c.
+  [[nodiscard]] std::vector<NodeId> reflectors_of(ClusterId c) const;
+
+  /// Clients of cluster c.
+  [[nodiscard]] std::vector<NodeId> clients_of(ClusterId c) const;
+
+  /// All reflector nodes R = union of R_i, in node order.
+  [[nodiscard]] std::vector<NodeId> all_reflectors() const;
+
+  /// All client nodes N = union of N_i, in node order.
+  [[nodiscard]] std::vector<NodeId> all_clients() const;
+
+  /// True iff every node has been assigned and every cluster has >= 1
+  /// reflector.
+  [[nodiscard]] bool complete() const;
+
+ private:
+  static constexpr ClusterId kUnassigned = ~ClusterId{0};
+
+  std::vector<ClusterId> cluster_of_;
+  std::vector<Role> role_of_;
+  std::vector<std::vector<NodeId>> cluster_members_;
+};
+
+}  // namespace ibgp::netsim

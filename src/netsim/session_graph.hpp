@@ -1,0 +1,66 @@
+#pragma once
+// The logical graph G_I = (V, E_I) of Section 4: I-BGP peering sessions.
+//
+// E_I is determined by the cluster layout:
+//   1. an edge between every pair of reflectors (the top-level full mesh),
+//   2. an edge from every client of C_i to every reflector of C_i,
+//   3. no edges between a client of C_i and any node of C_j (i != j),
+//   4. optionally, edges between clients of the *same* cluster (the paper's
+//      model explicitly permits these).
+//
+// build_session_graph() constructs 1+2 automatically and lets callers add
+// same-cluster client-client sessions; constraint 3 is enforced.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netsim/cluster_layout.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::netsim {
+
+/// Classification of a session edge, used by the announcement rules.
+enum class SessionKind : std::uint8_t {
+  kReflectorMesh,    ///< reflector <-> reflector (any clusters)
+  kReflectorClient,  ///< reflector <-> its client
+  kClientClient,     ///< client <-> client, same cluster
+};
+
+class SessionGraph {
+ public:
+  SessionGraph() = default;
+  explicit SessionGraph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+
+  /// Adds the undirected session u—v of the given kind (idempotent).
+  void add_session(NodeId u, NodeId v, SessionKind kind);
+
+  [[nodiscard]] bool has_session(NodeId u, NodeId v) const;
+
+  /// Peers of v in ascending node order.
+  [[nodiscard]] std::span<const NodeId> peers(NodeId v) const { return adjacency_.at(v); }
+
+  [[nodiscard]] std::size_t session_count() const { return edges_.size(); }
+
+  struct Edge {
+    NodeId u, v;  // u < v
+    SessionKind kind;
+  };
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+/// Builds E_I from the layout: the reflector mesh plus reflector-client
+/// sessions.  `client_client_sessions` lists optional same-cluster client
+/// pairs; a pair violating constraint 3 (different clusters) or involving a
+/// reflector throws std::invalid_argument.
+SessionGraph build_session_graph(
+    const ClusterLayout& layout,
+    std::span<const std::pair<NodeId, NodeId>> client_client_sessions = {});
+
+}  // namespace ibgp::netsim

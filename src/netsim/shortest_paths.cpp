@@ -1,0 +1,74 @@
+#include "netsim/shortest_paths.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace ibgp::netsim {
+
+ShortestPaths::ShortestPaths(const PhysicalGraph& graph)
+    : n_(graph.node_count()), dist_(n_ * n_, kInfCost), next_(n_ * n_, kNoNode) {
+  using Item = std::pair<Cost, NodeId>;  // (distance, node), min-heap
+  for (NodeId src = 0; src < n_; ++src) {
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    Cost* dist = dist_.data() + index(src, 0);
+    dist[src] = 0;
+    heap.emplace(0, src);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d != dist[v]) continue;  // stale entry
+      for (const auto& adj : graph.neighbors(v)) {
+        const Cost nd = d + adj.cost;
+        if (nd < dist[adj.neighbor]) {
+          dist[adj.neighbor] = nd;
+          heap.emplace(nd, adj.neighbor);
+        }
+      }
+    }
+  }
+
+  // Deterministic next hops: from u toward v, the lowest-numbered neighbor x
+  // of u with cost(u,x) + dist(x,v) == dist(u,v).  Precomputed so the object
+  // never needs the graph again (and lookups are O(1)).
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < n_; ++v) {
+      if (u == v || dist_[index(u, v)] == kInfCost) continue;
+      NodeId best = kNoNode;
+      for (const auto& adj : graph.neighbors(u)) {
+        if (dist_[index(adj.neighbor, v)] == kInfCost) continue;
+        if (adj.cost + dist_[index(adj.neighbor, v)] == dist_[index(u, v)]) {
+          if (best == kNoNode || adj.neighbor < best) best = adj.neighbor;
+        }
+      }
+      next_[index(u, v)] = best;
+    }
+  }
+}
+
+NodeId ShortestPaths::next_hop(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_) throw std::invalid_argument("ShortestPaths: node out of range");
+  if (u == v) return kNoNode;
+  return next_[index(u, v)];
+}
+
+std::vector<NodeId> ShortestPaths::path(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_) throw std::invalid_argument("ShortestPaths: node out of range");
+  std::vector<NodeId> out;
+  if (!reachable(u, v)) return out;
+  out.push_back(u);
+  NodeId cur = u;
+  while (cur != v) {
+    cur = next_hop(cur, v);
+    // next_hop on a reachable pair always advances strictly toward v
+    // (distance decreases), so this loop terminates.
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::optional<std::size_t> ShortestPaths::hop_count(NodeId u, NodeId v) const {
+  if (!reachable(u, v)) return std::nullopt;
+  return path(u, v).size() - 1;
+}
+
+}  // namespace ibgp::netsim

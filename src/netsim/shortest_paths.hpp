@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic all-pairs shortest paths over the physical graph.
+//
+// Section 4: "The shortest path, SP(u, v), between two nodes in V, is chosen
+// (deterministically) from one of the least cost paths."  We realize the
+// deterministic choice hop-by-hop: at node u, the selected next hop toward v
+// is the lowest-numbered neighbor x minimizing cost(u,x) + dist(x,v).  This
+// matches how an IGP forwards packets (each hop makes an independent,
+// consistent choice) and is exactly what the forwarding-plane analysis of
+// Section 7/8 (routing loops, Fig 14) requires.
+
+#include <optional>
+#include <vector>
+
+#include "netsim/physical_graph.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::netsim {
+
+class ShortestPaths {
+ public:
+  /// Runs Dijkstra from every node and precomputes the deterministic
+  /// next-hop matrix.  O(n * m log n).  The graph is only used during
+  /// construction — the object holds no reference to it afterwards, so it
+  /// stays valid across moves/destruction of the source graph.
+  explicit ShortestPaths(const PhysicalGraph& graph);
+
+  [[nodiscard]] std::size_t node_count() const { return n_; }
+
+  /// IGP cost of SP(u, v); kInfCost if v is unreachable from u. dist(u,u)=0.
+  [[nodiscard]] Cost cost(NodeId u, NodeId v) const { return dist_[index(u, v)]; }
+
+  [[nodiscard]] bool reachable(NodeId u, NodeId v) const {
+    return cost(u, v) != kInfCost;
+  }
+
+  /// The deterministic next hop from u toward v (u != v, v reachable).
+  /// Returns kNoNode when v is unreachable or u == v.
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId v) const;
+
+  /// The full selected shortest path u = p_0, p_1, ..., p_k = v
+  /// (empty if unreachable).  path(u,u) == {u}.
+  [[nodiscard]] std::vector<NodeId> path(NodeId u, NodeId v) const;
+
+  /// Number of hops on the selected path, or nullopt if unreachable.
+  [[nodiscard]] std::optional<std::size_t> hop_count(NodeId u, NodeId v) const;
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId u, NodeId v) const {
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+
+  std::size_t n_;
+  std::vector<Cost> dist_;      // row-major n x n
+  std::vector<NodeId> next_;    // row-major n x n; kNoNode when unreachable
+};
+
+}  // namespace ibgp::netsim

@@ -1,0 +1,34 @@
+#pragma once
+// Structural validation of an I-BGP-with-route-reflection substrate against
+// the constraints of Section 4.  Returns human-readable violations rather
+// than throwing, so tools can report all problems at once.
+
+#include <string>
+#include <vector>
+
+#include "netsim/cluster_layout.hpp"
+#include "netsim/physical_graph.hpp"
+#include "netsim/session_graph.hpp"
+
+namespace ibgp::netsim {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Checks:
+///  - layout completeness (every node assigned, every cluster has a reflector)
+///  - E_I constraint 1: reflector full mesh present
+///  - E_I constraint 2: every client peers with every reflector of its cluster
+///  - E_I constraint 3: no client session leaves its cluster
+///  - warning: physical graph disconnected (some routes will be unusable)
+///  - warning: triangle-inequality violations on reflector-mesh physical costs
+///    (the paper's NP-hardness construction requires the triangle inequality
+///    because I-BGP sessions ride shortest IGP paths)
+ValidationReport validate(const PhysicalGraph& physical, const ClusterLayout& layout,
+                          const SessionGraph& sessions);
+
+}  // namespace ibgp::netsim

@@ -1,0 +1,100 @@
+#include "sat/cnf.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ibgp::sat {
+
+void Formula::add_clause(Clause clause) {
+  if (clause.empty()) throw std::invalid_argument("Formula: empty clause");
+  for (const Lit lit : clause) {
+    if (lit.value == 0) throw std::invalid_argument("Formula: zero literal");
+    num_vars_ = std::max(num_vars_, lit.var());
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+bool Formula::satisfied_by(const Assignment& assignment) const {
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    for (const Lit lit : clause) {
+      if (lit.var() >= assignment.size()) return false;
+      if (assignment[lit.var()] == lit.positive()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string Formula::to_dimacs() const {
+  std::ostringstream oss;
+  oss << "p cnf " << num_vars_ << ' ' << clauses_.size() << "\n";
+  for (const Clause& clause : clauses_) {
+    for (const Lit lit : clause) oss << lit.value << ' ';
+    oss << "0\n";
+  }
+  return oss.str();
+}
+
+Formula parse_dimacs(std::string_view text) {
+  Formula formula;
+  Clause current;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  for (std::string_view line : util::split(text, '\n')) {
+    ++line_no;
+    const auto tokens = util::split_ws(line);
+    if (tokens.empty() || tokens[0] == "c") continue;
+    if (tokens[0] == "p") {
+      if (tokens.size() != 4 || tokens[1] != "cnf" || !util::parse_u64(tokens[2]) ||
+          !util::parse_u64(tokens[3])) {
+        throw std::runtime_error("DIMACS: bad header at line " + std::to_string(line_no));
+      }
+      saw_header = true;
+      continue;
+    }
+    for (const auto token : tokens) {
+      const auto value = util::parse_i64(token);
+      if (!value || *value > INT32_MAX || *value < INT32_MIN) {
+        throw std::runtime_error("DIMACS: bad literal at line " + std::to_string(line_no));
+      }
+      if (*value == 0) {
+        if (!current.empty()) formula.add_clause(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(Lit{static_cast<std::int32_t>(*value)});
+      }
+    }
+  }
+  if (!current.empty()) formula.add_clause(std::move(current));
+  if (!saw_header) throw std::runtime_error("DIMACS: missing 'p cnf' header");
+  return formula;
+}
+
+Formula random_3sat(std::uint32_t vars, std::size_t clauses, std::uint64_t seed) {
+  if (vars < 3) throw std::invalid_argument("random_3sat: need at least 3 variables");
+  util::Xoshiro256 rng(seed);
+  Formula formula(vars);
+  for (std::size_t i = 0; i < clauses; ++i) {
+    // Three distinct variables, random signs.
+    std::uint32_t a = static_cast<std::uint32_t>(1 + rng.below(vars));
+    std::uint32_t b = a;
+    while (b == a) b = static_cast<std::uint32_t>(1 + rng.below(vars));
+    std::uint32_t c = a;
+    while (c == a || c == b) c = static_cast<std::uint32_t>(1 + rng.below(vars));
+    auto lit = [&](std::uint32_t v) {
+      return Lit{rng.chance(0.5) ? static_cast<std::int32_t>(v)
+                                 : -static_cast<std::int32_t>(v)};
+    };
+    formula.add_clause({lit(a), lit(b), lit(c)});
+  }
+  return formula;
+}
+
+}  // namespace ibgp::sat

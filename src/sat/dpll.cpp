@@ -1,0 +1,150 @@
+#include "sat/dpll.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ibgp::sat {
+
+namespace {
+
+enum class Value : std::int8_t { kFree = -1, kFalse = 0, kTrue = 1 };
+
+struct Solver {
+  const Formula* formula;
+  std::vector<Value> values;  // 1-based
+  SolveResult result;
+
+  [[nodiscard]] Value value_of(Lit lit) const {
+    const Value v = values[lit.var()];
+    if (v == Value::kFree) return Value::kFree;
+    const bool truth = (v == Value::kTrue) == lit.positive();
+    return truth ? Value::kTrue : Value::kFalse;
+  }
+
+  /// Returns false on conflict.  Applies unit propagation to fixpoint.
+  bool propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& clause : formula->clauses()) {
+        std::size_t free_count = 0;
+        Lit free_lit{0};
+        bool satisfied = false;
+        for (const Lit lit : clause) {
+          const Value v = value_of(lit);
+          if (v == Value::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == Value::kFree) {
+            ++free_count;
+            free_lit = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (free_count == 0) return false;  // conflict
+        if (free_count == 1) {
+          values[free_lit.var()] = free_lit.positive() ? Value::kTrue : Value::kFalse;
+          ++result.propagations;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Assigns variables appearing with only one polarity among unsatisfied
+  /// clauses.  Returns true if anything was assigned.
+  bool pure_literals() {
+    std::vector<std::uint8_t> seen_pos(formula->num_vars() + 1, 0);
+    std::vector<std::uint8_t> seen_neg(formula->num_vars() + 1, 0);
+    for (const Clause& clause : formula->clauses()) {
+      bool satisfied = false;
+      for (const Lit lit : clause) {
+        if (value_of(lit) == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (const Lit lit : clause) {
+        if (values[lit.var()] != Value::kFree) continue;
+        (lit.positive() ? seen_pos : seen_neg)[lit.var()] = 1;
+      }
+    }
+    bool any = false;
+    for (std::uint32_t v = 1; v <= formula->num_vars(); ++v) {
+      if (values[v] != Value::kFree) continue;
+      if (seen_pos[v] && !seen_neg[v]) {
+        values[v] = Value::kTrue;
+        any = true;
+      } else if (seen_neg[v] && !seen_pos[v]) {
+        values[v] = Value::kFalse;
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  /// Picks the free variable occurring in the most unsatisfied clauses.
+  [[nodiscard]] std::uint32_t pick_branch() const {
+    std::vector<std::uint32_t> count(formula->num_vars() + 1, 0);
+    for (const Clause& clause : formula->clauses()) {
+      bool satisfied = false;
+      for (const Lit lit : clause) {
+        if (value_of(lit) == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (const Lit lit : clause) {
+        if (values[lit.var()] == Value::kFree) ++count[lit.var()];
+      }
+    }
+    std::uint32_t best = 0;
+    for (std::uint32_t v = 1; v <= formula->num_vars(); ++v) {
+      if (values[v] == Value::kFree && (best == 0 || count[v] > count[best])) best = v;
+    }
+    return best;
+  }
+
+  bool dfs() {
+    if (!propagate()) return false;
+    while (pure_literals()) {
+      if (!propagate()) return false;
+    }
+    const std::uint32_t branch = pick_branch();
+    if (branch == 0) {
+      // Every clause satisfied or every variable assigned without conflict.
+      return true;
+    }
+    ++result.decisions;
+    const std::vector<Value> saved = values;
+    for (const Value choice : {Value::kTrue, Value::kFalse}) {
+      values[branch] = choice;
+      if (dfs()) return true;
+      values = saved;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SolveResult solve(const Formula& formula) {
+  Solver solver;
+  solver.formula = &formula;
+  solver.values.assign(formula.num_vars() + 1, Value::kFree);
+
+  if (solver.dfs()) {
+    solver.result.satisfiable = true;
+    solver.result.assignment.assign(formula.num_vars() + 1, false);
+    for (std::uint32_t v = 1; v <= formula.num_vars(); ++v) {
+      solver.result.assignment[v] = (solver.values[v] == Value::kTrue);
+    }
+  }
+  return solver.result;
+}
+
+}  // namespace ibgp::sat

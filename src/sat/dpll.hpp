@@ -1,0 +1,26 @@
+#pragma once
+// A small DPLL SAT solver: unit propagation, pure-literal elimination, and
+// most-occurring-variable branching.  Decides the source instances of the
+// Section 5 reduction and cross-checks the Stable-I-BGP search
+// (stable(reduce(phi)) <=> DPLL(phi)).
+
+#include <cstdint>
+#include <optional>
+
+#include "sat/cnf.hpp"
+
+namespace ibgp::sat {
+
+struct SolveResult {
+  bool satisfiable = false;
+  /// A satisfying assignment (index 0 unused) when satisfiable.
+  Assignment assignment;
+  /// Search statistics.
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+};
+
+/// Decides `formula`.  Complete (always terminates with the right answer).
+SolveResult solve(const Formula& formula);
+
+}  // namespace ibgp::sat

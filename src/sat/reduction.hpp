@@ -1,0 +1,81 @@
+#pragma once
+// The Section 5 reduction: 3-SAT -> STABLE I-BGP WITH ROUTE REFLECTION.
+//
+// The paper's Figures 7-9 did not survive OCR, so the gadgets here are a
+// reconstruction with the *proved* properties (DESIGN.md "Reconstruction
+// notes"); the equivalence  stable(reduce(phi)) <=> satisfiable(phi)  is
+// machine-checked by the test suite against the DPLL solver.
+//
+// Gadgets (standard protocol, default selection policy):
+//
+//  * VARIABLE GRAPH (per variable x): the Fig-2 bistable pair — clusters
+//    {R_T, c_T} and {R_F, c_F} with exits e_T/e_F through a private AS B_x,
+//    equal MEDs, and dotted IGP shortcuts making each reflector prefer the
+//    other side's exit.  Exactly two stable states: TRUE (R_T advertises
+//    e_T, R_F silent) and FALSE (mirrored).
+//
+//  * CLAUSE GRAPH (per clause K): a three-cluster ring {RK_k, qc_k} with
+//    exits q_k through a private AS A_K, equal MED 1, where each ring
+//    reflector is IGP-closer to the *previous* cluster's exit (cost 2) than
+//    to its own client's (cost 3).  Each cluster is then an advertisement
+//    inverter (it relays its own exit iff the previous one is hidden); an
+//    odd ring of inverters has no consistent state, so the clause graph in
+//    isolation has NO stable configuration — it oscillates persistently.
+//
+//  * TAP (per literal occurrence): a cluster {RT, ct} whose client owns the
+//    defuser tau (AS A_K, MED 0).  tau MED-eliminates every ring exit q_k,
+//    freezing the clause ring.  RT is IGP-dotted (cost 2) to the variable
+//    exit of the literal's OPPOSITE polarity, so that exit — visible exactly
+//    when the variable is in the opposite state — captures RT's best route
+//    and suppresses tau.  Net effect: tau flows iff the literal is TRUE.
+//
+// A satisfying assignment therefore freezes every ring (stable solution
+// exists, reachable by a steering activation schedule); an unsatisfiable
+// formula leaves some ring undefused in every variable state, so no stable
+// configuration exists at all.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sat/cnf.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::sat {
+
+struct VariableGadget {
+  NodeId r_true = kNoNode, c_true = kNoNode;
+  NodeId r_false = kNoNode, c_false = kNoNode;
+  PathId e_true = kNoPath, e_false = kNoPath;
+};
+
+struct ClauseGadget {
+  std::array<NodeId, 3> ring_rr{};
+  std::array<NodeId, 3> ring_client{};
+  std::array<PathId, 3> q{};
+  std::array<NodeId, 3> tap_rr{};
+  std::array<NodeId, 3> tap_client{};
+  std::array<PathId, 3> tau{};
+};
+
+struct Reduction {
+  core::Instance instance;
+
+  /// Gadget metadata; vars[v] for v in 1..num_vars (index 0 unused).
+  std::vector<VariableGadget> vars;
+  std::vector<ClauseGadget> clauses;
+
+  /// A finite activation prefix that steers every variable gadget into the
+  /// state given by `assignment` (clients first, then the chosen side's
+  /// reflector before the other, then taps, then rings, then two cleanup
+  /// rounds).  Feed to engine::make_scripted; if the assignment satisfies
+  /// the formula, the run converges to a stable solution.
+  [[nodiscard]] std::vector<std::vector<NodeId>> steering(const Assignment& assignment) const;
+};
+
+/// Builds the reduction instance.  Size: 4 nodes per variable, 12 per
+/// clause; 2 exit paths per variable, 6 per clause.
+Reduction reduce_to_ibgp(const Formula& formula);
+
+}  // namespace ibgp::sat

@@ -1,0 +1,101 @@
+#include "topo/builder.hpp"
+
+#include <stdexcept>
+
+namespace ibgp::topo {
+
+NodeId InstanceBuilder::add_node(std::string label, netsim::ClusterId cluster,
+                                 netsim::Role role) {
+  if (id_of(label) != kNoNode) {
+    throw std::invalid_argument("InstanceBuilder: duplicate node label '" + label + "'");
+  }
+  labels_.push_back(std::move(label));
+  node_cluster_.push_back(cluster);
+  node_role_.push_back(role);
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+NodeId InstanceBuilder::reflector(std::string label, netsim::ClusterId cluster) {
+  return add_node(std::move(label), cluster, netsim::Role::kReflector);
+}
+
+NodeId InstanceBuilder::client(std::string label, netsim::ClusterId cluster) {
+  return add_node(std::move(label), cluster, netsim::Role::kClient);
+}
+
+NodeId InstanceBuilder::id_of(std::string_view label) const {
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    if (labels_[v] == label) return v;
+  }
+  return kNoNode;
+}
+
+namespace {
+NodeId require(const InstanceBuilder& builder, std::string_view label) {
+  const NodeId v = builder.id_of(label);
+  if (v == kNoNode) {
+    throw std::invalid_argument("InstanceBuilder: unknown node label '" + std::string(label) +
+                                "'");
+  }
+  return v;
+}
+}  // namespace
+
+InstanceBuilder& InstanceBuilder::link(std::string_view a, std::string_view b, Cost cost) {
+  links_.push_back({require(*this, a), require(*this, b), cost});
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::client_session(std::string_view a, std::string_view b) {
+  client_sessions_.emplace_back(require(*this, a), require(*this, b));
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::exit(ExitSpec spec) {
+  require(*this, spec.at);
+  exits_.push_back(std::move(spec));
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::bgp_id(std::string_view node, BgpId id) {
+  bgp_overrides_.emplace_back(require(*this, node), id);
+  return *this;
+}
+
+core::Instance InstanceBuilder::build(std::string instance_name,
+                                      bgp::SelectionPolicy policy) const {
+  netsim::PhysicalGraph physical(labels_.size());
+  for (const auto& link : links_) physical.add_link(link.a, link.b, link.cost);
+
+  netsim::ClusterLayout layout(labels_.size());
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    layout.assign(v, node_cluster_[v], node_role_[v]);
+  }
+
+  netsim::SessionGraph sessions = netsim::build_session_graph(layout, client_sessions_);
+
+  bgp::ExitTable table;
+  for (std::size_t i = 0; i < exits_.size(); ++i) {
+    const ExitSpec& spec = exits_[i];
+    bgp::ExitPath path;
+    path.name = spec.name;
+    path.exit_point = id_of(spec.at);
+    path.next_as = spec.next_as;
+    path.local_pref = spec.local_pref;
+    path.as_path_length = spec.as_path_length;
+    path.med = spec.med;
+    path.exit_cost = spec.exit_cost;
+    path.ebgp_peer = spec.ebgp_peer.value_or(static_cast<BgpId>(1000 + i));
+    table.add(std::move(path));
+  }
+
+  std::vector<BgpId> ids(labels_.size());
+  for (NodeId v = 0; v < labels_.size(); ++v) ids[v] = v;
+  for (const auto& [node, id] : bgp_overrides_) ids[node] = id;
+
+  return core::Instance(std::move(instance_name), std::move(physical), std::move(layout),
+                        std::move(sessions), std::move(table), policy, std::move(ids),
+                        labels_);
+}
+
+}  // namespace ibgp::topo

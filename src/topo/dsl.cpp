@@ -1,0 +1,185 @@
+#include "topo/dsl.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "topo/builder.hpp"
+#include "util/strings.hpp"
+
+namespace ibgp::topo {
+
+namespace {
+
+using util::parse_i64;
+using util::parse_u64;
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::runtime_error("topo parse error at line " + std::to_string(line_no) + ": " +
+                           message);
+}
+
+std::int64_t need_int(std::size_t line_no, std::string_view token, const char* what) {
+  const auto value = parse_i64(token);
+  if (!value) fail(line_no, std::string("expected integer for ") + what);
+  return *value;
+}
+
+}  // namespace
+
+core::Instance parse_topo(std::string_view text) {
+  InstanceBuilder builder;
+  std::string instance_name = "unnamed";
+  bgp::SelectionPolicy policy;
+  std::size_t line_no = 0;
+  bool any_node = false;
+
+  for (std::string_view raw_line : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto tokens = util::split_ws(line);
+    if (tokens.empty()) continue;
+    const std::string_view directive = tokens[0];
+
+    try {
+    if (directive == "instance") {
+      if (tokens.size() != 2) fail(line_no, "usage: instance NAME");
+      instance_name = std::string(tokens[1]);
+    } else if (directive == "policy") {
+      for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
+        if (tokens[i] == "order") {
+          if (tokens[i + 1] == "ebgp-first") {
+            policy.order = bgp::RuleOrder::kPreferEbgpFirst;
+          } else if (tokens[i + 1] == "igp-first") {
+            policy.order = bgp::RuleOrder::kIgpCostFirst;
+          } else {
+            fail(line_no, "unknown order (want ebgp-first|igp-first)");
+          }
+        } else if (tokens[i] == "med") {
+          if (tokens[i + 1] == "per-as") {
+            policy.med = bgp::MedMode::kPerNeighborAs;
+          } else if (tokens[i + 1] == "always") {
+            policy.med = bgp::MedMode::kAlwaysCompare;
+          } else if (tokens[i + 1] == "ignore") {
+            policy.med = bgp::MedMode::kIgnore;
+          } else {
+            fail(line_no, "unknown med mode (want per-as|always|ignore)");
+          }
+        } else {
+          fail(line_no, "unknown policy key '" + std::string(tokens[i]) + "'");
+        }
+      }
+    } else if (directive == "node") {
+      if (tokens.size() < 4) fail(line_no, "usage: node LABEL reflector|client CLUSTER");
+      const std::string label(tokens[1]);
+      const auto cluster =
+          static_cast<netsim::ClusterId>(need_int(line_no, tokens[3], "cluster"));
+      NodeId v = kNoNode;
+      if (tokens[2] == "reflector") {
+        v = builder.reflector(label, cluster);
+      } else if (tokens[2] == "client") {
+        v = builder.client(label, cluster);
+      } else {
+        fail(line_no, "node role must be reflector|client");
+      }
+      (void)v;
+      any_node = true;
+      for (std::size_t i = 4; i + 1 < tokens.size(); i += 2) {
+        if (tokens[i] == "bgp-id") {
+          builder.bgp_id(label, static_cast<BgpId>(need_int(line_no, tokens[i + 1], "bgp-id")));
+        } else {
+          fail(line_no, "unknown node option '" + std::string(tokens[i]) + "'");
+        }
+      }
+    } else if (directive == "link") {
+      if (tokens.size() != 4) fail(line_no, "usage: link A B COST");
+      builder.link(tokens[1], tokens[2], need_int(line_no, tokens[3], "cost"));
+    } else if (directive == "session") {
+      if (tokens.size() != 3) fail(line_no, "usage: session A B");
+      builder.client_session(tokens[1], tokens[2]);
+    } else if (directive == "exit") {
+      // exit NAME at LABEL as AS [med M] [lp L] [len K] [cost C] [peer P]
+      if (tokens.size() < 6 || tokens[2] != "at" || tokens[4] != "as") {
+        fail(line_no, "usage: exit NAME at LABEL as AS [med M] [lp L] [len K] [cost C] [peer P]");
+      }
+      ExitSpec spec;
+      spec.name = std::string(tokens[1]);
+      spec.at = std::string(tokens[3]);
+      spec.next_as = static_cast<AsId>(need_int(line_no, tokens[5], "as"));
+      for (std::size_t i = 6; i + 1 < tokens.size(); i += 2) {
+        if (tokens[i] == "med") {
+          spec.med = static_cast<Med>(need_int(line_no, tokens[i + 1], "med"));
+        } else if (tokens[i] == "lp") {
+          spec.local_pref = static_cast<LocalPref>(need_int(line_no, tokens[i + 1], "lp"));
+        } else if (tokens[i] == "len") {
+          spec.as_path_length =
+              static_cast<std::uint32_t>(need_int(line_no, tokens[i + 1], "len"));
+        } else if (tokens[i] == "cost") {
+          spec.exit_cost = need_int(line_no, tokens[i + 1], "cost");
+        } else if (tokens[i] == "peer") {
+          spec.ebgp_peer = static_cast<BgpId>(need_int(line_no, tokens[i + 1], "peer"));
+        } else {
+          fail(line_no, "unknown exit option '" + std::string(tokens[i]) + "'");
+        }
+      }
+      builder.exit(std::move(spec));
+    } else {
+      fail(line_no, "unknown directive '" + std::string(directive) + "'");
+    }
+    } catch (const std::invalid_argument& e) {
+      // Builder errors (unknown labels, duplicate nodes, bad links) get the
+      // line number attached; our own fail() errors pass through unchanged.
+      fail(line_no, e.what());
+    }
+  }
+
+  if (!any_node) throw std::runtime_error("topo parse error: no nodes defined");
+  return builder.build(instance_name, policy);
+}
+
+core::Instance load_topo_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topo file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_topo(buffer.str());
+}
+
+std::string write_topo(const core::Instance& inst) {
+  std::ostringstream out;
+  out << "# generated by ibgp-rr\n";
+  out << "instance " << inst.name() << "\n";
+  out << "policy order "
+      << (inst.policy().order == bgp::RuleOrder::kPreferEbgpFirst ? "ebgp-first" : "igp-first")
+      << " med "
+      << (inst.policy().med == bgp::MedMode::kPerNeighborAs
+              ? "per-as"
+              : (inst.policy().med == bgp::MedMode::kAlwaysCompare ? "always" : "ignore"))
+      << "\n";
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    out << "node " << inst.node_name(v) << ' '
+        << (inst.clusters().is_reflector(v) ? "reflector" : "client") << ' '
+        << inst.clusters().cluster_of(v) << " bgp-id " << inst.bgp_id(v) << "\n";
+  }
+  for (const auto& link : inst.physical().links()) {
+    out << "link " << inst.node_name(link.a) << ' ' << inst.node_name(link.b) << ' '
+        << link.cost << "\n";
+  }
+  for (const auto& edge : inst.sessions().edges()) {
+    if (edge.kind == netsim::SessionKind::kClientClient) {
+      out << "session " << inst.node_name(edge.u) << ' ' << inst.node_name(edge.v) << "\n";
+    }
+  }
+  for (const auto& path : inst.exits().all()) {
+    out << "exit " << path.name << " at " << inst.node_name(path.exit_point) << " as "
+        << path.next_as << " med " << path.med << " lp " << path.local_pref << " len "
+        << path.as_path_length << " cost " << path.exit_cost << " peer " << path.ebgp_peer
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ibgp::topo

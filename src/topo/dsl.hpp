@@ -1,0 +1,33 @@
+#pragma once
+// A small text format for experiment instances, so the example tools can
+// load topologies from files.  Grammar (one directive per line, '#' opens a
+// comment, whitespace-separated tokens):
+//
+//   instance NAME
+//   policy [order ebgp-first|igp-first] [med per-as|always|ignore]
+//   node LABEL reflector|client CLUSTER [bgp-id ID]
+//   link LABEL LABEL COST
+//   session LABEL LABEL                       # extra client-client session
+//   exit NAME at LABEL as AS [med M] [lp L] [len K] [cost C] [peer P]
+//
+// parse_topo throws std::runtime_error with a line-numbered message on any
+// malformed input; write_topo produces text that parses back to an
+// equivalent instance (round-trip tested).
+
+#include <string>
+#include <string_view>
+
+#include "core/instance.hpp"
+
+namespace ibgp::topo {
+
+/// Parses the DSL into a finalized instance.
+core::Instance parse_topo(std::string_view text);
+
+/// Loads and parses a .topo file.
+core::Instance load_topo_file(const std::string& path);
+
+/// Serializes an instance back to the DSL.
+std::string write_topo(const core::Instance& inst);
+
+}  // namespace ibgp::topo

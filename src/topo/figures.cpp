@@ -1,0 +1,258 @@
+#include "topo/figures.hpp"
+
+#include "topo/builder.hpp"
+
+namespace ibgp::topo {
+
+// ---------------------------------------------------------------------------
+// Figure 1(a) — persistent route oscillation (the RFC 3345 scenario).
+//
+// Cluster 0: reflector A with clients c1 (exit r1 via AS1, MED 0) and
+//            c2 (exit r2 via AS2, MED 10).
+// Cluster 1: reflector B with client  c3 (exit r3 via AS2, MED 0).
+//
+// IGP distances (from the chosen link costs):
+//   A:  c1=5, c2=4, c3=13     B:  c1=11, c3=12
+//
+// Narrated cycle (Section 3), reproduced exactly:
+//   A picks r2 (metric 4 < 5); B picks r3; A hears r3 -> r3 kills r2 (same
+//   AS, lower MED) and loses to r1 (5 < 13) -> A picks r1; B hears r1 ->
+//   picks r1 (11 < 12) and stops advertising r3; A falls back to r2 (4 < 5);
+//   B hears r2 -> r3 kills it (MED) -> B picks r3 again; repeat.
+// ---------------------------------------------------------------------------
+core::Instance fig1a() {
+  InstanceBuilder b;
+  b.reflector("A", 0);
+  b.client("c1", 0);
+  b.client("c2", 0);
+  b.reflector("B", 1);
+  b.client("c3", 1);
+
+  b.link("A", "c1", 5);
+  b.link("A", "c2", 4);
+  b.link("A", "c3", 13);
+  b.link("A", "B", 6);    // B->c1 = 6+5 = 11
+  b.link("B", "c3", 12);
+
+  b.exit({.name = "r1", .at = "c1", .next_as = 1, .med = 0, .ebgp_peer = 1001});
+  b.exit({.name = "r2", .at = "c2", .next_as = 2, .med = 10, .ebgp_peer = 1002});
+  b.exit({.name = "r3", .at = "c3", .next_as = 2, .med = 0, .ebgp_peer = 1003});
+  return b.build("fig1a");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1(b) — rule-ordering sensitivity, fully-meshed I-BGP.
+//
+// Two meshed speakers.  A holds rA1 (AS1, MED 0, exit cost 2) and rA2
+// (AS2, MED 10, exit cost 1); B holds rB (AS2, MED 0, exit cost 5).
+//
+// Default ordering (prefer E-BGP before IGP cost): B always keeps its own
+// E-BGP route rB — "B always prefers its E-BGP route to either of the
+// (shorter) routes through A" — and the system converges to A->rA1, B->rB.
+//
+// RFC-1771 ordering (IGP cost before the E-BGP preference): B abandons rB
+// for whichever cheaper route A currently advertises, which replays the
+// Fig 1(a) hide/reveal cycle: A: rA2 -> rA1 -> rA2 ... , B: rB -> rA1 -> rB.
+// No stable configuration exists under that ordering.
+// ---------------------------------------------------------------------------
+core::Instance fig1b() {
+  InstanceBuilder b;
+  b.reflector("A", 0);
+  b.reflector("B", 1);
+  b.link("A", "B", 1);
+
+  b.exit({.name = "rA1", .at = "A", .next_as = 1, .med = 0, .exit_cost = 2,
+          .ebgp_peer = 1001});
+  b.exit({.name = "rA2", .at = "A", .next_as = 2, .med = 10, .exit_cost = 1,
+          .ebgp_peer = 1002});
+  b.exit({.name = "rB", .at = "B", .next_as = 2, .med = 0, .exit_cost = 5,
+          .ebgp_peer = 1003});
+  return b.build("fig1b");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — transient oscillation; two stable configurations.
+//
+// Cluster 0: RR1 + client c1 (exit r1); cluster 1: RR2 + client c2 (exit
+// r2).  One neighboring AS (AS1), both MEDs 0 — so MED elimination never
+// fires and Walton's scheme degenerates to classic I-BGP, exactly as the
+// paper observes.  The dotted extra IGP links RR1-c2 and RR2-c1 (cost 2, no
+// sessions on them) make each reflector prefer the *other* cluster's exit:
+//
+//   metric(RR1,r1)=10  metric(RR1,r2)=2   metric(RR2,r2)=10  metric(RR2,r1)=2
+//
+// Under the synchronous schedule the reflectors swap preferences forever
+// (each can only re-advertise its own cluster's exit, so choosing the remote
+// one withdraws the local one); any sequential schedule converges to one of
+// the two stable configurations (all-r1 or all-r2), selected by order.
+// ---------------------------------------------------------------------------
+core::Instance fig2() {
+  InstanceBuilder b;
+  b.reflector("RR1", 0);
+  b.client("c1", 0);
+  b.reflector("RR2", 1);
+  b.client("c2", 1);
+
+  b.link("RR1", "c1", 10);
+  b.link("RR2", "c2", 10);
+  b.link("RR1", "RR2", 10);
+  b.link("RR1", "c2", 2);  // dotted: IGP only
+  b.link("RR2", "c1", 2);  // dotted: IGP only
+
+  b.exit({.name = "r1", .at = "c1", .next_as = 1, .med = 0, .ebgp_peer = 1001});
+  b.exit({.name = "r2", .at = "c2", .next_as = 1, .med = 0, .ebgp_peer = 1002});
+  return b.build("fig2");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 / Table 1 — delay-induced transient oscillation.
+//
+// Three meshed speakers A, B, C (route reflectors of singleton clusters),
+// six external routes r1..r6 through three neighboring ASes.  The exact MED
+// table of the figure is lost; this reconstruction preserves the stated
+// shape: every LOCAL-PREF/AS-path length equal, exit link IGP costs encoded
+// as exit costs, two stable configurations, and final outcome determined by
+// E-BGP injection timing and message delays (the bench scripts several).
+//
+// The bistable core is B<->C:
+//   B: r3 (AS2, MED 0, ec 5)  r4 (AS3, MED 1, ec 0)
+//   C: r5 (AS3, MED 0, ec 5)  r6 (AS2, MED 1, ec 0)
+// B prefers its cheap r4 unless C's r5 MED-kills it; C prefers its cheap r6
+// unless B's r3 MED-kills it.  Stable configurations: {B->r3, C->r5} and
+// {B->r4, C->r6}.  A's routes r1/r2 are fillers that keep three ASes in
+// play, as in the figure (A can be deleted, per the paper's remark).
+// ---------------------------------------------------------------------------
+core::Instance fig3() {
+  InstanceBuilder b;
+  b.reflector("A", 0);
+  b.reflector("B", 1);
+  b.reflector("C", 2);
+  b.link("A", "B", 1);
+  b.link("B", "C", 1);
+  b.link("A", "C", 1);
+
+  b.exit({.name = "r1", .at = "A", .next_as = 1, .med = 0, .exit_cost = 0,
+          .ebgp_peer = 1001});
+  b.exit({.name = "r2", .at = "A", .next_as = 2, .med = 2, .exit_cost = 0,
+          .ebgp_peer = 1002});
+  b.exit({.name = "r3", .at = "B", .next_as = 2, .med = 0, .exit_cost = 5,
+          .ebgp_peer = 1003});
+  b.exit({.name = "r4", .at = "B", .next_as = 3, .med = 1, .exit_cost = 0,
+          .ebgp_peer = 1004});
+  b.exit({.name = "r5", .at = "C", .next_as = 3, .med = 0, .exit_cost = 5,
+          .ebgp_peer = 1005});
+  b.exit({.name = "r6", .at = "C", .next_as = 2, .med = 1, .exit_cost = 0,
+          .ebgp_peer = 1006});
+  return b.build("fig3");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — persistent oscillation surviving the Walton et al. fix.
+//
+// The figure's numeric parameters did not survive in the source text, so
+// this instance is reconstructed for the stated properties (four clusters,
+// RR1..RR3 with clients; MED-induced persistent oscillation under both the
+// standard protocol and the Walton per-AS-vector fix; convergence under the
+// paper's modified protocol).  Construction, machine-checked by the tests:
+//
+// Clusters 0..2: RR_i + client c_i holding p_i (AS1, MED 1).  The "dotted"
+// IGP shortcuts make each reflector closer to the PREVIOUS cluster's exit
+// than to its own client's (cost 2 vs 3).  With MEDs equal, RR_i's best
+// route through AS1 is therefore p_{i-1} whenever visible — a route that is
+// NOT its own cluster's, so route reflection forbids relaying it onward, and
+// p_i vanishes from RR_i's mesh advertisement.  Writing V_i = "p_i visible
+// in the mesh", every cluster is an inverter: V_i = NOT V_{i-1}.  Three
+// inverters in a ring admit no consistent assignment, so NO stable
+// configuration exists: standard and Walton both oscillate persistently
+// (Walton's per-AS vector does not help because the per-AS best itself is
+// the non-relayable remote route).
+//
+// Cluster 3: RR4 holds the stabilizer s (AS1, MED 9) and the decoy t (AS2,
+// MED 0, exit cost 5).  With MEDs active, s is MED-eliminated by whichever
+// p is visible, so it never influences anything — the oscillation rages.
+// With MEDs ignored, s (IGP metric 1 from every reflector) wins every
+// selection and the system converges at once: the oscillation is exactly
+// MED-induced.  The modified protocol advertises the whole MED-survivor set
+// {p1,p2,p3,t}, every p reaches every mesh member unconditionally, and the
+// unique fixed point is reached under every schedule.
+// ---------------------------------------------------------------------------
+core::Instance fig13() {
+  InstanceBuilder b;
+  b.reflector("RR1", 0);
+  b.client("c1", 0);
+  b.reflector("RR2", 1);
+  b.client("c2", 1);
+  b.reflector("RR3", 2);
+  b.client("c3", 2);
+  b.reflector("RR4", 3);
+
+  // Reflector mesh among RR1..RR3 (cost 2) with RR4 attached closely (1).
+  b.link("RR1", "RR2", 2);
+  b.link("RR1", "RR3", 2);
+  b.link("RR2", "RR3", 2);
+  b.link("RR4", "RR1", 1);
+  b.link("RR4", "RR2", 1);
+  b.link("RR4", "RR3", 1);
+
+  // Cluster spokes: each reflector 3 away from its own client...
+  b.link("RR1", "c1", 3);
+  b.link("RR2", "c2", 3);
+  b.link("RR3", "c3", 3);
+  // ...but only 2 away from the previous cluster's client (dotted, IGP-only).
+  b.link("RR1", "c3", 2);
+  b.link("RR2", "c1", 2);
+  b.link("RR3", "c2", 2);
+
+  b.exit({.name = "p1", .at = "c1", .next_as = 1, .med = 1, .ebgp_peer = 1001});
+  b.exit({.name = "p2", .at = "c2", .next_as = 1, .med = 1, .ebgp_peer = 1002});
+  b.exit({.name = "p3", .at = "c3", .next_as = 1, .med = 1, .ebgp_peer = 1003});
+  b.exit({.name = "s", .at = "RR4", .next_as = 1, .med = 9, .exit_cost = 0,
+          .ebgp_peer = 1004});
+  b.exit({.name = "t", .at = "RR4", .next_as = 2, .med = 0, .exit_cost = 5,
+          .ebgp_peer = 1005});
+  return b.build("fig13");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — the Dube-Scudder routing loop.
+//
+// Physical chain RR1 — c2 — c1 — RR2 (every link cost 5); I-BGP sessions
+// RR1-c1, RR2-c2 (each client is homed to the *far* reflector) and the
+// RR1-RR2 mesh.  Exits r1 at RR1 and r2 at RR2, identical attributes, one
+// neighboring AS.
+//
+// Standard I-BGP (and Walton, which coincides here): RR1 keeps its E-BGP
+// route r1 and reflects only r1 to c1; c1's IGP next hop toward RR1 is c2.
+// Symmetrically c2 learns only r2 and next-hops toward RR2 via c1.  Packets
+// bounce c1 <-> c2 forever.  The modified protocol gives both clients both
+// exits; each picks the IGP-closer one (c1->r2, c2->r1) and forwarding is
+// loop-free.
+// ---------------------------------------------------------------------------
+core::Instance fig14() {
+  InstanceBuilder b;
+  b.reflector("RR1", 0);
+  b.client("c1", 0);
+  b.reflector("RR2", 1);
+  b.client("c2", 1);
+
+  b.link("RR1", "c2", 5);
+  b.link("c2", "c1", 5);
+  b.link("c1", "RR2", 5);
+
+  b.exit({.name = "r1", .at = "RR1", .next_as = 1, .med = 0, .ebgp_peer = 1001});
+  b.exit({.name = "r2", .at = "RR2", .next_as = 1, .med = 0, .ebgp_peer = 1002});
+  return b.build("fig14");
+}
+
+std::vector<std::pair<std::string, core::Instance>> all_figures() {
+  std::vector<std::pair<std::string, core::Instance>> out;
+  out.emplace_back("fig1a", fig1a());
+  out.emplace_back("fig1b", fig1b());
+  out.emplace_back("fig2", fig2());
+  out.emplace_back("fig3", fig3());
+  out.emplace_back("fig13", fig13());
+  out.emplace_back("fig14", fig14());
+  return out;
+}
+
+}  // namespace ibgp::topo

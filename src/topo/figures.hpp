@@ -1,0 +1,42 @@
+#pragma once
+// Canned instances for every configuration figure in the paper.
+//
+// Where the source text's numbers survived, they are used directly; where a
+// figure arrived OCR-damaged, the instance was *reconstructed from the
+// paper's narrated behavior* and every claimed property is asserted by the
+// test suite (see DESIGN.md, "Reconstruction notes").  In particular:
+//
+//  fig1a — persistent MED oscillation under standard I-BGP with RR
+//          (no stable configuration; the 4-phase A/B cycle of Section 3);
+//  fig1b — converges under the default rule ordering, diverges under the
+//          RFC-1771 ordering (footnote 4 / Section 3);
+//  fig2  — transient oscillation: exactly two stable configurations, the
+//          synchronous schedule oscillates forever, sequential schedules
+//          converge (single neighboring AS, so Walton == standard);
+//  fig3  — the three-speaker mesh of Figure 3/Table 1: two stable
+//          configurations selected by E-BGP injection timing; the event
+//          engine reproduces delay-induced best-route flaps;
+//  fig13 — MED-induced persistent oscillation surviving the Walton et al.
+//          fix (derived by construction — a ring of metric inverters plus a
+//          MED-gated stabilizer; see the fig13 notes in figures.cpp);
+//  fig14 — the Dube-Scudder forwarding loop: standard I-BGP and Walton
+//          give a c1<->c2 loop, the modified protocol is loop-free.
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace ibgp::topo {
+
+core::Instance fig1a();
+core::Instance fig1b();
+core::Instance fig2();
+core::Instance fig3();
+core::Instance fig13();
+core::Instance fig14();
+
+/// All figure instances with their labels, for sweep tools.
+std::vector<std::pair<std::string, core::Instance>> all_figures();
+
+}  // namespace ibgp::topo

@@ -1,0 +1,55 @@
+#pragma once
+// Random clustered I-BGP instances.
+//
+// Used by the property-test suites (the paper's theorems must hold on *any*
+// configuration, so we sample thousands) and by the counterexample finder
+// that searches for oscillating configurations (Fig 13 reconstruction,
+// oscillation-rate benches).
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace ibgp::topo {
+
+struct RandomConfig {
+  /// Number of clusters; each gets exactly one reflector plus a uniform
+  /// number of clients in [min_clients, max_clients].
+  std::size_t clusters = 3;
+  std::size_t min_clients = 0;
+  std::size_t max_clients = 2;
+
+  /// Probability that a cluster receives a second reflector (the paper's
+  /// model allows multi-reflector clusters).
+  double second_reflector_prob = 0.0;
+
+  /// Number of distinct neighboring ASes exit paths may pass through.
+  std::size_t neighbor_ases = 2;
+
+  /// Total number of exit paths, each placed at a uniformly random node
+  /// (or client, when exits_at_clients_only).
+  std::size_t exits = 4;
+  bool exits_at_clients_only = false;
+
+  /// Attribute ranges.  MEDs are uniform in [0, max_med]; link costs in
+  /// [1, max_link_cost]; exit costs in [0, max_exit_cost].
+  Med max_med = 3;
+  Cost max_link_cost = 10;
+  Cost max_exit_cost = 5;
+
+  /// When false, LOCAL-PREF / AS-path length are varied slightly too (the
+  /// paper's theorems don't require them equal).
+  bool equal_local_pref = true;
+  bool equal_as_path_length = true;
+
+  /// Probability of each additional random physical (IGP-only) link beyond
+  /// the connecting skeleton — these create Fig-2-style shortcuts.
+  double extra_link_prob = 0.25;
+
+  bgp::SelectionPolicy policy = {};
+};
+
+/// Generates a connected, validated instance deterministically from `seed`.
+core::Instance random_instance(const RandomConfig& config, std::uint64_t seed);
+
+}  // namespace ibgp::topo

@@ -1,0 +1,166 @@
+#include "util/flags.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ibgp::util {
+
+Flags::Flags(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Flags::add_string(std::string name, std::string default_value, std::string help) {
+  order_.push_back(name);
+  entries_[std::move(name)] =
+      Entry{Kind::kString, default_value, default_value, std::move(help)};
+}
+
+void Flags::add_int(std::string name, std::int64_t default_value, std::string help) {
+  order_.push_back(name);
+  const std::string text = std::to_string(default_value);
+  entries_[std::move(name)] = Entry{Kind::kInt, text, text, std::move(help)};
+}
+
+void Flags::add_double(std::string name, double default_value, std::string help) {
+  order_.push_back(name);
+  std::ostringstream oss;
+  oss << default_value;
+  entries_[std::move(name)] = Entry{Kind::kDouble, oss.str(), oss.str(), std::move(help)};
+}
+
+void Flags::add_bool(std::string name, bool default_value, std::string help) {
+  order_.push_back(name);
+  const std::string text = default_value ? "true" : "false";
+  entries_[std::move(name)] = Entry{Kind::kBool, text, text, std::move(help)};
+}
+
+bool Flags::assign(const std::string& name, std::string_view value) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    error_ = "unknown flag: --" + name;
+    return false;
+  }
+  Entry& entry = it->second;
+  switch (entry.kind) {
+    case Kind::kString:
+      entry.value = std::string(value);
+      return true;
+    case Kind::kInt:
+      if (!parse_i64(value)) {
+        error_ = "flag --" + name + " expects an integer, got '" + std::string(value) + "'";
+        return false;
+      }
+      entry.value = std::string(trim(value));
+      return true;
+    case Kind::kDouble:
+      if (!parse_f64(value)) {
+        error_ = "flag --" + name + " expects a number, got '" + std::string(value) + "'";
+        return false;
+      }
+      entry.value = std::string(trim(value));
+      return true;
+    case Kind::kBool: {
+      const std::string lower = to_lower(trim(value));
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        entry.value = "true";
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        entry.value = "false";
+      } else {
+        error_ = "flag --" + name + " expects a boolean, got '" + std::string(value) + "'";
+        return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+const Flags::Entry* Flags::find(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return true;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    if (!value) {
+      const Entry* entry = find(name);
+      if (entry == nullptr && starts_with(name, "no-")) {
+        const std::string positive = name.substr(3);
+        const Entry* pos_entry = find(positive);
+        if (pos_entry != nullptr && pos_entry->kind == Kind::kBool) {
+          if (!assign(positive, "false")) return false;
+          continue;
+        }
+      }
+      if (entry == nullptr) {
+        error_ = "unknown flag: --" + name;
+        return false;
+      }
+      if (entry->kind == Kind::kBool) {
+        if (!assign(name, "true")) return false;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag --" + name + " expects a value";
+        return false;
+      }
+      value = std::string(argv[++i]);
+    }
+    if (!assign(name, *value)) return false;
+  }
+  return true;
+}
+
+std::string Flags::help_text() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << summary_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Entry& entry = entries_.at(name);
+    oss << "  --" << name << " (default: " << entry.fallback << ")\n      " << entry.help
+        << "\n";
+  }
+  oss << "  --help\n      Show this message.\n";
+  return oss.str();
+}
+
+std::string_view Flags::get_string(std::string_view name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr ? std::string_view(entry->value) : std::string_view{};
+}
+
+std::int64_t Flags::get_int(std::string_view name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) return 0;
+  return parse_i64(entry->value).value_or(0);
+}
+
+double Flags::get_double(std::string_view name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) return 0.0;
+  return parse_f64(entry->value).value_or(0.0);
+}
+
+bool Flags::get_bool(std::string_view name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr && entry->value == "true";
+}
+
+}  // namespace ibgp::util

@@ -1,0 +1,64 @@
+#pragma once
+// Tiny command-line flag parser for the example programs.
+//
+// Supports `--name=value`, `--name value`, boolean `--name` /
+// `--no-name`, positional arguments, and generated --help text.  Parsing
+// errors are reported, not thrown: example binaries print usage and exit.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibgp::util {
+
+class Flags {
+ public:
+  /// `program` and `summary` feed the generated help text.
+  Flags(std::string program, std::string summary);
+
+  /// Registers flags before parse().  `help` is the one-line description.
+  void add_string(std::string name, std::string default_value, std::string help);
+  void add_int(std::string name, std::int64_t default_value, std::string help);
+  void add_double(std::string name, double default_value, std::string help);
+  void add_bool(std::string name, bool default_value, std::string help);
+
+  /// Parses argv.  Returns false (and fills error()) on malformed input or
+  /// unknown flags.  `--help` sets help_requested() and returns true.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string_view error() const { return error_; }
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string help_text() const;
+
+  [[nodiscard]] std::string_view get_string(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Entry {
+    Kind kind;
+    std::string value;     // canonical textual value
+    std::string fallback;  // default, for help text
+    std::string help;
+  };
+
+  bool assign(const std::string& name, std::string_view value);
+  const Entry* find(std::string_view name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace ibgp::util

@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace ibgp::util {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  auto eq = [&](std::string_view name) {
+    if (text.size() != name.size()) return false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char a = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+      if (a != name[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::kTrace;
+  if (eq("debug")) return LogLevel::kDebug;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("warn")) return LogLevel::kWarn;
+  if (eq("error")) return LogLevel::kError;
+  if (eq("off")) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level).data(),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view message) {
+      std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level).data(),
+                   static_cast<int>(message.size()), message.data());
+    };
+  }
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace ibgp::util

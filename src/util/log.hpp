@@ -1,0 +1,88 @@
+#pragma once
+// Minimal leveled logger.
+//
+// The engines can narrate every activation / message delivery when tracing a
+// counterexample; benches and tests run silent by default.  A single global
+// level (set explicitly by main programs, never mutated concurrently) keeps
+// the interface trivial; sinks allow tests to capture output.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ibgp::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the fixed-width display name of a level ("TRACE", "DEBUG", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns kInfo for unrecognized input.
+LogLevel parse_log_level(std::string_view text);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Global logger instance.  Not thread-safe by design: the library is
+  /// single-threaded (the simulators are deterministic sequential machines).
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replaces the output sink (default: stderr).  Pass nullptr to restore
+  /// the default sink.
+  void set_sink(Sink sink);
+
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ibgp::util
+
+// Streaming log macros; the stream expression is not evaluated when the
+// level is disabled.
+#define IBGP_LOG(level)                                     \
+  if (!::ibgp::util::Logger::instance().enabled(level)) {}  \
+  else ::ibgp::util::detail::LogLine(level)
+
+#define IBGP_TRACE() IBGP_LOG(::ibgp::util::LogLevel::kTrace)
+#define IBGP_DEBUG() IBGP_LOG(::ibgp::util::LogLevel::kDebug)
+#define IBGP_INFO() IBGP_LOG(::ibgp::util::LogLevel::kInfo)
+#define IBGP_WARN() IBGP_LOG(::ibgp::util::LogLevel::kWarn)
+#define IBGP_ERROR() IBGP_LOG(::ibgp::util::LogLevel::kError)

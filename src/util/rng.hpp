@@ -1,0 +1,82 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in this library (random topologies, random fair
+// activation sequences, random message delays, random 3-SAT formulas) is
+// driven by these generators so that every experiment is reproducible from a
+// single 64-bit seed.  We use splitmix64 for seeding and xoshiro256** as the
+// main generator (public-domain algorithms by Blackman & Vigna).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ibgp::util {
+
+/// splitmix64: tiny, fast, passes BigCrush; ideal for turning one seed into
+/// a stream of independent seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 256-bit-state generator.  Satisfies the
+/// C++ UniformRandomBitGenerator requirements so it can drive <random>
+/// distributions as well.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from splitmix64(seed).
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Unbiased uniform draw from [0, bound) using Lemire's method.
+  /// Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform draw from the inclusive range [lo, hi].  Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fisher-Yates shuffle of an arbitrary span.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a non-empty container.
+  template <typename Container>
+  std::size_t pick_index(const Container& c) {
+    return static_cast<std::size_t>(below(c.size()));
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Derives the i-th child seed of a parent seed; used to give independent
+/// randomness to independent sub-experiments.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t index);
+
+}  // namespace ibgp::util

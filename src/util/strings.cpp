@@ -1,0 +1,97 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace ibgp::util {
+
+namespace {
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  text = trim(text);
+  if (text.empty() || text.front() == '-') return std::nullopt;
+  std::uint64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  // std::from_chars<double> is available in libstdc++ 11+.
+  double value = 0.0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace ibgp::util

@@ -1,0 +1,40 @@
+#pragma once
+// Small string helpers used by the .topo parser, DIMACS parser and CLI tools.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <cstdint>
+
+namespace ibgp::util {
+
+/// Removes ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Splits on a separator character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on runs of ASCII whitespace; no empty fields are produced.
+std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Parses a signed 64-bit decimal integer; rejects trailing garbage.
+std::optional<std::int64_t> parse_i64(std::string_view text);
+
+/// Parses an unsigned 64-bit decimal integer; rejects trailing garbage.
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Parses a double; rejects trailing garbage.
+std::optional<double> parse_f64(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+}  // namespace ibgp::util

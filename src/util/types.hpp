@@ -1,0 +1,47 @@
+#pragma once
+// Fundamental identifier and metric types shared by every ibgp module.
+//
+// The paper (Section 4) works with a node set V of I-BGP speakers inside one
+// autonomous system AS0, neighboring autonomous systems AS1..ASm, IGP link
+// costs, MED values, and BGP identifiers used as the final selection
+// tie-breaker.  We give each of these its own named type so interfaces stay
+// self-describing (Core Guidelines I.4).
+
+#include <cstdint>
+#include <limits>
+
+namespace ibgp {
+
+/// Index of an I-BGP speaker (a node of the physical/logical graphs).
+using NodeId = std::uint32_t;
+
+/// Identifier of an autonomous system (AS0's neighbors AS1..ASm).
+using AsId = std::uint32_t;
+
+/// IGP path metric.  Signed 64-bit so sums of link costs can never overflow
+/// for any realistic topology and so "infinite"/invalid can be represented.
+using Cost = std::int64_t;
+
+/// Multi-Exit-Discriminator attribute value: non-negative, lower preferred.
+using Med = std::uint32_t;
+
+/// BGP identifier of a speaker; the route learned from the *lowest* peer
+/// identifier wins the final tie-break (selection rule 6).
+using BgpId = std::uint32_t;
+
+/// Degree of preference (LOCAL-PREF): higher preferred (selection rule 1).
+using LocalPref = std::uint32_t;
+
+/// Unique identifier of an exit path (an E-BGP route injected into AS0).
+using PathId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no path".
+inline constexpr PathId kNoPath = std::numeric_limits<PathId>::max();
+
+/// Sentinel for an unreachable / undefined IGP metric.
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+}  // namespace ibgp

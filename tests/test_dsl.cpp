@@ -1,0 +1,210 @@
+// Tests for the .topo DSL and the topology builders/generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netsim/validate.hpp"
+#include "topo/builder.hpp"
+#include "topo/dsl.hpp"
+#include "topo/figures.hpp"
+#include "topo/random.hpp"
+
+namespace ibgp::topo {
+namespace {
+
+constexpr const char* kSample = R"(
+# Fig 1(a) in DSL form
+instance sample
+policy order ebgp-first med per-as
+node A reflector 0
+node c1 client 0 bgp-id 21
+node B reflector 1
+node c3 client 1
+link A c1 5
+link A B 6
+link B c3 12
+exit r1 at c1 as 1 med 0 peer 1001
+exit r3 at c3 as 2 med 0 lp 100 len 3 cost 2 peer 1003
+)";
+
+TEST(Dsl, ParsesSample) {
+  const auto inst = parse_topo(kSample);
+  EXPECT_EQ(inst.name(), "sample");
+  EXPECT_EQ(inst.node_count(), 4u);
+  EXPECT_EQ(inst.exits().size(), 2u);
+  EXPECT_EQ(inst.bgp_id(inst.find_node("c1")), 21u);
+  const auto& r3 = inst.exits()[inst.exits().find_by_name("r3")];
+  EXPECT_EQ(r3.exit_cost, 2);
+  EXPECT_EQ(r3.ebgp_peer, 1003u);
+  EXPECT_EQ(r3.next_as, 2u);
+  EXPECT_TRUE(inst.clusters().is_client(inst.find_node("c3")));
+}
+
+TEST(Dsl, PolicyParsing) {
+  const auto inst = parse_topo(
+      "instance p\npolicy order igp-first med always\nnode A reflector 0\n"
+      "exit r at A as 1\n");
+  EXPECT_EQ(inst.policy().order, bgp::RuleOrder::kIgpCostFirst);
+  EXPECT_EQ(inst.policy().med, bgp::MedMode::kAlwaysCompare);
+}
+
+TEST(Dsl, ErrorsCarryLineNumbers) {
+  try {
+    parse_topo("instance x\nnode A reflector 0\nlink A B 5\n");
+    FAIL() << "expected parse error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Dsl, RejectsUnknownDirective) {
+  EXPECT_THROW(parse_topo("instance x\nfrobnicate\n"), std::runtime_error);
+}
+
+TEST(Dsl, RejectsBadRole) {
+  EXPECT_THROW(parse_topo("node A emperor 0\n"), std::runtime_error);
+}
+
+TEST(Dsl, RejectsEmptyInput) {
+  EXPECT_THROW(parse_topo("# nothing\n"), std::runtime_error);
+}
+
+TEST(Dsl, RejectsBadExitSyntax) {
+  EXPECT_THROW(parse_topo("node A reflector 0\nexit r A as 1\n"), std::runtime_error);
+}
+
+TEST(Dsl, CommentsAndBlanksIgnored) {
+  const auto inst = parse_topo(
+      "\n# hello\ninstance c  # trailing comment\nnode A reflector 0\n\n"
+      "exit r at A as 1 # more\n");
+  EXPECT_EQ(inst.node_count(), 1u);
+}
+
+void expect_equivalent(const core::Instance& a, const core::Instance& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.exits().size(), b.exits().size());
+  EXPECT_EQ(a.policy(), b.policy());
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    EXPECT_EQ(a.node_name(v), b.node_name(v));
+    EXPECT_EQ(a.bgp_id(v), b.bgp_id(v));
+    EXPECT_EQ(a.clusters().cluster_of(v), b.clusters().cluster_of(v));
+    EXPECT_EQ(a.clusters().role_of(v), b.clusters().role_of(v));
+    for (NodeId w = 0; w < a.node_count(); ++w) {
+      EXPECT_EQ(a.physical().link_cost(v, w), b.physical().link_cost(v, w));
+      EXPECT_EQ(a.sessions().has_session(v, w), b.sessions().has_session(v, w));
+    }
+  }
+  for (PathId p = 0; p < a.exits().size(); ++p) {
+    EXPECT_EQ(a.exits()[p], b.exits()[p]);
+  }
+}
+
+TEST(Dsl, RoundTripsEveryFigure) {
+  for (const auto& [name, inst] : all_figures()) {
+    SCOPED_TRACE(name);
+    const auto reparsed = parse_topo(write_topo(inst));
+    expect_equivalent(inst, reparsed);
+  }
+}
+
+TEST(Dsl, RoundTripsRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    RandomConfig config;
+    config.clusters = 2 + seed % 3;
+    config.max_clients = 2;
+    config.exits = 4;
+    config.second_reflector_prob = 0.3;
+    const auto inst = random_instance(config, seed);
+    const auto reparsed = parse_topo(write_topo(inst));
+    expect_equivalent(inst, reparsed);
+  }
+}
+
+// --- builder ------------------------------------------------------------------------
+
+TEST(Builder, RejectsDuplicateLabels) {
+  InstanceBuilder b;
+  b.reflector("A", 0);
+  EXPECT_THROW(b.reflector("A", 1), std::invalid_argument);
+}
+
+TEST(Builder, RejectsUnknownLabels) {
+  InstanceBuilder b;
+  b.reflector("A", 0);
+  EXPECT_THROW(b.link("A", "Z", 1), std::invalid_argument);
+  EXPECT_THROW(b.exit({.name = "r", .at = "Z", .next_as = 1}), std::invalid_argument);
+  EXPECT_THROW(b.bgp_id("Z", 5), std::invalid_argument);
+}
+
+TEST(Builder, ClientSessionsSurviveBuild) {
+  InstanceBuilder b;
+  b.reflector("R", 0);
+  b.client("x", 0);
+  b.client("y", 0);
+  b.link("R", "x", 1);
+  b.link("R", "y", 1);
+  b.link("x", "y", 1);
+  b.client_session("x", "y");
+  b.exit({.name = "r", .at = "x", .next_as = 1});
+  const auto inst = b.build("cc");
+  EXPECT_TRUE(inst.sessions().has_session(inst.find_node("x"), inst.find_node("y")));
+}
+
+// --- random generator ------------------------------------------------------------------
+
+TEST(Random, DeterministicPerSeed) {
+  RandomConfig config;
+  const auto a = random_instance(config, 5);
+  const auto b = random_instance(config, 5);
+  expect_equivalent(a, b);
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  RandomConfig config;
+  const auto a = random_instance(config, 5);
+  const auto b = random_instance(config, 6);
+  // Structure may coincide; the exit tables almost surely differ.
+  bool differ = a.node_count() != b.node_count() || a.exits().size() != b.exits().size();
+  if (!differ) {
+    for (PathId p = 0; p < a.exits().size(); ++p) {
+      if (!(a.exits()[p] == b.exits()[p])) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Random, InstancesAreValidAndConnected) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    RandomConfig config;
+    config.clusters = 2 + seed % 4;
+    config.max_clients = seed % 3;
+    config.second_reflector_prob = 0.25;
+    const auto inst = random_instance(config, seed);
+    EXPECT_TRUE(inst.physical().connected()) << seed;
+    const auto report =
+        netsim::validate(inst.physical(), inst.clusters(), inst.sessions());
+    EXPECT_TRUE(report.ok()) << seed;
+  }
+}
+
+TEST(Random, RespectsExitPlacementFlag) {
+  RandomConfig config;
+  config.clusters = 3;
+  config.min_clients = 1;
+  config.max_clients = 2;
+  config.exits = 6;
+  config.exits_at_clients_only = true;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = random_instance(config, seed);
+    for (const auto& path : inst.exits().all()) {
+      EXPECT_TRUE(inst.clusters().is_client(path.exit_point)) << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ibgp::topo

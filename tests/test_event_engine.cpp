@@ -1,0 +1,306 @@
+// Event-driven engine tests: message-level convergence on the paper's
+// figures, agreement with the synchronous engine where both converge,
+// delay-script sensitivity (Fig 3 / Table 1 behavior), FIFO sessions, and
+// E-BGP announce/withdraw dynamics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/fixed_point.hpp"
+#include "engine/activation.hpp"
+#include "engine/event_engine.hpp"
+#include "engine/oscillation.hpp"
+#include "topo/figures.hpp"
+#include "util/rng.hpp"
+
+namespace ibgp::engine {
+namespace {
+
+using core::ProtocolKind;
+
+// --- basic convergence -----------------------------------------------------------
+
+TEST(EventEngine, Fig14StandardConvergesToLoopyConfig) {
+  const auto inst = topo::fig14();
+  EventEngine engine(inst, ProtocolKind::kStandard);
+  engine.inject_all_exits();
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.final_best[inst.find_node("c1")], inst.exits().find_by_name("r1"));
+  EXPECT_EQ(result.final_best[inst.find_node("c2")], inst.exits().find_by_name("r2"));
+}
+
+TEST(EventEngine, Fig14ModifiedGivesCrossedChoices) {
+  const auto inst = topo::fig14();
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits();
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.final_best[inst.find_node("c1")], inst.exits().find_by_name("r2"));
+  EXPECT_EQ(result.final_best[inst.find_node("c2")], inst.exits().find_by_name("r1"));
+}
+
+TEST(EventEngine, Fig1aStandardNeverDrains) {
+  const auto inst = topo::fig1a();
+  EventEngine engine(inst, ProtocolKind::kStandard);
+  engine.inject_all_exits();
+  const auto result = engine.run(/*max_deliveries=*/20000);
+  EXPECT_FALSE(result.converged) << "persistent oscillation must keep messages in flight";
+  EXPECT_GT(result.best_flips, 100u);
+}
+
+TEST(EventEngine, Fig1aModifiedConvergesToPrediction) {
+  const auto inst = topo::fig1a();
+  const auto prediction = core::predict_fixed_point(inst);
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits();
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+}
+
+TEST(EventEngine, Fig13WaltonNeverDrainsButModifiedDoes) {
+  const auto inst = topo::fig13();
+  {
+    EventEngine walton(inst, ProtocolKind::kWalton);
+    walton.inject_all_exits();
+    const auto result = walton.run(/*max_deliveries=*/30000);
+    EXPECT_FALSE(result.converged);
+  }
+  {
+    EventEngine modified(inst, ProtocolKind::kModified);
+    modified.inject_all_exits();
+    const auto result = modified.run();
+    EXPECT_TRUE(result.converged);
+  }
+}
+
+// --- agreement with the synchronous engine ----------------------------------------
+
+TEST(EventEngine, AgreesWithSyncEngineOnConvergentFigures) {
+  for (const auto& [name, inst] : topo::all_figures()) {
+    // The modified protocol converges everywhere, to the same configuration
+    // in both semantics.
+    const auto prediction = core::predict_fixed_point(inst);
+    EventEngine event(inst, ProtocolKind::kModified);
+    event.inject_all_exits();
+    const auto event_result = event.run();
+    ASSERT_TRUE(event_result.converged) << name;
+    auto rr = make_round_robin(inst.node_count());
+    const auto sync_result = run_protocol(inst, ProtocolKind::kModified, *rr);
+    ASSERT_EQ(sync_result.status, RunStatus::kConverged) << name;
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+      EXPECT_EQ(event_result.final_best[v], expected) << name << " node " << v;
+      EXPECT_EQ(sync_result.final_best[v], expected) << name << " node " << v;
+    }
+  }
+}
+
+// --- delay sensitivity (the Fig 3 / Table 1 phenomenon) -----------------------------
+
+TEST(EventEngine, Fig3InjectionOrderSelectsStableSolution) {
+  const auto inst = topo::fig3();
+  const PathId r3 = inst.exits().find_by_name("r3");
+  const PathId r4 = inst.exits().find_by_name("r4");
+  const PathId r5 = inst.exits().find_by_name("r5");
+  const PathId r6 = inst.exits().find_by_name("r6");
+  const NodeId b = inst.find_node("B");
+  const NodeId c = inst.find_node("C");
+
+  // Everything at once with perfectly symmetric delays: B and C flip in
+  // lockstep forever — the "timing coincidence" of Section 3 made permanent
+  // by symmetry.  (The synchronous-activation model converges here; the
+  // message-level model is exactly where the paper demonstrates Table 1.)
+  {
+    EventEngine engine(inst, ProtocolKind::kStandard);
+    engine.inject_all_exits(0);
+    const auto result = engine.run(/*max_deliveries=*/20000);
+    EXPECT_FALSE(result.converged);
+    EXPECT_GT(result.best_flips, 100u);
+  }
+
+  // Staggered injection breaks the symmetry: the MED-0 pair locks in.
+  {
+    EventEngine engine(inst, ProtocolKind::kStandard);
+    for (PathId p = 0; p < inst.exits().size(); ++p) engine.inject_exit(p, 5 * p);
+    const auto result = engine.run();
+    ASSERT_TRUE(result.converged);
+    EXPECT_EQ(result.final_best[b], r3);
+    EXPECT_EQ(result.final_best[c], r5);
+  }
+
+  // MED-0 pair injected LATE: the cheap exits (r4, r6) lock in first and
+  // survive — a different stable solution, selected purely by timing.
+  {
+    EventEngine engine(inst, ProtocolKind::kStandard);
+    for (const char* name : {"r1", "r2", "r4", "r6"}) {
+      engine.inject_exit(inst.exits().find_by_name(name), 0);
+    }
+    engine.inject_exit(r3, 100);
+    engine.inject_exit(r5, 100);
+    const auto result = engine.run();
+    ASSERT_TRUE(result.converged);
+    EXPECT_EQ(result.final_best[b], r4);
+    EXPECT_EQ(result.final_best[c], r6);
+  }
+}
+
+TEST(EventEngine, Fig3ModifiedIgnoresInjectionOrder) {
+  const auto inst = topo::fig3();
+  const auto prediction = core::predict_fixed_point(inst);
+  util::Xoshiro256 rng(404);
+  for (int trial = 0; trial < 10; ++trial) {
+    EventEngine engine(inst, ProtocolKind::kModified);
+    for (PathId p = 0; p < inst.exits().size(); ++p) {
+      engine.inject_exit(p, rng.below(200));
+    }
+    const auto result = engine.run();
+    ASSERT_TRUE(result.converged);
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+      ASSERT_EQ(result.final_best[v], expected)
+          << "trial " << trial << " node " << inst.node_name(v);
+    }
+  }
+}
+
+TEST(EventEngine, Fig3DelayedWithdrawCausesTransientFlaps) {
+  // Steer into the (r3, r5) solution, then re-announce the cheap routes and
+  // withdraw the MED-0 pair: B and C flap through intermediate choices —
+  // transient oscillation, then stability.
+  const auto inst = topo::fig3();
+  EventEngine engine(inst, ProtocolKind::kStandard);
+  for (const char* name : {"r1", "r2", "r3", "r5"}) {
+    engine.inject_exit(inst.exits().find_by_name(name), 0);
+  }
+  engine.inject_exit(inst.exits().find_by_name("r4"), 50);
+  engine.inject_exit(inst.exits().find_by_name("r6"), 50);
+  engine.withdraw_exit(inst.exits().find_by_name("r3"), 120);
+  engine.withdraw_exit(inst.exits().find_by_name("r5"), 180);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.final_best[inst.find_node("B")], inst.exits().find_by_name("r4"));
+  EXPECT_EQ(result.final_best[inst.find_node("C")], inst.exits().find_by_name("r6"));
+  EXPECT_GE(result.best_flips, 6u) << "withdraw churn should flap best routes";
+  EXPECT_FALSE(engine.flap_log().empty());
+}
+
+TEST(EventEngine, RandomDelaysNeverChangeModifiedOutcome) {
+  const auto inst = topo::fig2();
+  const auto prediction = core::predict_fixed_point(inst);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto rng = std::make_shared<util::Xoshiro256>(seed);
+    EventEngine engine(inst, ProtocolKind::kModified,
+                       [rng](NodeId, NodeId, std::uint64_t) -> SimTime {
+                         return 1 + rng->below(50);
+                       });
+    engine.inject_all_exits();
+    const auto result = engine.run();
+    ASSERT_TRUE(result.converged) << "seed " << seed;
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+      ASSERT_EQ(result.final_best[v], expected) << "seed " << seed;
+    }
+  }
+}
+
+TEST(EventEngine, RandomDelaysCanChangeStandardOutcomeOnFig2) {
+  // Fig 2 has two stable solutions; with randomized delays the standard
+  // protocol must reach both across seeds (schedule-dependence).
+  const auto inst = topo::fig2();
+  std::set<std::vector<PathId>> outcomes;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    auto rng = std::make_shared<util::Xoshiro256>(seed);
+    EventEngine engine(inst, ProtocolKind::kStandard,
+                       [rng](NodeId, NodeId, std::uint64_t) -> SimTime {
+                         return 1 + rng->below(20);
+                       });
+    engine.inject_all_exits();
+    const auto result = engine.run(200000);
+    if (result.converged) outcomes.insert(result.final_best);
+  }
+  EXPECT_GE(outcomes.size(), 2u) << "expected both stable solutions across seeds";
+}
+
+// --- E-BGP dynamics ------------------------------------------------------------------
+
+TEST(EventEngine, WithdrawFlushesRoute) {
+  const auto inst = topo::fig1a();
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.withdraw_exit(r3, 1000);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  const auto prediction =
+      core::predict_fixed_point(inst, std::vector<PathId>{
+                                          inst.exits().find_by_name("r1"),
+                                          inst.exits().find_by_name("r2")});
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+}
+
+TEST(EventEngine, NoRoutesMeansNoBest) {
+  const auto inst = topo::fig1a();
+  EventEngine engine(inst, ProtocolKind::kStandard);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  for (const PathId best : result.final_best) EXPECT_EQ(best, kNoPath);
+  EXPECT_EQ(result.deliveries, 0u);
+}
+
+TEST(EventEngine, UpdateCountsAreTracked) {
+  const auto inst = topo::fig14();
+  EventEngine engine(inst, ProtocolKind::kStandard);
+  engine.inject_all_exits();
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.updates_sent, 0u);
+  EXPECT_EQ(result.updates_sent, engine.updates_sent());
+  EXPECT_GE(result.deliveries, result.updates_sent);
+}
+
+TEST(EventEngine, FifoPreservedUnderShrinkingDelays) {
+  // A later message with a smaller delay must not overtake an earlier one on
+  // the same session: with shrinking delays, an early announce and its later
+  // withdraw travel the same session, and an overtake would leave a stale
+  // route in the receiver's Adj-RIB-In forever.  Run the modified protocol
+  // (guaranteed to drain) and require the exact closed-form fixed point —
+  // any FIFO violation shows up as a stale-route deviation.
+  const auto inst = topo::fig2();
+  const auto prediction = core::predict_fixed_point(inst);
+  std::uint64_t call = 0;
+  EventEngine engine(inst, ProtocolKind::kModified,
+                     [&call](NodeId, NodeId, std::uint64_t) -> SimTime {
+                       return call++ < 4 ? 100 : 1;  // early messages slow
+                     });
+  engine.inject_all_exits();
+  const auto result = engine.run(200000);
+  ASSERT_TRUE(result.converged);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+}
+
+TEST(EventEngine, FlapLogRecordsTransitions) {
+  const auto inst = topo::fig14();
+  EventEngine engine(inst, ProtocolKind::kStandard);
+  engine.inject_all_exits();
+  engine.run();
+  ASSERT_FALSE(engine.flap_log().empty());
+  const auto& first = engine.flap_log().front();
+  EXPECT_EQ(first.old_best, kNoPath);
+  EXPECT_NE(first.new_best, kNoPath);
+}
+
+}  // namespace
+}  // namespace ibgp::engine

@@ -1,0 +1,327 @@
+// Every behavioral claim the paper makes about its configuration figures,
+// machine-checked.  This file is the test-suite counterpart of
+// EXPERIMENTS.md: each TEST corresponds to a sentence of Sections 3 and 8.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/determinism.hpp"
+#include "analysis/finder.hpp"
+#include "analysis/forwarding.hpp"
+#include "analysis/stable_search.hpp"
+#include "core/fixed_point.hpp"
+#include "engine/activation.hpp"
+#include "engine/oscillation.hpp"
+#include "topo/figures.hpp"
+
+namespace ibgp {
+namespace {
+
+using core::ProtocolKind;
+using engine::RunStatus;
+
+// ===== Figure 1(a): persistent MED oscillation ================================
+
+TEST(Fig1a, NoStableConfigurationExists) {
+  const auto result = analysis::enumerate_stable_standard(topo::fig1a());
+  ASSERT_TRUE(result.exhaustive);
+  EXPECT_TRUE(result.solutions.empty());
+}
+
+TEST(Fig1a, StandardOscillatesPersistently) {
+  const auto sig = analysis::classify(topo::fig1a(), ProtocolKind::kStandard);
+  EXPECT_EQ(sig.round_robin, RunStatus::kCycleDetected);
+  EXPECT_EQ(sig.synchronous, RunStatus::kCycleDetected);
+}
+
+TEST(Fig1a, OscillationIsMedInduced) {
+  // "It is a combination of route reflection and the way in which MEDs are
+  // compared" — with MEDs ignored or always-compared, the example settles.
+  const auto inst = topo::fig1a();
+  for (const auto mode : {bgp::MedMode::kIgnore, bgp::MedMode::kAlwaysCompare}) {
+    bgp::SelectionPolicy policy;
+    policy.med = mode;
+    const auto sig = analysis::classify(inst.with_policy(policy), ProtocolKind::kStandard);
+    EXPECT_TRUE(sig.converges_always_tested())
+        << "mode " << static_cast<int>(mode) << " should remove the oscillation";
+  }
+}
+
+TEST(Fig1a, WaltonFixesThisExample) {
+  // Section 3: "Walton et al. propose a modification ... which thwarts the
+  // oscillation problem in this example."
+  const auto sig = analysis::classify(topo::fig1a(), ProtocolKind::kWalton);
+  EXPECT_TRUE(sig.converges_always_tested());
+}
+
+TEST(Fig1a, ModifiedConvergesDeterministically) {
+  analysis::DeterminismOptions options;
+  options.runs = 100;
+  const auto report =
+      analysis::check_determinism(topo::fig1a(), ProtocolKind::kModified, options);
+  EXPECT_TRUE(report.deterministic());
+}
+
+// ===== Figure 1(b): rule-ordering sensitivity ===================================
+
+TEST(Fig1b, ConvergesUnderDefaultOrdering) {
+  // "It converges under our present route selection procedure since B always
+  // prefers its E-BGP route to either of the (shorter) routes through A."
+  const auto inst = topo::fig1b();
+  const auto sig = analysis::classify(inst, ProtocolKind::kStandard);
+  EXPECT_TRUE(sig.converges_always_tested());
+
+  auto rr = engine::make_round_robin(inst.node_count());
+  const auto outcome = engine::run_protocol(inst, ProtocolKind::kStandard, *rr);
+  EXPECT_EQ(outcome.final_best[inst.find_node("B")], inst.exits().find_by_name("rB"));
+}
+
+TEST(Fig1b, DivergesUnderRfcOrdering) {
+  // "If the order in which the selection rules are applied is changed to the
+  // ordering in [18] or [11], it is possible to create persistent
+  // oscillations in fully-meshed I-BGP."
+  bgp::SelectionPolicy policy;
+  policy.order = bgp::RuleOrder::kIgpCostFirst;
+  const auto inst = topo::fig1b().with_policy(policy);
+  const auto sig = analysis::classify(inst, ProtocolKind::kStandard);
+  EXPECT_EQ(sig.round_robin, RunStatus::kCycleDetected);
+  const auto stable = analysis::enumerate_stable_standard(inst);
+  ASSERT_TRUE(stable.exhaustive);
+  EXPECT_TRUE(stable.solutions.empty());
+}
+
+TEST(Fig1b, ModifiedConvergesUnderBothOrderings) {
+  for (const auto order : {bgp::RuleOrder::kPreferEbgpFirst, bgp::RuleOrder::kIgpCostFirst}) {
+    bgp::SelectionPolicy policy;
+    policy.order = order;
+    const auto sig =
+        analysis::classify(topo::fig1b().with_policy(policy), ProtocolKind::kModified);
+    EXPECT_TRUE(sig.converges_always_tested());
+  }
+}
+
+// ===== Figure 2: transient oscillation ==========================================
+
+TEST(Fig2, ExactlyTwoStableSolutions) {
+  const auto result = analysis::enumerate_stable_standard(topo::fig2());
+  ASSERT_TRUE(result.exhaustive);
+  EXPECT_EQ(result.solutions.size(), 2u);
+}
+
+TEST(Fig2, SynchronousScheduleOscillatesForever) {
+  const auto inst = topo::fig2();
+  auto sync = engine::make_full_set(inst.node_count());
+  const auto outcome = engine::run_protocol(inst, ProtocolKind::kStandard, *sync);
+  EXPECT_EQ(outcome.status, RunStatus::kCycleDetected);
+  EXPECT_EQ(outcome.cycle_length, 2u);
+}
+
+TEST(Fig2, SequentialSchedulesConvergeToOrderDependentSolutions) {
+  const auto inst = topo::fig2();
+  const NodeId rr1 = inst.find_node("RR1");
+  const NodeId rr2 = inst.find_node("RR2");
+  const NodeId c1 = inst.find_node("c1");
+  const NodeId c2 = inst.find_node("c2");
+  const PathId r1 = inst.exits().find_by_name("r1");
+  const PathId r2 = inst.exits().find_by_name("r2");
+
+  // RR1 first: its advertisement of r1 wins; both reflectors settle on r1.
+  {
+    auto schedule = engine::make_scripted(
+        inst.node_count(), {{c1}, {c2}, {rr1}, {rr2}});
+    const auto outcome = engine::run_protocol(inst, ProtocolKind::kStandard, *schedule);
+    ASSERT_EQ(outcome.status, RunStatus::kConverged);
+    EXPECT_EQ(outcome.final_best[rr1], r1);
+    EXPECT_EQ(outcome.final_best[rr2], r1);
+  }
+  // RR2 first: mirrored.
+  {
+    auto schedule = engine::make_scripted(
+        inst.node_count(), {{c1}, {c2}, {rr2}, {rr1}});
+    const auto outcome = engine::run_protocol(inst, ProtocolKind::kStandard, *schedule);
+    ASSERT_EQ(outcome.status, RunStatus::kConverged);
+    EXPECT_EQ(outcome.final_best[rr1], r2);
+    EXPECT_EQ(outcome.final_best[rr2], r2);
+  }
+}
+
+TEST(Fig2, WaltonBehavesExactlyLikeStandard) {
+  // "there is only one neighboring AS, so their adaptation behaves exactly
+  // the same as for classical I-BGP."
+  const auto inst = topo::fig2();
+  const auto walton = analysis::classify(inst, ProtocolKind::kWalton);
+  const auto standard = analysis::classify(inst, ProtocolKind::kStandard);
+  EXPECT_EQ(walton.round_robin, standard.round_robin);
+  EXPECT_EQ(walton.synchronous, standard.synchronous);
+}
+
+TEST(Fig2, ModifiedAlwaysSameOutcome) {
+  analysis::DeterminismOptions options;
+  options.runs = 150;
+  const auto report =
+      analysis::check_determinism(topo::fig2(), ProtocolKind::kModified, options);
+  EXPECT_TRUE(report.deterministic());
+}
+
+TEST(Fig2, StandardReachesBothOutcomesAcrossSchedules) {
+  analysis::DeterminismOptions options;
+  options.runs = 150;
+  const auto report =
+      analysis::check_determinism(topo::fig2(), ProtocolKind::kStandard, options);
+  EXPECT_GE(report.outcomes.size(), 2u);
+}
+
+// ===== Figure 3: delay-induced transients =======================================
+
+TEST(Fig3, ExactlyTwoStableSolutions) {
+  const auto result = analysis::enumerate_stable_standard(topo::fig3());
+  ASSERT_TRUE(result.exhaustive);
+  ASSERT_EQ(result.solutions.size(), 2u);
+}
+
+TEST(Fig3, StandardConvergentButScheduleSensitive) {
+  // Unlike Fig 1(a) the mesh converges from a cold start; the transient
+  // phenomenon is timing-dependence of WHICH solution is reached (the event
+  // engine tests drive the injection-timing side).
+  const auto sig = analysis::classify(topo::fig3(), ProtocolKind::kStandard);
+  EXPECT_TRUE(sig.converges_always_tested());
+}
+
+TEST(Fig3, ModifiedUniqueFixedPoint) {
+  const auto inst = topo::fig3();
+  const auto prediction = core::predict_fixed_point(inst);
+  const PathId r1 = inst.exits().find_by_name("r1");
+  const PathId r3 = inst.exits().find_by_name("r3");
+  const PathId r5 = inst.exits().find_by_name("r5");
+  EXPECT_EQ(prediction.s_prime, (std::vector<PathId>{r1, r3, r5}));
+  analysis::DeterminismOptions options;
+  options.runs = 100;
+  const auto report = analysis::check_determinism(inst, ProtocolKind::kModified, options);
+  EXPECT_TRUE(report.deterministic());
+}
+
+// ===== Figure 13: the Walton et al. counterexample ==============================
+
+TEST(Fig13, NoStableConfiguration) {
+  const auto result = analysis::enumerate_stable_standard(topo::fig13());
+  ASSERT_TRUE(result.exhaustive);
+  EXPECT_TRUE(result.solutions.empty());
+}
+
+TEST(Fig13, WaltonOscillatesPersistently) {
+  const auto sig = analysis::classify(topo::fig13(), ProtocolKind::kWalton);
+  EXPECT_EQ(sig.round_robin, RunStatus::kCycleDetected);
+  EXPECT_EQ(sig.synchronous, RunStatus::kCycleDetected);
+}
+
+TEST(Fig13, StandardAlsoOscillates) {
+  const auto sig = analysis::classify(topo::fig13(), ProtocolKind::kStandard);
+  EXPECT_TRUE(sig.oscillates());
+}
+
+TEST(Fig13, OscillationIsMedInduced) {
+  // "an example with MED-induced (i.e., not observed if MEDs are absent)
+  // persistent oscillations".
+  bgp::SelectionPolicy policy;
+  policy.med = bgp::MedMode::kIgnore;
+  const auto inst = topo::fig13().with_policy(policy);
+  for (const auto kind : {ProtocolKind::kStandard, ProtocolKind::kWalton}) {
+    const auto sig = analysis::classify(inst, kind);
+    EXPECT_TRUE(sig.converges_always_tested())
+        << core::protocol_name(kind) << " should converge without MEDs";
+  }
+}
+
+TEST(Fig13, WaltonNeverConvergesUnderRandomSchedules) {
+  analysis::DeterminismOptions options;
+  options.runs = 50;
+  options.max_steps = 4000;
+  const auto report =
+      analysis::check_determinism(topo::fig13(), ProtocolKind::kWalton, options);
+  EXPECT_EQ(report.converged, 0u);
+}
+
+TEST(Fig13, ModifiedConvergesDeterministically) {
+  analysis::DeterminismOptions options;
+  options.runs = 100;
+  const auto report =
+      analysis::check_determinism(topo::fig13(), ProtocolKind::kModified, options);
+  EXPECT_TRUE(report.deterministic());
+  // And the fixed point matches the closed form: S' = {p1, p2, p3, t}.
+  const auto inst = topo::fig13();
+  const auto prediction = core::predict_fixed_point(inst);
+  EXPECT_EQ(prediction.s_prime.size(), 4u);
+}
+
+// ===== Figure 14: forwarding loops ===============================================
+
+TEST(Fig14, StandardAndWaltonProduceTheLoop) {
+  const auto inst = topo::fig14();
+  for (const auto kind : {ProtocolKind::kStandard, ProtocolKind::kWalton}) {
+    auto rr = engine::make_round_robin(inst.node_count());
+    const auto outcome = engine::run_protocol(inst, kind, *rr);
+    ASSERT_EQ(outcome.status, RunStatus::kConverged) << core::protocol_name(kind);
+    const auto report = analysis::analyze_forwarding(inst, outcome.final_best);
+    EXPECT_FALSE(report.loop_free()) << core::protocol_name(kind);
+    const auto& trace = report.traces[inst.find_node("c1")];
+    ASSERT_EQ(trace.outcome, analysis::ForwardOutcome::kLoop);
+    // The loop is exactly c1 -> c2 -> c1.
+    ASSERT_EQ(trace.hops.size(), 3u);
+    EXPECT_EQ(trace.hops[0], inst.find_node("c1"));
+    EXPECT_EQ(trace.hops[1], inst.find_node("c2"));
+    EXPECT_EQ(trace.hops[2], inst.find_node("c1"));
+  }
+}
+
+TEST(Fig14, ModifiedIsLoopFreeWithCrossedChoices) {
+  // "c2 chooses r1 and c1 chooses r2 (lower IGP metric) and there are no
+  // routing loops."
+  const auto inst = topo::fig14();
+  auto rr = engine::make_round_robin(inst.node_count());
+  const auto outcome = engine::run_protocol(inst, ProtocolKind::kModified, *rr);
+  ASSERT_EQ(outcome.status, RunStatus::kConverged);
+  EXPECT_EQ(outcome.final_best[inst.find_node("c1")], inst.exits().find_by_name("r2"));
+  EXPECT_EQ(outcome.final_best[inst.find_node("c2")], inst.exits().find_by_name("r1"));
+  const auto report = analysis::analyze_forwarding(inst, outcome.final_best);
+  EXPECT_TRUE(report.loop_free());
+}
+
+// ===== cross-figure invariants ===================================================
+
+TEST(AllFigures, ModifiedConvergesEverywhereToPrediction) {
+  for (const auto& [name, inst] : topo::all_figures()) {
+    const auto prediction = core::predict_fixed_point(inst);
+    for (const bool synchronous : {false, true}) {
+      auto seq = synchronous ? engine::make_full_set(inst.node_count())
+                             : engine::make_round_robin(inst.node_count());
+      const auto outcome = engine::run_protocol(inst, ProtocolKind::kModified, *seq);
+      ASSERT_EQ(outcome.status, RunStatus::kConverged) << name;
+      for (NodeId v = 0; v < inst.node_count(); ++v) {
+        const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+        ASSERT_EQ(outcome.final_best[v], expected) << name << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(AllFigures, ModifiedForwardingAlwaysLoopFree) {
+  for (const auto& [name, inst] : topo::all_figures()) {
+    auto rr = engine::make_round_robin(inst.node_count());
+    const auto outcome = engine::run_protocol(inst, ProtocolKind::kModified, *rr);
+    ASSERT_EQ(outcome.status, RunStatus::kConverged) << name;
+    const auto report = analysis::analyze_forwarding(inst, outcome.final_best);
+    EXPECT_TRUE(report.loop_free()) << name;
+  }
+}
+
+TEST(AllFigures, InstancesAreStructurallyValid) {
+  for (const auto& [name, inst] : topo::all_figures()) {
+    EXPECT_GT(inst.node_count(), 0u) << name;
+    EXPECT_GT(inst.exits().size(), 0u) << name;
+    EXPECT_TRUE(inst.physical().connected()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ibgp

@@ -1,0 +1,104 @@
+// MinRouteAdvertisementInterval (rate-limiting) tests — the Section 9
+// mitigation family: dampening slows oscillations, it does not remove them.
+
+#include <gtest/gtest.h>
+
+#include "core/fixed_point.hpp"
+#include "engine/event_engine.hpp"
+#include "topo/figures.hpp"
+
+namespace ibgp::engine {
+namespace {
+
+using core::ProtocolKind;
+
+TEST(Mrai, PersistentOscillationSurvivesDampening) {
+  // Fig 1(a) has NO stable configuration: however hard updates are
+  // rate-limited, the standard protocol keeps flapping.
+  const auto inst = topo::fig1a();
+  EventEngine engine(inst, ProtocolKind::kStandard);
+  engine.set_mrai(50);
+  engine.inject_all_exits();
+  const auto result = engine.run(/*max_deliveries=*/20000);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.best_flips, 50u);
+}
+
+TEST(Mrai, DampeningStretchesTheOscillationInTime) {
+  // Same delivery budget, but MRAI batching makes each oscillation period
+  // cost far more virtual time: the flap *rate* drops even though the
+  // oscillation persists.
+  const auto inst = topo::fig1a();
+
+  EventEngine fast(inst, ProtocolKind::kStandard);
+  fast.inject_all_exits();
+  const auto fast_result = fast.run(5000);
+
+  EventEngine damped(inst, ProtocolKind::kStandard);
+  damped.set_mrai(100);
+  damped.inject_all_exits();
+  const auto damped_result = damped.run(5000);
+
+  ASSERT_FALSE(fast_result.converged);
+  ASSERT_FALSE(damped_result.converged);
+  EXPECT_GT(damped_result.end_time, fast_result.end_time * 5)
+      << "dampened run should burn far more virtual time per delivery";
+}
+
+TEST(Mrai, ModifiedConvergesToSameFixedPointUnderMrai) {
+  const auto inst = topo::fig1a();
+  const auto prediction = core::predict_fixed_point(inst);
+  for (const SimTime mrai : {0, 25, 200}) {
+    EventEngine engine(inst, ProtocolKind::kModified);
+    engine.set_mrai(mrai);
+    engine.inject_all_exits();
+    const auto result = engine.run();
+    ASSERT_TRUE(result.converged) << "mrai " << mrai;
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+      EXPECT_EQ(result.final_best[v], expected) << "mrai " << mrai << " node " << v;
+    }
+  }
+}
+
+TEST(Mrai, BatchingCoalescesChurnIntoFewerUpdates) {
+  // The withdraw-churn scenario on Fig 3: with batching, intermediate
+  // flip-flops within one hold-down window collapse into net diffs, so
+  // fewer UPDATE messages cross the wire.
+  const auto inst = topo::fig3();
+  auto scripted = [&](SimTime mrai) {
+    EventEngine engine(inst, ProtocolKind::kStandard);
+    engine.set_mrai(mrai);
+    for (const char* name : {"r1", "r2", "r3", "r5"}) {
+      engine.inject_exit(inst.exits().find_by_name(name), 0);
+    }
+    engine.inject_exit(inst.exits().find_by_name("r4"), 50);
+    engine.inject_exit(inst.exits().find_by_name("r6"), 50);
+    engine.withdraw_exit(inst.exits().find_by_name("r3"), 120);
+    engine.withdraw_exit(inst.exits().find_by_name("r5"), 180);
+    return engine.run(100000);
+  };
+  const auto plain = scripted(0);
+  const auto damped = scripted(400);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(damped.converged);
+  EXPECT_EQ(damped.final_best, plain.final_best) << "same outcome, fewer messages";
+  EXPECT_LE(damped.updates_sent, plain.updates_sent);
+}
+
+TEST(Mrai, ZeroIntervalIsPlainBehavior) {
+  const auto inst = topo::fig14();
+  EventEngine a(inst, ProtocolKind::kStandard);
+  EventEngine b(inst, ProtocolKind::kStandard);
+  b.set_mrai(0);
+  a.inject_all_exits();
+  b.inject_all_exits();
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.final_best, rb.final_best);
+  EXPECT_EQ(ra.updates_sent, rb.updates_sent);
+  EXPECT_EQ(ra.deliveries, rb.deliveries);
+}
+
+}  // namespace
+}  // namespace ibgp::engine

@@ -1,0 +1,311 @@
+// Synchronous-engine tests: the paper's config(t) semantics, the narrated
+// Fig 1(a) oscillation trace step by step, withdrawal flushing (Lemma 7.2),
+// crash/restart, activation-sequence generators, and run()/cycle detection.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fixed_point.hpp"
+#include "engine/activation.hpp"
+#include "engine/oscillation.hpp"
+#include "engine/sync_engine.hpp"
+#include "topo/figures.hpp"
+
+namespace ibgp::engine {
+namespace {
+
+using core::ProtocolKind;
+
+// --- activation sequences ------------------------------------------------------
+
+TEST(Activation, RoundRobinCyclesSingletons) {
+  auto seq = make_round_robin(3);
+  EXPECT_EQ(seq->period(), 3u);
+  EXPECT_EQ(seq->next(), (ActivationSet{0}));
+  EXPECT_EQ(seq->next(), (ActivationSet{1}));
+  EXPECT_EQ(seq->next(), (ActivationSet{2}));
+  EXPECT_EQ(seq->next(), (ActivationSet{0}));
+}
+
+TEST(Activation, FullSetIsEverybodyEveryStep) {
+  auto seq = make_full_set(4);
+  EXPECT_EQ(seq->period(), 1u);
+  EXPECT_EQ(seq->next(), (ActivationSet{0, 1, 2, 3}));
+  EXPECT_EQ(seq->next(), (ActivationSet{0, 1, 2, 3}));
+}
+
+TEST(Activation, RandomFairCoversAllWithinPeriod) {
+  auto seq = make_random_fair(5, 42);
+  for (int round = 0; round < 20; ++round) {
+    std::set<NodeId> seen;
+    for (std::size_t i = 0; i < seq->period(); ++i) {
+      for (const NodeId v : seq->next()) seen.insert(v);
+    }
+    ASSERT_EQ(seen.size(), 5u) << "fairness window violated in round " << round;
+  }
+}
+
+TEST(Activation, RandomFairDeterministicPerSeed) {
+  auto a = make_random_fair(6, 9);
+  auto b = make_random_fair(6, 9);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(a->next(), b->next());
+}
+
+TEST(Activation, RandomSubsetsNeverEmptyAndFair) {
+  auto seq = make_random_subsets(4, 7);
+  std::vector<std::size_t> last_seen(4, 0);
+  for (std::size_t step = 1; step <= 200; ++step) {
+    const auto set = seq->next();
+    ASSERT_FALSE(set.empty());
+    ASSERT_TRUE(std::is_sorted(set.begin(), set.end()));
+    for (const NodeId v : set) last_seen[v] = step;
+    for (NodeId v = 0; v < 4; ++v) {
+      ASSERT_LE(step - last_seen[v], seq->period()) << "node " << v << " starved";
+    }
+  }
+}
+
+TEST(Activation, ScriptedPrefixThenRoundRobin) {
+  auto seq = make_scripted(3, {{2}, {0, 1}});
+  EXPECT_EQ(seq->next(), (ActivationSet{2}));
+  EXPECT_EQ(seq->next(), (ActivationSet{0, 1}));
+  EXPECT_EQ(seq->next(), (ActivationSet{0}));  // round-robin tail
+}
+
+TEST(Activation, ScriptedRejectsBadPrefix) {
+  EXPECT_THROW(make_scripted(3, {{}}), std::invalid_argument);
+  EXPECT_THROW(make_scripted(3, {{7}}), std::invalid_argument);
+}
+
+// --- the Fig 1(a) narrative, step by step ---------------------------------------
+
+TEST(SyncEngine, Fig1aNarratedCycle) {
+  const auto inst = topo::fig1a();
+  const NodeId a = inst.find_node("A");
+  const NodeId b = inst.find_node("B");
+  const PathId r1 = inst.exits().find_by_name("r1");
+  const PathId r2 = inst.exits().find_by_name("r2");
+  const PathId r3 = inst.exits().find_by_name("r3");
+
+  SyncEngine engine(inst, ProtocolKind::kStandard);
+  // Let the clients pin their exits first.
+  engine.step({inst.find_node("c1"), inst.find_node("c2"), inst.find_node("c3")});
+
+  // "Route reflector A selects route r2 (lower IGP metric)".
+  engine.step({a});
+  EXPECT_EQ(engine.best_path(a), r2);
+  // "...and route reflector B selects route r3" (it has not heard r2 yet
+  // in the sequential order; activate B now that A advertised r2).
+  engine.step({b});
+  EXPECT_EQ(engine.best_path(b), r3);  // r3 MED-kills r2
+
+  // "A receives r3 and selects r1".
+  engine.step({a});
+  EXPECT_EQ(engine.best_path(a), r1);
+
+  // "B receives r1 and selects r1 over r3 (lower IGP metric)".
+  engine.step({b});
+  EXPECT_EQ(engine.best_path(b), r1);
+
+  // "A selects r2 over r1 (lower IGP metric)" — r3 was withdrawn by B.
+  engine.step({a});
+  EXPECT_EQ(engine.best_path(a), r2);
+
+  // "B selects r3 over r2 (lower MED) and the cycle begins again."
+  engine.step({b});
+  EXPECT_EQ(engine.best_path(b), r3);
+}
+
+TEST(SyncEngine, Fig1aClientsPinnedForever) {
+  const auto inst = topo::fig1a();
+  SyncEngine engine(inst, ProtocolKind::kStandard);
+  auto rr = make_round_robin(inst.node_count());
+  for (int i = 0; i < 100; ++i) engine.step(rr->next());
+  EXPECT_EQ(engine.best_path(inst.find_node("c1")), inst.exits().find_by_name("r1"));
+  EXPECT_EQ(engine.best_path(inst.find_node("c2")), inst.exits().find_by_name("r2"));
+  EXPECT_EQ(engine.best_path(inst.find_node("c3")), inst.exits().find_by_name("r3"));
+}
+
+// --- run() and oscillation detection --------------------------------------------
+
+TEST(Run, Fig1aStandardCyclesUnderBothSchedules) {
+  const auto inst = topo::fig1a();
+  for (const bool synchronous : {false, true}) {
+    auto seq = synchronous ? make_full_set(inst.node_count())
+                           : make_round_robin(inst.node_count());
+    const auto outcome = run_protocol(inst, ProtocolKind::kStandard, *seq);
+    EXPECT_EQ(outcome.status, RunStatus::kCycleDetected);
+    EXPECT_GT(outcome.cycle_length, 0u);
+    EXPECT_GT(outcome.best_flips, 0u);
+  }
+}
+
+TEST(Run, Fig1aModifiedConvergesToPrediction) {
+  const auto inst = topo::fig1a();
+  const auto prediction = core::predict_fixed_point(inst);
+  for (const bool synchronous : {false, true}) {
+    auto seq = synchronous ? make_full_set(inst.node_count())
+                           : make_round_robin(inst.node_count());
+    const auto outcome = run_protocol(inst, ProtocolKind::kModified, *seq);
+    ASSERT_EQ(outcome.status, RunStatus::kConverged);
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+      EXPECT_EQ(outcome.final_best[v], expected) << "node " << v;
+    }
+  }
+}
+
+TEST(Run, ConvergedRunReportsQuiescence) {
+  const auto inst = topo::fig14();
+  auto rr = make_round_robin(inst.node_count());
+  const auto outcome = run_protocol(inst, ProtocolKind::kStandard, *rr);
+  ASSERT_EQ(outcome.status, RunStatus::kConverged);
+  EXPECT_LE(outcome.quiescent_since, outcome.steps);
+  EXPECT_GT(outcome.steps, 0u);
+}
+
+TEST(Run, StepLimitReportedWithoutCycleDetection) {
+  const auto inst = topo::fig1a();
+  SyncEngine engine(inst, ProtocolKind::kStandard);
+  auto rr = make_round_robin(inst.node_count());
+  RunLimits limits;
+  limits.max_steps = 50;
+  limits.detect_cycles = false;
+  const auto outcome = run(engine, *rr, limits);
+  EXPECT_EQ(outcome.status, RunStatus::kStepLimit);
+  EXPECT_EQ(outcome.steps, 50u);
+}
+
+// --- Lemma 7.2: withdrawn routes flush -------------------------------------------
+
+TEST(SyncEngine, WithdrawnExitFlushesEverywhere) {
+  const auto inst = topo::fig1a();
+  const PathId r3 = inst.exits().find_by_name("r3");
+  SyncEngine engine(inst, ProtocolKind::kModified);
+  auto rr = make_round_robin(inst.node_count());
+  RunLimits limits;
+  const auto first = run(engine, *rr, limits);
+  ASSERT_EQ(first.status, RunStatus::kConverged);
+  // r3 is in everyone's PossibleExits now (it is in S').
+  bool seen = false;
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const auto ids = engine.possible_ids(v);
+    seen |= std::binary_search(ids.begin(), ids.end(), r3);
+  }
+  ASSERT_TRUE(seen);
+
+  engine.withdraw_exit(r3);
+  const auto second = run(engine, *rr, limits);
+  ASSERT_EQ(second.status, RunStatus::kConverged);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const auto ids = engine.possible_ids(v);
+    EXPECT_FALSE(std::binary_search(ids.begin(), ids.end(), r3))
+        << "withdrawn exit still visible at node " << v << " (Lemma 7.2 violated)";
+  }
+  // And the new fixed point matches the prediction for the reduced set.
+  const auto prediction = core::predict_fixed_point(inst, engine.announced_exits());
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(engine.best_path(v), expected);
+  }
+}
+
+TEST(SyncEngine, ReannouncedExitReturns) {
+  const auto inst = topo::fig1a();
+  const PathId r3 = inst.exits().find_by_name("r3");
+  SyncEngine engine(inst, ProtocolKind::kModified);
+  auto rr = make_round_robin(inst.node_count());
+  engine.withdraw_exit(r3);
+  run(engine, *rr, {});
+  engine.announce_exit(r3);
+  const auto outcome = run(engine, *rr, {});
+  ASSERT_EQ(outcome.status, RunStatus::kConverged);
+  const auto prediction = core::predict_fixed_point(inst);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(engine.best_path(v), expected);
+  }
+}
+
+// --- crash / restart ---------------------------------------------------------------
+
+TEST(SyncEngine, CrashRestartReachesSameFixedPoint) {
+  const auto inst = topo::fig2();
+  const auto prediction = core::predict_fixed_point(inst);
+  SyncEngine engine(inst, ProtocolKind::kModified);
+  auto rr = make_round_robin(inst.node_count());
+  run(engine, *rr, {});
+
+  for (NodeId victim = 0; victim < inst.node_count(); ++victim) {
+    engine.crash_node(victim);
+    const auto outcome = run(engine, *rr, {});
+    ASSERT_EQ(outcome.status, RunStatus::kConverged) << "victim " << victim;
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+      ASSERT_EQ(engine.best_path(v), expected)
+          << "fixed point changed after crash of node " << victim;
+    }
+  }
+}
+
+TEST(SyncEngine, CrashedNodeStateCleared) {
+  const auto inst = topo::fig2();
+  SyncEngine engine(inst, ProtocolKind::kStandard);
+  auto rr = make_round_robin(inst.node_count());
+  run(engine, *rr, {});
+  engine.crash_node(0);
+  EXPECT_FALSE(engine.best(0).has_value());
+  EXPECT_TRUE(engine.possible(0).empty());
+  EXPECT_TRUE(engine.advertised(0).empty());
+}
+
+// --- misc engine mechanics -----------------------------------------------------------
+
+TEST(SyncEngine, StateHashDistinguishesConfigurations) {
+  const auto inst = topo::fig1a();
+  SyncEngine a(inst, ProtocolKind::kStandard);
+  SyncEngine b(inst, ProtocolKind::kStandard);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  a.step({inst.find_node("c1")});
+  EXPECT_NE(a.state_hash(), b.state_hash());
+  b.step({inst.find_node("c1")});
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+}
+
+TEST(SyncEngine, StepReturnsFalseWhenNothingChanges) {
+  const auto inst = topo::fig14();
+  SyncEngine engine(inst, ProtocolKind::kStandard);
+  auto rr = make_round_robin(inst.node_count());
+  run(engine, *rr, {});
+  ActivationSet all;
+  for (NodeId v = 0; v < inst.node_count(); ++v) all.push_back(v);
+  EXPECT_FALSE(engine.step(all));
+}
+
+TEST(SyncEngine, FlipCountersTrackChanges) {
+  const auto inst = topo::fig1a();
+  SyncEngine engine(inst, ProtocolKind::kStandard);
+  auto rr = make_round_robin(inst.node_count());
+  for (int i = 0; i < 60; ++i) engine.step(rr->next());
+  EXPECT_GT(engine.best_flips(), 0u);
+  const auto by_node = engine.best_flips_by_node();
+  std::size_t sum = 0;
+  for (const auto count : by_node) sum += count;
+  EXPECT_EQ(sum, engine.best_flips());
+  // The oscillation is between A and B; clients settle after one flip each.
+  EXPECT_GT(by_node[inst.find_node("A")], 2u);
+  EXPECT_GT(by_node[inst.find_node("B")], 2u);
+}
+
+TEST(SyncEngine, DescribeBestUsesNames) {
+  const auto inst = topo::fig14();
+  auto rr = make_round_robin(inst.node_count());
+  const auto outcome = run_protocol(inst, ProtocolKind::kStandard, *rr);
+  const auto text = describe_best(inst, outcome.final_best);
+  EXPECT_NE(text.find("RR1->r1"), std::string::npos);
+  EXPECT_NE(text.find("c2->r2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibgp::engine

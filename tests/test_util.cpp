@@ -1,0 +1,275 @@
+// Unit tests for the utility substrate: deterministic RNG, hashing, string
+// helpers and the CLI flag parser.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/flags.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ibgp::util {
+namespace {
+
+// --- rng -------------------------------------------------------------------
+
+TEST(SplitMix64, DeterministicAcrossInstances) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowRespectsBound) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every value hit
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(2024);
+  std::array<int, 8> buckets{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.below(8)];
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 8, kDraws / 8 * 0.1);
+  }
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256, ShuffleIsPermutation) {
+  Xoshiro256 rng(11);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(DeriveSeed, ChildrenAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(99, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+// --- hash --------------------------------------------------------------------
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(std::string_view{}), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  const auto ab = hash_combine(hash_combine(0, 1), 2);
+  const auto ba = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Fingerprint, OrderAndContentSensitive) {
+  Fingerprint a, b, c;
+  a.add(1).add(2);
+  b.add(2).add(1);
+  c.add(1).add(2);
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_EQ(a.value(), c.value());
+}
+
+TEST(Fingerprint, StringsMix) {
+  Fingerprint a, b;
+  a.add("hello");
+  b.add("hellp");
+  EXPECT_NE(a.value(), b.value());
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, ParseI64) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64(" 13 "), 13);
+  EXPECT_FALSE(parse_i64("12x"));
+  EXPECT_FALSE(parse_i64(""));
+  EXPECT_FALSE(parse_i64("4.5"));
+}
+
+TEST(Strings, ParseU64RejectsNegative) {
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+  EXPECT_FALSE(parse_u64("-1"));
+}
+
+TEST(Strings, ParseF64) {
+  EXPECT_DOUBLE_EQ(parse_f64("2.5").value(), 2.5);
+  EXPECT_FALSE(parse_f64("nope"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsWithAndLower) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+// --- flags -------------------------------------------------------------------
+
+TEST(Flags, ParsesAllKinds) {
+  Flags flags("prog", "test");
+  flags.add_string("name", "default", "a string");
+  flags.add_int("count", 3, "an int");
+  flags.add_double("ratio", 0.5, "a double");
+  flags.add_bool("verbose", false, "a bool");
+
+  const char* argv[] = {"prog", "--name=xyz", "--count", "7", "--ratio=1.5", "--verbose"};
+  ASSERT_TRUE(flags.parse(6, argv)) << flags.error();
+  EXPECT_EQ(flags.get_string("name"), "xyz");
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 1.5);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, NoPrefixDisablesBool) {
+  Flags flags("prog", "test");
+  flags.add_bool("feature", true, "a bool");
+  const char* argv[] = {"prog", "--no-feature"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_FALSE(flags.get_bool("feature"));
+}
+
+TEST(Flags, RejectsUnknown) {
+  Flags flags("prog", "test");
+  const char* argv[] = {"prog", "--mystery"};
+  EXPECT_FALSE(flags.parse(2, argv));
+  EXPECT_NE(flags.error().find("mystery"), std::string_view::npos);
+}
+
+TEST(Flags, RejectsBadInt) {
+  Flags flags("prog", "test");
+  flags.add_int("n", 0, "int");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(Flags, PositionalCollected) {
+  Flags flags("prog", "test");
+  const char* argv[] = {"prog", "one", "two"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[1], "two");
+}
+
+TEST(Flags, HelpRequested) {
+  Flags flags("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.help_text().find("prog"), std::string::npos);
+}
+
+// --- log ---------------------------------------------------------------------
+
+TEST(Log, LevelsFilter) {
+  auto& logger = Logger::instance();
+  std::vector<std::string> captured;
+  logger.set_sink([&](LogLevel, std::string_view message) {
+    captured.emplace_back(message);
+  });
+  logger.set_level(LogLevel::kWarn);
+  IBGP_INFO() << "hidden";
+  IBGP_WARN() << "shown " << 42;
+  logger.set_level(LogLevel::kWarn);
+  logger.set_sink(nullptr);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "shown 42");
+}
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+}
+
+}  // namespace
+}  // namespace ibgp::util
