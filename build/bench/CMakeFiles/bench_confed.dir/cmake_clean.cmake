@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confed.dir/bench_confed.cpp.o"
+  "CMakeFiles/bench_confed.dir/bench_confed.cpp.o.d"
+  "bench_confed"
+  "bench_confed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mrai.dir/bench_mrai.cpp.o"
+  "CMakeFiles/bench_mrai.dir/bench_mrai.cpp.o.d"
+  "bench_mrai"
+  "bench_mrai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_npc.dir/bench_npc.cpp.o"
+  "CMakeFiles/bench_npc.dir/bench_npc.cpp.o.d"
+  "bench_npc"
+  "bench_npc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_npc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

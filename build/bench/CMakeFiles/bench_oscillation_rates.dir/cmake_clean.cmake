@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oscillation_rates.dir/bench_oscillation_rates.cpp.o"
+  "CMakeFiles/bench_oscillation_rates.dir/bench_oscillation_rates.cpp.o.d"
+  "bench_oscillation_rates"
+  "bench_oscillation_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oscillation_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

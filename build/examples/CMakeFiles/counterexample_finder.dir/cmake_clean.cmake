@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterexample_finder.dir/counterexample_finder.cpp.o"
+  "CMakeFiles/counterexample_finder.dir/counterexample_finder.cpp.o.d"
+  "counterexample_finder"
+  "counterexample_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterexample_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_demo.dir/determinism_demo.cpp.o"
+  "CMakeFiles/determinism_demo.dir/determinism_demo.cpp.o.d"
+  "determinism_demo"
+  "determinism_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_trace.dir/event_trace.cpp.o"
+  "CMakeFiles/event_trace.dir/event_trace.cpp.o.d"
+  "event_trace"
+  "event_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

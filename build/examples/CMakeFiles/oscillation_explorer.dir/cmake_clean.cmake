@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillation_explorer.dir/oscillation_explorer.cpp.o"
+  "CMakeFiles/oscillation_explorer.dir/oscillation_explorer.cpp.o.d"
+  "oscillation_explorer"
+  "oscillation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

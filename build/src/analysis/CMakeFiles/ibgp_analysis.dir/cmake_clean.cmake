@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_analysis.dir/determinism.cpp.o"
+  "CMakeFiles/ibgp_analysis.dir/determinism.cpp.o.d"
+  "CMakeFiles/ibgp_analysis.dir/finder.cpp.o"
+  "CMakeFiles/ibgp_analysis.dir/finder.cpp.o.d"
+  "CMakeFiles/ibgp_analysis.dir/forwarding.cpp.o"
+  "CMakeFiles/ibgp_analysis.dir/forwarding.cpp.o.d"
+  "CMakeFiles/ibgp_analysis.dir/stable_search.cpp.o"
+  "CMakeFiles/ibgp_analysis.dir/stable_search.cpp.o.d"
+  "libibgp_analysis.a"
+  "libibgp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/exit_path.cpp" "src/bgp/CMakeFiles/ibgp_bgp.dir/exit_path.cpp.o" "gcc" "src/bgp/CMakeFiles/ibgp_bgp.dir/exit_path.cpp.o.d"
+  "/root/repo/src/bgp/exit_table.cpp" "src/bgp/CMakeFiles/ibgp_bgp.dir/exit_table.cpp.o" "gcc" "src/bgp/CMakeFiles/ibgp_bgp.dir/exit_table.cpp.o.d"
+  "/root/repo/src/bgp/selection.cpp" "src/bgp/CMakeFiles/ibgp_bgp.dir/selection.cpp.o" "gcc" "src/bgp/CMakeFiles/ibgp_bgp.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ibgp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

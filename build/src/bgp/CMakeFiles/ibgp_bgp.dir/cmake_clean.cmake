@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_bgp.dir/exit_path.cpp.o"
+  "CMakeFiles/ibgp_bgp.dir/exit_path.cpp.o.d"
+  "CMakeFiles/ibgp_bgp.dir/exit_table.cpp.o"
+  "CMakeFiles/ibgp_bgp.dir/exit_table.cpp.o.d"
+  "CMakeFiles/ibgp_bgp.dir/selection.cpp.o"
+  "CMakeFiles/ibgp_bgp.dir/selection.cpp.o.d"
+  "libibgp_bgp.a"
+  "libibgp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_confed.dir/engine.cpp.o"
+  "CMakeFiles/ibgp_confed.dir/engine.cpp.o.d"
+  "CMakeFiles/ibgp_confed.dir/layout.cpp.o"
+  "CMakeFiles/ibgp_confed.dir/layout.cpp.o.d"
+  "libibgp_confed.a"
+  "libibgp_confed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_confed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ibgp_confed.
+# This may be replaced when dependencies are built.

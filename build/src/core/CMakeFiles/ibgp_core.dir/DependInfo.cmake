@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fixed_point.cpp" "src/core/CMakeFiles/ibgp_core.dir/fixed_point.cpp.o" "gcc" "src/core/CMakeFiles/ibgp_core.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/ibgp_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/ibgp_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/levels.cpp" "src/core/CMakeFiles/ibgp_core.dir/levels.cpp.o" "gcc" "src/core/CMakeFiles/ibgp_core.dir/levels.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/ibgp_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/ibgp_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/ibgp_core.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/ibgp_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ibgp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ibgp_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_core.dir/fixed_point.cpp.o"
+  "CMakeFiles/ibgp_core.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/ibgp_core.dir/instance.cpp.o"
+  "CMakeFiles/ibgp_core.dir/instance.cpp.o.d"
+  "CMakeFiles/ibgp_core.dir/levels.cpp.o"
+  "CMakeFiles/ibgp_core.dir/levels.cpp.o.d"
+  "CMakeFiles/ibgp_core.dir/policy.cpp.o"
+  "CMakeFiles/ibgp_core.dir/policy.cpp.o.d"
+  "CMakeFiles/ibgp_core.dir/transfer.cpp.o"
+  "CMakeFiles/ibgp_core.dir/transfer.cpp.o.d"
+  "libibgp_core.a"
+  "libibgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/activation.cpp" "src/engine/CMakeFiles/ibgp_engine.dir/activation.cpp.o" "gcc" "src/engine/CMakeFiles/ibgp_engine.dir/activation.cpp.o.d"
+  "/root/repo/src/engine/adaptive.cpp" "src/engine/CMakeFiles/ibgp_engine.dir/adaptive.cpp.o" "gcc" "src/engine/CMakeFiles/ibgp_engine.dir/adaptive.cpp.o.d"
+  "/root/repo/src/engine/event_engine.cpp" "src/engine/CMakeFiles/ibgp_engine.dir/event_engine.cpp.o" "gcc" "src/engine/CMakeFiles/ibgp_engine.dir/event_engine.cpp.o.d"
+  "/root/repo/src/engine/oscillation.cpp" "src/engine/CMakeFiles/ibgp_engine.dir/oscillation.cpp.o" "gcc" "src/engine/CMakeFiles/ibgp_engine.dir/oscillation.cpp.o.d"
+  "/root/repo/src/engine/sync_engine.cpp" "src/engine/CMakeFiles/ibgp_engine.dir/sync_engine.cpp.o" "gcc" "src/engine/CMakeFiles/ibgp_engine.dir/sync_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ibgp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ibgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibgp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

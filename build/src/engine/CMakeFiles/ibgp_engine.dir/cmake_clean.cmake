@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_engine.dir/activation.cpp.o"
+  "CMakeFiles/ibgp_engine.dir/activation.cpp.o.d"
+  "CMakeFiles/ibgp_engine.dir/adaptive.cpp.o"
+  "CMakeFiles/ibgp_engine.dir/adaptive.cpp.o.d"
+  "CMakeFiles/ibgp_engine.dir/event_engine.cpp.o"
+  "CMakeFiles/ibgp_engine.dir/event_engine.cpp.o.d"
+  "CMakeFiles/ibgp_engine.dir/oscillation.cpp.o"
+  "CMakeFiles/ibgp_engine.dir/oscillation.cpp.o.d"
+  "CMakeFiles/ibgp_engine.dir/sync_engine.cpp.o"
+  "CMakeFiles/ibgp_engine.dir/sync_engine.cpp.o.d"
+  "libibgp_engine.a"
+  "libibgp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

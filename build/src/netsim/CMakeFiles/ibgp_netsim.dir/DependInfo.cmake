@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/cluster_layout.cpp" "src/netsim/CMakeFiles/ibgp_netsim.dir/cluster_layout.cpp.o" "gcc" "src/netsim/CMakeFiles/ibgp_netsim.dir/cluster_layout.cpp.o.d"
+  "/root/repo/src/netsim/physical_graph.cpp" "src/netsim/CMakeFiles/ibgp_netsim.dir/physical_graph.cpp.o" "gcc" "src/netsim/CMakeFiles/ibgp_netsim.dir/physical_graph.cpp.o.d"
+  "/root/repo/src/netsim/session_graph.cpp" "src/netsim/CMakeFiles/ibgp_netsim.dir/session_graph.cpp.o" "gcc" "src/netsim/CMakeFiles/ibgp_netsim.dir/session_graph.cpp.o.d"
+  "/root/repo/src/netsim/shortest_paths.cpp" "src/netsim/CMakeFiles/ibgp_netsim.dir/shortest_paths.cpp.o" "gcc" "src/netsim/CMakeFiles/ibgp_netsim.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/netsim/validate.cpp" "src/netsim/CMakeFiles/ibgp_netsim.dir/validate.cpp.o" "gcc" "src/netsim/CMakeFiles/ibgp_netsim.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

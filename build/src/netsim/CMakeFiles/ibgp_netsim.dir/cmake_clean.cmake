@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_netsim.dir/cluster_layout.cpp.o"
+  "CMakeFiles/ibgp_netsim.dir/cluster_layout.cpp.o.d"
+  "CMakeFiles/ibgp_netsim.dir/physical_graph.cpp.o"
+  "CMakeFiles/ibgp_netsim.dir/physical_graph.cpp.o.d"
+  "CMakeFiles/ibgp_netsim.dir/session_graph.cpp.o"
+  "CMakeFiles/ibgp_netsim.dir/session_graph.cpp.o.d"
+  "CMakeFiles/ibgp_netsim.dir/shortest_paths.cpp.o"
+  "CMakeFiles/ibgp_netsim.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/ibgp_netsim.dir/validate.cpp.o"
+  "CMakeFiles/ibgp_netsim.dir/validate.cpp.o.d"
+  "libibgp_netsim.a"
+  "libibgp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

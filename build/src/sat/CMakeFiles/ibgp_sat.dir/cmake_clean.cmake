@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_sat.dir/cnf.cpp.o"
+  "CMakeFiles/ibgp_sat.dir/cnf.cpp.o.d"
+  "CMakeFiles/ibgp_sat.dir/dpll.cpp.o"
+  "CMakeFiles/ibgp_sat.dir/dpll.cpp.o.d"
+  "CMakeFiles/ibgp_sat.dir/reduction.cpp.o"
+  "CMakeFiles/ibgp_sat.dir/reduction.cpp.o.d"
+  "libibgp_sat.a"
+  "libibgp_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

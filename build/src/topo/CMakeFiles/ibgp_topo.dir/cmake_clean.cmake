@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_topo.dir/builder.cpp.o"
+  "CMakeFiles/ibgp_topo.dir/builder.cpp.o.d"
+  "CMakeFiles/ibgp_topo.dir/dsl.cpp.o"
+  "CMakeFiles/ibgp_topo.dir/dsl.cpp.o.d"
+  "CMakeFiles/ibgp_topo.dir/figures.cpp.o"
+  "CMakeFiles/ibgp_topo.dir/figures.cpp.o.d"
+  "CMakeFiles/ibgp_topo.dir/random.cpp.o"
+  "CMakeFiles/ibgp_topo.dir/random.cpp.o.d"
+  "libibgp_topo.a"
+  "libibgp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

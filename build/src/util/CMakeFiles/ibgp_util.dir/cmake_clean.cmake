@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_util.dir/flags.cpp.o"
+  "CMakeFiles/ibgp_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ibgp_util.dir/hash.cpp.o"
+  "CMakeFiles/ibgp_util.dir/hash.cpp.o.d"
+  "CMakeFiles/ibgp_util.dir/log.cpp.o"
+  "CMakeFiles/ibgp_util.dir/log.cpp.o.d"
+  "CMakeFiles/ibgp_util.dir/rng.cpp.o"
+  "CMakeFiles/ibgp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ibgp_util.dir/strings.cpp.o"
+  "CMakeFiles/ibgp_util.dir/strings.cpp.o.d"
+  "libibgp_util.a"
+  "libibgp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_tables.dir/test_bgp_tables.cpp.o"
+  "CMakeFiles/test_bgp_tables.dir/test_bgp_tables.cpp.o.d"
+  "test_bgp_tables"
+  "test_bgp_tables.pdb"
+  "test_bgp_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confed.dir/test_confed.cpp.o"
+  "CMakeFiles/test_confed.dir/test_confed.cpp.o.d"
+  "test_confed"
+  "test_confed.pdb"
+  "test_confed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

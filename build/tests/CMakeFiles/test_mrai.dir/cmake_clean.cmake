@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrai.dir/test_mrai.cpp.o"
+  "CMakeFiles/test_mrai.dir/test_mrai.cpp.o.d"
+  "test_mrai"
+  "test_mrai.pdb"
+  "test_mrai[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
