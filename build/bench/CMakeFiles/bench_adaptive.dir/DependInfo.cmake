@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sat/CMakeFiles/ibgp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ibgp_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/ibgp_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/topo/CMakeFiles/ibgp_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/engine/CMakeFiles/ibgp_engine.dir/DependInfo.cmake"

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fault_storm.cpp" "examples/CMakeFiles/fault_storm.dir/fault_storm.cpp.o" "gcc" "examples/CMakeFiles/fault_storm.dir/fault_storm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/ibgp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ibgp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ibgp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ibgp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ibgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ibgp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

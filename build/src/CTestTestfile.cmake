@@ -11,5 +11,6 @@ subdirs("core")
 subdirs("engine")
 subdirs("topo")
 subdirs("analysis")
+subdirs("fault")
 subdirs("sat")
 subdirs("confed")

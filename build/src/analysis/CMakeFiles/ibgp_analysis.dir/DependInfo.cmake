@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/analysis/determinism.cpp" "src/analysis/CMakeFiles/ibgp_analysis.dir/determinism.cpp.o" "gcc" "src/analysis/CMakeFiles/ibgp_analysis.dir/determinism.cpp.o.d"
   "/root/repo/src/analysis/finder.cpp" "src/analysis/CMakeFiles/ibgp_analysis.dir/finder.cpp.o" "gcc" "src/analysis/CMakeFiles/ibgp_analysis.dir/finder.cpp.o.d"
   "/root/repo/src/analysis/forwarding.cpp" "src/analysis/CMakeFiles/ibgp_analysis.dir/forwarding.cpp.o" "gcc" "src/analysis/CMakeFiles/ibgp_analysis.dir/forwarding.cpp.o.d"
+  "/root/repo/src/analysis/invariants.cpp" "src/analysis/CMakeFiles/ibgp_analysis.dir/invariants.cpp.o" "gcc" "src/analysis/CMakeFiles/ibgp_analysis.dir/invariants.cpp.o.d"
   "/root/repo/src/analysis/stable_search.cpp" "src/analysis/CMakeFiles/ibgp_analysis.dir/stable_search.cpp.o" "gcc" "src/analysis/CMakeFiles/ibgp_analysis.dir/stable_search.cpp.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ibgp_analysis.dir/finder.cpp.o.d"
   "CMakeFiles/ibgp_analysis.dir/forwarding.cpp.o"
   "CMakeFiles/ibgp_analysis.dir/forwarding.cpp.o.d"
+  "CMakeFiles/ibgp_analysis.dir/invariants.cpp.o"
+  "CMakeFiles/ibgp_analysis.dir/invariants.cpp.o.d"
   "CMakeFiles/ibgp_analysis.dir/stable_search.cpp.o"
   "CMakeFiles/ibgp_analysis.dir/stable_search.cpp.o.d"
   "libibgp_analysis.a"

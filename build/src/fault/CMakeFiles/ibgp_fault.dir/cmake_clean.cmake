@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibgp_fault.dir/campaign.cpp.o"
+  "CMakeFiles/ibgp_fault.dir/campaign.cpp.o.d"
+  "CMakeFiles/ibgp_fault.dir/script.cpp.o"
+  "CMakeFiles/ibgp_fault.dir/script.cpp.o.d"
+  "libibgp_fault.a"
+  "libibgp_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibgp_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

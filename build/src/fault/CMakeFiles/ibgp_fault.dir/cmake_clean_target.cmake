@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibgp_fault.a"
+)

@@ -293,6 +293,9 @@ tests/CMakeFiles/test_event_engine.dir/test_event_engine.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/fixed_point.hpp /usr/include/c++/12/span \
  /root/repo/src/bgp/selection.hpp /root/repo/src/bgp/exit_table.hpp \
  /root/repo/src/bgp/exit_path.hpp /root/repo/src/util/types.hpp \

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/test_faults.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/test_faults.dir/test_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/ibgp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ibgp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ibgp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ibgp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ibgp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ibgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ibgp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -19,3 +19,4 @@ include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
 include("/root/repo/build/tests/test_bgp_tables[1]_include.cmake")
 include("/root/repo/build/tests/test_confed[1]_include.cmake")
 include("/root/repo/build/tests/test_mrai[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")

@@ -13,15 +13,21 @@
 #include <cstdio>
 #include <string>
 
+#include <algorithm>
+#include <map>
+#include <memory>
+
 #include "analysis/forwarding.hpp"
 #include "analysis/stable_search.hpp"
 #include "core/fixed_point.hpp"
 #include "engine/activation.hpp"
+#include "engine/event_engine.hpp"
 #include "engine/oscillation.hpp"
 #include "engine/sync_engine.hpp"
 #include "topo/dsl.hpp"
 #include "topo/figures.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -69,6 +75,9 @@ int main(int argc, char** argv) {
   flags.add_string("protocol", "standard", "protocol whose state to explain");
   flags.add_string("explain", "", "node label to explain in detail (default: all)");
   flags.add_int("max-steps", 20000, "step budget");
+  flags.add_int("seed", 1, "base seed for the message-level delay trials");
+  flags.add_int("event-trials", 20, "seeded event-engine trials per protocol (0 = skip)");
+  flags.add_int("max-delay", 50, "maximum random per-message delay in the trials");
   flags.add_bool("dump", false, "dump the instance back as .topo text");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),
@@ -138,6 +147,41 @@ int main(int argc, char** argv) {
         std::printf(" (cycle %zu)", outcome.cycle_length);
       }
       std::printf("\n");
+    }
+  }
+
+  // Message-level trials: the same instance under randomized per-message
+  // delays, fully reproducible from --seed (trial i uses derive_seed(seed, i)).
+  const auto trials = static_cast<std::size_t>(flags.get_int("event-trials"));
+  if (trials > 0) {
+    const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    const auto max_delay =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(1, flags.get_int("max-delay")));
+    std::printf("\nmessage-level trials (%zu seeded delay schedules, base seed %llu):\n",
+                trials, static_cast<unsigned long long>(base_seed));
+    for (const auto kind : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+                            core::ProtocolKind::kModified}) {
+      std::size_t converged = 0;
+      std::map<std::vector<PathId>, std::size_t> outcomes;
+      for (std::size_t i = 0; i < trials; ++i) {
+        auto rng = std::make_shared<util::Xoshiro256>(util::derive_seed(base_seed, i));
+        engine::EventEngine engine(inst, kind,
+                                   [rng, max_delay](NodeId, NodeId, std::uint64_t) {
+                                     return engine::SimTime{1 + rng->below(max_delay)};
+                                   });
+        engine.inject_all_exits(0);
+        const auto result = engine.run(10 * max_steps);
+        if (result.converged) {
+          ++converged;
+          ++outcomes[result.final_best];
+        }
+      }
+      std::printf("  %-9s : %zu/%zu converged, %zu distinct outcome%s\n",
+                  core::protocol_name(kind), converged, trials, outcomes.size(),
+                  outcomes.size() == 1 ? "" : "s");
+      for (const auto& [best, count] : outcomes) {
+        std::printf("      %3zux %s\n", count, engine::describe_best(inst, best).c_str());
+      }
     }
   }
 

@@ -1,0 +1,120 @@
+#include "analysis/invariants.hpp"
+
+#include <algorithm>
+
+#include "analysis/forwarding.hpp"
+
+namespace ibgp::analysis {
+
+namespace {
+
+std::string path_label(const core::Instance& inst, PathId p) {
+  return inst.exits()[p].name;
+}
+
+}  // namespace
+
+InvariantReport check_invariants(const engine::EventEngine& engine) {
+  const core::Instance& inst = engine.instance();
+  InvariantReport report;
+
+  const std::size_t paths = inst.exits().size();
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    if (!engine.node_up(v)) continue;
+
+    // 1+2: best-route validity and support.
+    const PathId best = engine.best_path(v);
+    if (best != kNoPath) {
+      const NodeId exit_point = inst.exits()[best].exit_point;
+      if (!engine.ebgp_live(best)) {
+        ++report.stale_best;
+        report.violations.push_back(inst.node_name(v) + ": best route " +
+                                    path_label(inst, best) +
+                                    " references a withdrawn exit");
+      } else if (!engine.node_up(exit_point)) {
+        ++report.stale_best;
+        report.violations.push_back(inst.node_name(v) + ": best route " +
+                                    path_label(inst, best) + " exits at crashed router " +
+                                    inst.node_name(exit_point));
+      }
+      const bool own = exit_point == v && engine.ebgp_live(best);
+      if (!own && engine.rib_in(v, best).empty()) {
+        ++report.unsupported_best;
+        report.violations.push_back(inst.node_name(v) + ": best route " +
+                                    path_label(inst, best) +
+                                    " has no Adj-RIB-In support");
+      }
+    }
+
+    // 3a: no entry from a downed session, no ghost entries on up sessions.
+    for (PathId p = 0; p < paths; ++p) {
+      for (const NodeId w : engine.rib_in(v, p)) {
+        if (!engine.session_up(v, w)) {
+          ++report.stale_rib_entries;
+          report.violations.push_back(inst.node_name(v) + ": Adj-RIB-In entry " +
+                                      path_label(inst, p) + " from " + inst.node_name(w) +
+                                      " survives a downed session");
+        } else {
+          const auto sent = engine.advertised_to(w, v);
+          if (!std::binary_search(sent.begin(), sent.end(), p)) {
+            ++report.stale_rib_entries;
+            report.violations.push_back(inst.node_name(v) + ": Adj-RIB-In entry " +
+                                        path_label(inst, p) + " from " +
+                                        inst.node_name(w) +
+                                        " is no longer advertised by the sender");
+          }
+        }
+      }
+    }
+
+    // 3b: everything an up peer advertised must have arrived.
+    for (const NodeId w : inst.sessions().peers(v)) {
+      if (!engine.session_up(v, w)) continue;
+      for (const PathId p : engine.advertised_to(w, v)) {
+        const auto held = engine.rib_in(v, p);
+        if (!std::binary_search(held.begin(), held.end(), w)) {
+          ++report.missing_rib_entries;
+          report.violations.push_back(inst.node_name(v) + ": announce of " +
+                                      path_label(inst, p) + " from " + inst.node_name(w) +
+                                      " never arrived (lost update)");
+        }
+      }
+    }
+  }
+
+  // 4: forwarding loop-freedom over the current best routes.  Crashed
+  // routers forward nothing; their entries stay kNoPath.
+  std::vector<PathId> best(inst.node_count(), kNoPath);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    if (engine.node_up(v)) best[v] = engine.best_path(v);
+  }
+  const auto forwarding = analyze_forwarding(inst, best);
+  report.forwarding_loops = forwarding.loops;
+  for (const auto& trace : forwarding.traces) {
+    if (trace.outcome == ForwardOutcome::kLoop) {
+      report.violations.push_back("forwarding loop: " + describe_trace(inst, trace));
+    }
+  }
+
+  return report;
+}
+
+std::string describe_report(const InvariantReport& report) {
+  if (report.clean()) return "clean";
+  std::string out;
+  const auto item = [&out](const char* label, std::size_t n) {
+    if (n == 0) return;
+    if (!out.empty()) out += ", ";
+    out += label;
+    out += "=";
+    out += std::to_string(n);
+  };
+  item("stale-best", report.stale_best);
+  item("unsupported-best", report.unsupported_best);
+  item("stale-rib", report.stale_rib_entries);
+  item("missing-rib", report.missing_rib_entries);
+  item("loops", report.forwarding_loops);
+  return out;
+}
+
+}  // namespace ibgp::analysis

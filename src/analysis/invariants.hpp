@@ -1,0 +1,57 @@
+#pragma once
+// Routing invariants under fault churn.
+//
+// The paper's Section 7 proves the modified protocol converges and stays
+// consistent after any finite perturbation; "BGP Stability is Precarious"
+// (Godfrey 2011) argues essentially any perturbation of the decision process
+// can break protocols that lack such a proof.  This checker turns the
+// theorems' conclusions into machine-checkable post-conditions on a live
+// EventEngine, so fault campaigns (src/fault/) get an empirical verdict:
+//
+//   1. best-route validity — no up node's best route references an exit
+//      path whose E-BGP origin has withdrawn it or whose exit router is
+//      down (the operational reading of the Lemma 7.2 flush property);
+//   2. best-route support — every best route is backed by the node's own
+//      E-BGP state or by at least one Adj-RIB-In entry;
+//   3. session hygiene — no Adj-RIB-In entry survives from a downed
+//      session, and on up sessions receiver state matches what the sender
+//      believes it advertised (ghost entries = stale withdraw, missing
+//      entries = lost announce that was never repaired);
+//   4. forwarding loop-freedom, via analysis/forwarding (Lemma 7.6/7.7).
+//
+// Checks 1-3 are exact only at quiescence (run() returned converged): while
+// messages are in flight the sender/receiver views legitimately disagree.
+// check_invariants() can still be called mid-run to *observe* that skew —
+// useful for churn dashboards, meaningless as a verdict.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/event_engine.hpp"
+
+namespace ibgp::analysis {
+
+struct InvariantReport {
+  std::size_t stale_best = 0;        ///< best references a withdrawn/dead exit
+  std::size_t unsupported_best = 0;  ///< best with no E-BGP or Adj-RIB-In backing
+  std::size_t stale_rib_entries = 0;    ///< entry from a downed session or un-advertised path
+  std::size_t missing_rib_entries = 0;  ///< sender advertised, receiver never heard
+  std::size_t forwarding_loops = 0;     ///< looping forwarding traces
+  /// Human-readable description of every violation, in discovery order.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] std::size_t total() const {
+    return stale_best + unsupported_best + stale_rib_entries + missing_rib_entries +
+           forwarding_loops;
+  }
+  [[nodiscard]] bool clean() const { return total() == 0; }
+};
+
+/// Runs every invariant check against the engine's current state.
+InvariantReport check_invariants(const engine::EventEngine& engine);
+
+/// One-line summary ("clean" or per-category violation counts).
+std::string describe_report(const InvariantReport& report);
+
+}  // namespace ibgp::analysis

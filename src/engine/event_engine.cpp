@@ -6,6 +6,18 @@
 
 namespace ibgp::engine {
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSessionDown: return "session-down";
+    case FaultKind::kSessionUp: return "session-up";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+  }
+  return "?";
+}
+
+void FaultInjector::on_drop(EventEngine&, NodeId, NodeId, SimTime) {}
+
 EventEngine::EventEngine(const core::Instance& inst, core::ProtocolKind protocol,
                          DelayFn delay)
     : inst_(&inst),
@@ -14,6 +26,10 @@ EventEngine::EventEngine(const core::Instance& inst, core::ProtocolKind protocol
                    : [](NodeId, NodeId, std::uint64_t) -> SimTime { return 1; }),
       nodes_(inst.node_count()),
       session_last_delivery_(inst.node_count() * inst.node_count(), 0),
+      session_epoch_(inst.node_count() * inst.node_count(), 0),
+      session_admin_down_(inst.node_count() * inst.node_count(), false),
+      node_up_(inst.node_count(), true),
+      ebgp_live_(inst.exits().size(), false),
       flips_by_node_(inst.node_count(), 0) {
   const std::size_t paths = inst.exits().size();
   for (NodeId v = 0; v < nodes_.size(); ++v) {
@@ -27,7 +43,32 @@ EventEngine::EventEngine(const core::Instance& inst, core::ProtocolKind protocol
   }
 }
 
+void EventEngine::set_mrai(SimTime interval) {
+  if (sealed_) {
+    throw std::logic_error(
+        "EventEngine::set_mrai: must be called before any event is scheduled");
+  }
+  mrai_ = interval;
+}
+
+void EventEngine::set_fault_injector(FaultInjector* injector) {
+  if (sealed_) {
+    throw std::logic_error(
+        "EventEngine::set_fault_injector: must be called before any event is scheduled");
+  }
+  injector_ = injector;
+}
+
+bool EventEngine::session_up(NodeId u, NodeId v) const {
+  return node_up_.at(u) && node_up_.at(v) && !session_admin_down_[sess(u, v)];
+}
+
+std::span<const PathId> EventEngine::advertised_to(NodeId from, NodeId to) const {
+  return nodes_.at(from).advertised_out.at(peer_index(from, to));
+}
+
 void EventEngine::inject_exit(PathId p, SimTime when) {
+  sealed_ = true;
   Event event;
   event.time = when;
   event.seq = next_seq_++;
@@ -42,6 +83,7 @@ void EventEngine::inject_all_exits(SimTime when) {
 }
 
 void EventEngine::withdraw_exit(PathId p, SimTime when) {
+  sealed_ = true;
   Event event;
   event.time = when;
   event.seq = next_seq_++;
@@ -49,6 +91,45 @@ void EventEngine::withdraw_exit(PathId p, SimTime when) {
   event.to = inst_->exits()[p].exit_point;
   event.path = p;
   queue_.push(event);
+}
+
+void EventEngine::push_fault(EventKind kind, NodeId a, NodeId b, SimTime when) {
+  sealed_ = true;
+  Event event;
+  event.time = when;
+  event.seq = next_seq_++;
+  event.kind = kind;
+  event.from = a;
+  event.to = b;
+  queue_.push(event);
+}
+
+void EventEngine::schedule_session_down(NodeId u, NodeId v, SimTime when) {
+  if (!inst_->sessions().has_session(u, v)) {
+    throw std::invalid_argument("EventEngine::schedule_session_down: no such session");
+  }
+  push_fault(EventKind::kSessionDown, u, v, when);
+}
+
+void EventEngine::schedule_session_up(NodeId u, NodeId v, SimTime when) {
+  if (!inst_->sessions().has_session(u, v)) {
+    throw std::invalid_argument("EventEngine::schedule_session_up: no such session");
+  }
+  push_fault(EventKind::kSessionUp, u, v, when);
+}
+
+void EventEngine::schedule_crash(NodeId v, SimTime when) {
+  if (v >= inst_->node_count()) {
+    throw std::invalid_argument("EventEngine::schedule_crash: no such node");
+  }
+  push_fault(EventKind::kCrash, v, kNoNode, when);
+}
+
+void EventEngine::schedule_restart(NodeId v, SimTime when) {
+  if (v >= inst_->node_count()) {
+    throw std::invalid_argument("EventEngine::schedule_restart: no such node");
+  }
+  push_fault(EventKind::kRestart, v, kNoNode, when);
 }
 
 std::size_t EventEngine::peer_index(NodeId u, NodeId peer) const {
@@ -107,8 +188,8 @@ bool EventEngine::may_send(NodeId u, NodeId peer, PathId p) const {
   return clusters.is_client(peer) && clusters.same_cluster(peer, u);
 }
 
-void EventEngine::enqueue_update(NodeId from, NodeId to, PathId path, bool announce,
-                                 SimTime now) {
+void EventEngine::push_update(NodeId from, NodeId to, PathId path, bool announce,
+                              SimTime now, std::uint64_t msg_seq) {
   Event event;
   event.kind = EventKind::kUpdate;
   event.from = from;
@@ -116,16 +197,36 @@ void EventEngine::enqueue_update(NodeId from, NodeId to, PathId path, bool annou
   event.path = path;
   event.announce = announce;
   event.seq = next_seq_++;
-  const SimTime requested = now + delay_(from, to, session_msg_seq_++);
+  event.epoch = session_epoch_[sess(from, to)];
+  const SimTime requested = now + delay_(from, to, msg_seq);
   // FIFO per directed session: never deliver before an earlier message on
   // the same session.
-  SimTime& last = session_last_delivery_[static_cast<std::size_t>(from) *
-                                             inst_->node_count() +
-                                         to];
+  SimTime& last = session_last_delivery_[sess(from, to)];
   event.time = std::max(requested, last);
   last = event.time;
   queue_.push(event);
+}
+
+void EventEngine::enqueue_update(NodeId from, NodeId to, PathId path, bool announce,
+                                 SimTime now) {
+  const std::uint64_t msg_seq = session_msg_seq_++;
   ++updates_sent_;
+  MessageFate fate = MessageFate::kDeliver;
+  if (injector_) fate = injector_->classify(from, to, msg_seq);
+  if (fate == MessageFate::kDrop) {
+    // The sender still believes the message went out (advertised_out was
+    // already updated); the receiver's RIB silently diverges until a repair
+    // — exactly the perturbation the invariant checker hunts.
+    ++messages_dropped_;
+    injector_->on_drop(*this, from, to, now);
+    return;
+  }
+  push_update(from, to, path, announce, now, msg_seq);
+  if (fate == MessageFate::kDuplicate) {
+    ++messages_duplicated_;
+    ++updates_sent_;
+    push_update(from, to, path, announce, now, session_msg_seq_++);
+  }
 }
 
 void EventEngine::reconsider(NodeId u, SimTime now) {
@@ -171,6 +272,7 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
 void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
   NodeState& node = nodes_[u];
   const NodeId peer = inst_->sessions().peers(u)[peer_index];
+  if (!session_up(u, peer)) return;  // nothing flows on a downed session
   if (mrai_ > 0 && now < node.mrai_ready[peer_index]) {
     // Inside the hold-down window: batch the change into one deferred flush.
     if (!node.flush_scheduled[peer_index]) {
@@ -205,7 +307,101 @@ void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
   if (sent && mrai_ > 0) node.mrai_ready[peer_index] = now + mrai_;
 }
 
+void EventEngine::record_best_loss(NodeId v, SimTime now) {
+  NodeState& node = nodes_[v];
+  if (!node.best) return;
+  ++best_flips_;
+  ++flips_by_node_[v];
+  flap_log_.push_back({now, v, node.best->path, kNoPath});
+  node.best.reset();
+}
+
+void EventEngine::flush_endpoint(NodeId u, NodeId peer) {
+  NodeState& node = nodes_[u];
+  const std::size_t pi = peer_index(u, peer);
+  node.advertised_out[pi].clear();
+  node.desired_out[pi].clear();
+  node.mrai_ready[pi] = 0;
+  node.flush_scheduled[pi] = false;  // a pending flush event fires as a no-op
+  for (auto& holders : node.holders) {
+    const auto it = std::lower_bound(holders.begin(), holders.end(), peer);
+    if (it != holders.end() && *it == peer) holders.erase(it);
+  }
+}
+
+void EventEngine::sever_session(NodeId u, NodeId v) {
+  ++session_epoch_[sess(u, v)];
+  ++session_epoch_[sess(v, u)];
+  // Forget FIFO history: a delayed pre-reset message must not push
+  // post-re-establishment traffic into the future.
+  session_last_delivery_[sess(u, v)] = 0;
+  session_last_delivery_[sess(v, u)] = 0;
+  flush_endpoint(u, v);
+  flush_endpoint(v, u);
+}
+
+void EventEngine::apply_session_down(NodeId u, NodeId v, SimTime now) {
+  if (session_admin_down_[sess(u, v)]) return;  // already down
+  session_admin_down_[sess(u, v)] = true;
+  session_admin_down_[sess(v, u)] = true;
+  fault_log_.push_back({now, FaultKind::kSessionDown, u, v});
+  sever_session(u, v);
+  if (node_up_[u]) reconsider(u, now);
+  if (node_up_[v]) reconsider(v, now);
+}
+
+void EventEngine::apply_session_up(NodeId u, NodeId v, SimTime now) {
+  if (!session_admin_down_[sess(u, v)]) return;  // already up
+  session_admin_down_[sess(u, v)] = false;
+  session_admin_down_[sess(v, u)] = false;
+  fault_log_.push_back({now, FaultKind::kSessionUp, u, v});
+  // Initial-table exchange: each side re-advertises its full desired set
+  // (advertised_out toward the peer is empty since the down flush).
+  if (session_up(u, v)) {
+    reconsider(u, now);
+    reconsider(v, now);
+  }
+}
+
+void EventEngine::apply_crash(NodeId v, SimTime now) {
+  if (!node_up_[v]) return;  // already down
+  fault_log_.push_back({now, FaultKind::kCrash, v, kNoNode});
+  node_up_[v] = false;
+  const auto peers = inst_->sessions().peers(v);
+  for (const NodeId w : peers) sever_session(v, w);
+  // Total state loss at v; peers re-route around it.
+  NodeState& node = nodes_[v];
+  for (auto& holders : node.holders) holders.clear();
+  node.own.assign(node.own.size(), false);
+  record_best_loss(v, now);
+  for (std::size_t i = 0; i < node.advertised_out.size(); ++i) {
+    node.advertised_out[i].clear();
+    node.desired_out[i].clear();
+    node.mrai_ready[i] = 0;
+    node.flush_scheduled[i] = false;
+  }
+  for (const NodeId w : peers) {
+    if (node_up_[w]) reconsider(w, now);
+  }
+}
+
+void EventEngine::apply_restart(NodeId v, SimTime now) {
+  if (node_up_[v]) return;  // already up
+  fault_log_.push_back({now, FaultKind::kRestart, v, kNoNode});
+  node_up_[v] = true;
+  // The external neighbors never stopped announcing: re-learn every E-BGP
+  // route of ours that is still live.
+  for (PathId p = 0; p < inst_->exits().size(); ++p) {
+    if (inst_->exits()[p].exit_point == v && ebgp_live_[p]) nodes_[v].own[p] = true;
+  }
+  reconsider(v, now);
+  for (const NodeId w : inst_->sessions().peers(v)) {
+    if (session_up(v, w)) reconsider(w, now);
+  }
+}
+
 EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
+  sealed_ = true;
   Result result;
   while (!queue_.empty() && result.deliveries < max_deliveries) {
     const Event event = queue_.top();
@@ -215,14 +411,25 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
 
     switch (event.kind) {
       case EventKind::kEbgpAnnounce:
-        nodes_[event.to].own[event.path] = true;
-        reconsider(event.to, event.time);
+        ebgp_live_[event.path] = true;
+        if (node_up_[event.to]) {
+          nodes_[event.to].own[event.path] = true;
+          reconsider(event.to, event.time);
+        }
         break;
       case EventKind::kEbgpWithdraw:
-        nodes_[event.to].own[event.path] = false;
-        reconsider(event.to, event.time);
+        ebgp_live_[event.path] = false;
+        if (node_up_[event.to]) {
+          nodes_[event.to].own[event.path] = false;
+          reconsider(event.to, event.time);
+        }
         break;
       case EventKind::kUpdate: {
+        if (event.epoch != session_epoch_[sess(event.from, event.to)]) {
+          // Sent before a reset of this session: the message died with it.
+          ++deliveries_voided_;
+          break;
+        }
         auto& holders = nodes_[event.to].holders[event.path];
         const auto it = std::lower_bound(holders.begin(), holders.end(), event.from);
         if (event.announce) {
@@ -235,17 +442,34 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
       }
       case EventKind::kMraiFlush: {
         // event.from = the batching node, event.to = the peer.
+        if (!node_up_[event.from]) break;  // state died with the crash
         const std::size_t peer_index = this->peer_index(event.from, event.to);
         nodes_[event.from].flush_scheduled[peer_index] = false;
         sync_peer(event.from, peer_index, event.time);
         break;
       }
+      case EventKind::kSessionDown:
+        apply_session_down(event.from, event.to, event.time);
+        break;
+      case EventKind::kSessionUp:
+        apply_session_up(event.from, event.to, event.time);
+        break;
+      case EventKind::kCrash:
+        apply_crash(event.from, event.time);
+        break;
+      case EventKind::kRestart:
+        apply_restart(event.from, event.time);
+        break;
     }
   }
 
   result.converged = queue_.empty();
   result.updates_sent = updates_sent_;
   result.best_flips = best_flips_;
+  result.messages_dropped = messages_dropped_;
+  result.messages_duplicated = messages_duplicated_;
+  result.deliveries_voided = deliveries_voided_;
+  result.faults_applied = fault_log_.size();
   result.final_best.reserve(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) result.final_best.push_back(best_path(v));
   return result;

@@ -24,6 +24,27 @@
 // Table 1): the same topology converges or flaps depending on the delay
 // script.  Delays come from a caller-provided function of (from, to, seq);
 // FIFO order per directed session is enforced regardless of the function.
+//
+// Beyond delays, the engine models the *failures* that drive real I-BGP
+// churn (the src/fault/ harness scripts them):
+//
+//   - session down/up: a downed session voids its in-flight messages, both
+//     endpoints flush every Adj-RIB-In entry learned over it (the Lemma 7.2
+//     flush discipline applied to peer state), and re-establishment replays
+//     a full advertisement sync, as a real OPEN/initial-table exchange does;
+//   - router crash/restart: a crash downs every session of the router and
+//     erases its entire state; on restart it re-learns its own E-BGP routes
+//     (external neighbors still advertise them) and peers re-sync;
+//   - per-message loss/duplication: a FaultInjector policy hook alongside
+//     DelayFn.  Loss models transport failure — since BGP runs over TCP, a
+//     lost UPDATE in reality means retransmission failure and hold-timer
+//     expiry, so injectors typically answer a drop by scheduling a session
+//     reset (ScriptInjector in fault/script.hpp does exactly this).
+//
+// The engine core stays fault-agnostic: faults enter only through the
+// schedule_* calls and the FaultInjector hook, and every fault is an event
+// in the same deterministic (time, seq) order as message deliveries, so a
+// fault campaign is exactly reproducible from its script.
 
 #include <cstdint>
 #include <functional>
@@ -41,6 +62,29 @@ namespace ibgp::engine {
 
 using SimTime = std::uint64_t;
 
+/// Fate of one UPDATE message, decided at send time.
+enum class MessageFate : std::uint8_t { kDeliver, kDrop, kDuplicate };
+
+/// Categories of injected faults, as recorded in the fault log.
+enum class FaultKind : std::uint8_t { kSessionDown, kSessionUp, kCrash, kRestart };
+
+/// Display name ("session-down", ...).
+const char* fault_kind_name(FaultKind kind);
+
+class EventEngine;
+
+/// Per-message fault policy: classify() is keyed on the same (from, to, seq)
+/// triple as DelayFn so implementations can be pure functions of a seed —
+/// fully deterministic regardless of call order.  on_drop() fires right
+/// after a message was discarded and may schedule repair faults on the
+/// engine (e.g. the session reset a real hold-timer expiry would cause).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual MessageFate classify(NodeId from, NodeId to, std::uint64_t seq) = 0;
+  virtual void on_drop(EventEngine& engine, NodeId from, NodeId to, SimTime now);
+};
+
 class EventEngine {
  public:
   /// Delay (in ticks) of the seq-th message on the directed session
@@ -55,8 +99,18 @@ class EventEngine {
   /// diff once `interval` ticks have passed.  Models the rate-limiting /
   /// flap-dampening family of mitigations (Section 9 of the paper): they
   /// slow persistent oscillations down but cannot remove them — which
-  /// bench_mrai measures.  Call before injecting events.
-  void set_mrai(SimTime interval) { mrai_ = interval; }
+  /// bench_mrai measures.
+  ///
+  /// Precondition: must be called before any event is scheduled (inject_*,
+  /// withdraw_*, schedule_*) or processed; a mid-run change would apply the
+  /// new interval to per-peer hold-down state computed under the old one.
+  /// Throws std::logic_error if the precondition is violated.
+  void set_mrai(SimTime interval);
+
+  /// Installs the per-message fault policy (non-owning; pass nullptr to
+  /// clear).  Same precondition as set_mrai: before any event is scheduled,
+  /// so every message of the run is classified under one policy.
+  void set_fault_injector(FaultInjector* injector);
 
   // --- scenario scripting ---------------------------------------------------
 
@@ -69,6 +123,26 @@ class EventEngine {
   /// Schedules an E-BGP withdrawal of path p at `when`.
   void withdraw_exit(PathId p, SimTime when);
 
+  // --- fault scripting ------------------------------------------------------
+
+  /// Schedules an administrative down of session u—v: in-flight messages on
+  /// it are voided, both endpoints flush routes learned over it.  Throws
+  /// std::invalid_argument if u—v is not a session.
+  void schedule_session_down(NodeId u, NodeId v, SimTime when);
+
+  /// Schedules re-establishment of session u—v; both endpoints replay a
+  /// full advertisement sync (no-op while an endpoint is crashed: the
+  /// session only carries traffic once both ends are up).
+  void schedule_session_up(NodeId u, NodeId v, SimTime when);
+
+  /// Schedules a crash of router v: all its sessions drop, all its state
+  /// (Adj-RIB-In, best route, advertised sets, own E-BGP routes) is lost.
+  void schedule_crash(NodeId v, SimTime when);
+
+  /// Schedules a restart of router v: it re-learns whatever E-BGP routes
+  /// are still live at its exit point and re-syncs with its peers.
+  void schedule_restart(NodeId v, SimTime when);
+
   // --- execution --------------------------------------------------------------
 
   struct Result {
@@ -78,12 +152,18 @@ class EventEngine {
     SimTime end_time = 0;        ///< virtual time of the last processed event
     std::size_t best_flips = 0;  ///< total best-route changes
     std::vector<PathId> final_best;  ///< per node; kNoPath = no route
+    std::size_t messages_dropped = 0;     ///< voided by the FaultInjector
+    std::size_t messages_duplicated = 0;  ///< extra copies enqueued
+    std::size_t deliveries_voided = 0;  ///< in-flight messages killed by session resets
+    std::size_t faults_applied = 0;     ///< fault_log() entries
   };
 
   /// Processes events until the queue drains or `max_deliveries` is hit.
   Result run(std::size_t max_deliveries = 1'000'000);
 
   // --- inspection -------------------------------------------------------------
+
+  [[nodiscard]] const core::Instance& instance() const { return *inst_; }
 
   [[nodiscard]] PathId best_path(NodeId v) const {
     return nodes_.at(v).best ? nodes_.at(v).best->path : kNoPath;
@@ -94,6 +174,30 @@ class EventEngine {
   [[nodiscard]] std::size_t updates_sent() const { return updates_sent_; }
   [[nodiscard]] std::span<const std::size_t> flips_by_node() const { return flips_by_node_; }
 
+  /// Whether router v is currently up (not crashed).
+  [[nodiscard]] bool node_up(NodeId v) const { return node_up_.at(v); }
+
+  /// Whether session u—v currently carries messages: both endpoints up and
+  /// no administrative down in force.
+  [[nodiscard]] bool session_up(NodeId u, NodeId v) const;
+
+  /// Whether path p's E-BGP origin is currently announcing it (independent
+  /// of whether its exit point is up to hear it).
+  [[nodiscard]] bool ebgp_live(PathId p) const { return ebgp_live_.at(p); }
+
+  /// Peers currently announcing p to v (v's Adj-RIB-In support for p),
+  /// ascending node order.
+  [[nodiscard]] std::span<const NodeId> rib_in(NodeId v, PathId p) const {
+    return nodes_.at(v).holders.at(p);
+  }
+
+  /// The path set `from` believes it has advertised to `to` (ascending).
+  [[nodiscard]] std::span<const PathId> advertised_to(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::size_t messages_dropped() const { return messages_dropped_; }
+  [[nodiscard]] std::size_t messages_duplicated() const { return messages_duplicated_; }
+  [[nodiscard]] std::size_t deliveries_voided() const { return deliveries_voided_; }
+
   /// One best-route change at a node, for flap traces (Table 1 reports).
   struct FlapRecord {
     SimTime time = 0;
@@ -103,17 +207,37 @@ class EventEngine {
   };
   [[nodiscard]] std::span<const FlapRecord> flap_log() const { return flap_log_; }
 
+  /// One applied fault, in application order.  `a`,`b` are the session
+  /// endpoints for session faults; `a` the router for crash/restart.
+  struct FaultRecord {
+    SimTime time = 0;
+    FaultKind kind = FaultKind::kSessionDown;
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;
+  };
+  [[nodiscard]] std::span<const FaultRecord> fault_log() const { return fault_log_; }
+
  private:
-  enum class EventKind : std::uint8_t { kEbgpAnnounce, kEbgpWithdraw, kUpdate, kMraiFlush };
+  enum class EventKind : std::uint8_t {
+    kEbgpAnnounce,
+    kEbgpWithdraw,
+    kUpdate,
+    kMraiFlush,
+    kSessionDown,
+    kSessionUp,
+    kCrash,
+    kRestart,
+  };
 
   struct Event {
     SimTime time = 0;
     std::uint64_t seq = 0;  // global tie-break preserving enqueue order
     EventKind kind = EventKind::kUpdate;
-    NodeId from = kNoNode;  // kUpdate only
+    NodeId from = kNoNode;  // kUpdate / kMraiFlush / session faults (endpoint a)
     NodeId to = kNoNode;
     PathId path = kNoPath;
-    bool announce = true;  // kUpdate: announce vs withdraw
+    bool announce = true;      // kUpdate: announce vs withdraw
+    std::uint64_t epoch = 0;   // kUpdate: voided if the session reset since send
   };
 
   struct EventAfter {
@@ -139,6 +263,8 @@ class EventEngine {
   };
 
   void enqueue_update(NodeId from, NodeId to, PathId path, bool announce, SimTime now);
+  void push_update(NodeId from, NodeId to, PathId path, bool announce, SimTime now,
+                   std::uint64_t msg_seq);
   void reconsider(NodeId u, SimTime now);
   /// Sends the net diff desired_out -> advertised_out for one peer (MRAI
   /// permitting), or schedules the deferred flush.
@@ -149,19 +275,44 @@ class EventEngine {
   /// or kNoNode for own paths / unseen paths.
   [[nodiscard]] NodeId attributed_source(NodeId u, PathId p) const;
 
+  [[nodiscard]] std::size_t sess(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * inst_->node_count() + to;
+  }
+  void push_fault(EventKind kind, NodeId a, NodeId b, SimTime when);
+  void record_best_loss(NodeId v, SimTime now);
+  /// Voids in-flight messages on u—v (both directions) and flushes both
+  /// endpoints' per-session state (Adj-RIB-In entries, advertised sets).
+  void sever_session(NodeId u, NodeId v);
+  /// Clears everything node u tracks about session u—peer.
+  void flush_endpoint(NodeId u, NodeId peer);
+  void apply_session_down(NodeId u, NodeId v, SimTime now);
+  void apply_session_up(NodeId u, NodeId v, SimTime now);
+  void apply_crash(NodeId v, SimTime now);
+  void apply_restart(NodeId v, SimTime now);
+
   const core::Instance* inst_;
   core::ProtocolKind protocol_;
   DelayFn delay_;
   SimTime mrai_ = 0;  // 0 = disabled
+  FaultInjector* injector_ = nullptr;  // non-owning
+  bool sealed_ = false;  // an event has been scheduled: config is frozen
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
   std::vector<NodeState> nodes_;
   std::vector<SimTime> session_last_delivery_;  // FIFO enforcement, per directed session
+  std::vector<std::uint64_t> session_epoch_;  // bumped per reset, voids in-flight msgs
+  std::vector<bool> session_admin_down_;      // explicit session faults (symmetric)
+  std::vector<bool> node_up_;
+  std::vector<bool> ebgp_live_;  // per path: E-BGP origin currently announcing
   std::uint64_t next_seq_ = 0;
   std::uint64_t session_msg_seq_ = 0;
   std::size_t updates_sent_ = 0;
   std::size_t best_flips_ = 0;
+  std::size_t messages_dropped_ = 0;
+  std::size_t messages_duplicated_ = 0;
+  std::size_t deliveries_voided_ = 0;
   std::vector<std::size_t> flips_by_node_;
   std::vector<FlapRecord> flap_log_;
+  std::vector<FaultRecord> fault_log_;
 };
 
 }  // namespace ibgp::engine

@@ -1,0 +1,50 @@
+#include "fault/campaign.hpp"
+
+#include "util/hash.hpp"
+
+namespace ibgp::fault {
+
+std::uint64_t trace_hash(const engine::EventEngine& engine,
+                         const engine::EventEngine::Result& result) {
+  util::Fingerprint fp;
+  for (const auto& flap : engine.flap_log()) {
+    fp.add(flap.time).add(flap.node).add(flap.old_best).add(flap.new_best);
+  }
+  for (const auto& fault : engine.fault_log()) {
+    fp.add(fault.time)
+        .add(static_cast<std::uint64_t>(fault.kind))
+        .add(fault.a)
+        .add(fault.b);
+  }
+  fp.add_range(result.final_best);
+  fp.add(result.updates_sent)
+      .add(result.messages_dropped)
+      .add(result.messages_duplicated)
+      .add(result.deliveries_voided)
+      .add(result.end_time);
+  return fp.value();
+}
+
+CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind protocol,
+                            const FaultScript& script, const CampaignOptions& options) {
+  engine::EventEngine engine(inst, protocol, options.delay);
+  if (options.mrai > 0) engine.set_mrai(options.mrai);
+  ScriptInjector injector(script);
+  engine.set_fault_injector(&injector);
+  engine.inject_all_exits(0);
+  apply_script(script, engine);
+
+  CampaignResult campaign;
+  campaign.run = engine.run(options.max_deliveries);
+  campaign.invariants = analysis::check_invariants(engine);
+  campaign.trace_hash = trace_hash(engine, campaign.run);
+  if (!engine.fault_log().empty()) {
+    campaign.last_fault_time = engine.fault_log().back().time;
+  }
+  if (campaign.run.converged && campaign.run.end_time > campaign.last_fault_time) {
+    campaign.settle_time = campaign.run.end_time - campaign.last_fault_time;
+  }
+  return campaign;
+}
+
+}  // namespace ibgp::fault

@@ -1,0 +1,54 @@
+#pragma once
+// Fault-campaign runner: one seeded FaultScript against one protocol, with
+// an invariant verdict and a determinism fingerprint.
+//
+// This is the harness the resilience experiments build on (bench_faults,
+// examples/fault_storm, tests/test_faults): inject every exit at t=0, let
+// the scripted faults rain down, run to quiescence, then ask
+// analysis/invariants whether the surviving state is consistent.  The
+// trace_hash fingerprints the *entire observable history* — every
+// best-route flap, every applied fault, drop/dup counts and the final
+// routing — so two runs agree on the hash iff they behaved identically,
+// which is how the `same seed -> same trace` guarantee is enforced.
+
+#include <cstdint>
+
+#include "analysis/invariants.hpp"
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "engine/event_engine.hpp"
+#include "fault/script.hpp"
+
+namespace ibgp::fault {
+
+struct CampaignOptions {
+  std::size_t max_deliveries = 1'000'000;
+  engine::EventEngine::DelayFn delay = {};  ///< forwarded to the engine
+  engine::SimTime mrai = 0;
+};
+
+struct CampaignResult {
+  engine::EventEngine::Result run;          ///< raw engine outcome
+  analysis::InvariantReport invariants;     ///< exact only when run.converged
+  std::uint64_t trace_hash = 0;             ///< fingerprint of the full history
+  engine::SimTime last_fault_time = 0;      ///< when the final fault applied
+  /// Virtual ticks from the last applied fault to quiescence (0 when the
+  /// run did not converge — see run.converged).
+  engine::SimTime settle_time = 0;
+
+  [[nodiscard]] bool reconverged() const { return run.converged; }
+  [[nodiscard]] bool healthy() const { return run.converged && invariants.clean(); }
+};
+
+/// Runs the campaign: all exits injected at t=0, script faults + message
+/// policy applied, engine run to quiescence or the delivery budget.
+CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind protocol,
+                            const FaultScript& script, const CampaignOptions& options = {});
+
+/// Fingerprint of an engine's observable history (flap log, fault log,
+/// final best routes, message-fate counters).  Exposed so callers driving
+/// the engine manually can make the same determinism claim.
+std::uint64_t trace_hash(const engine::EventEngine& engine,
+                         const engine::EventEngine::Result& result);
+
+}  // namespace ibgp::fault

@@ -1,0 +1,127 @@
+#include "fault/script.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace ibgp::fault {
+
+namespace {
+
+engine::SimTime draw_time(util::Xoshiro256& rng, engine::SimTime lo, engine::SimTime hi) {
+  if (hi <= lo) return lo;
+  return lo + rng.below(hi - lo + 1);
+}
+
+}  // namespace
+
+FaultScript make_fault_script(const core::Instance& inst, const FaultScriptConfig& config) {
+  if (config.window_end < config.window_start) {
+    throw std::invalid_argument("make_fault_script: empty fault window");
+  }
+  if (config.session_flaps > 0 && inst.sessions().session_count() == 0) {
+    throw std::invalid_argument("make_fault_script: session flaps need sessions");
+  }
+  if (config.exit_flaps > 0 && inst.exits().empty()) {
+    throw std::invalid_argument("make_fault_script: exit flaps need exit paths");
+  }
+
+  FaultScript script;
+  script.seed = config.seed;
+  script.loss_prob = std::clamp(config.loss_prob, 0.0, 1.0);
+  script.dup_prob = std::clamp(config.dup_prob, 0.0, 1.0);
+  script.loss_detect_delay = config.loss_detect_delay;
+  script.repair_downtime = config.repair_downtime;
+
+  util::Xoshiro256 rng(util::derive_seed(config.seed, 0xFA017));
+  const auto edges = inst.sessions().edges();
+
+  using Kind = FaultAction::Kind;
+  for (std::size_t i = 0; i < config.session_flaps; ++i) {
+    const auto& edge = edges[rng.pick_index(edges)];
+    const engine::SimTime down = draw_time(rng, config.window_start, config.window_end);
+    const engine::SimTime hold =
+        draw_time(rng, config.min_downtime, config.max_downtime);
+    script.actions.push_back({down, Kind::kSessionDown, edge.u, edge.v, kNoPath});
+    script.actions.push_back({down + hold, Kind::kSessionUp, edge.u, edge.v, kNoPath});
+  }
+  for (std::size_t i = 0; i < config.crashes; ++i) {
+    const NodeId victim = static_cast<NodeId>(rng.below(inst.node_count()));
+    const engine::SimTime down = draw_time(rng, config.window_start, config.window_end);
+    const engine::SimTime outage = draw_time(rng, config.min_outage, config.max_outage);
+    script.actions.push_back({down, Kind::kCrash, victim, kNoNode, kNoPath});
+    script.actions.push_back({down + outage, Kind::kRestart, victim, kNoNode, kNoPath});
+  }
+  for (std::size_t i = 0; i < config.exit_flaps; ++i) {
+    const PathId p = static_cast<PathId>(rng.below(inst.exits().size()));
+    const engine::SimTime down = draw_time(rng, config.window_start, config.window_end);
+    const engine::SimTime gap =
+        draw_time(rng, config.min_reinject_gap, config.max_reinject_gap);
+    script.actions.push_back({down, Kind::kExitWithdraw, kNoNode, kNoNode, p});
+    script.actions.push_back({down + gap, Kind::kExitInject, kNoNode, kNoNode, p});
+  }
+
+  std::stable_sort(script.actions.begin(), script.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) { return a.time < b.time; });
+  return script;
+}
+
+void apply_script(const FaultScript& script, engine::EventEngine& engine) {
+  using Kind = FaultAction::Kind;
+  for (const FaultAction& action : script.actions) {
+    switch (action.kind) {
+      case Kind::kSessionDown:
+        engine.schedule_session_down(action.a, action.b, action.time);
+        break;
+      case Kind::kSessionUp:
+        engine.schedule_session_up(action.a, action.b, action.time);
+        break;
+      case Kind::kCrash:
+        engine.schedule_crash(action.a, action.time);
+        break;
+      case Kind::kRestart:
+        engine.schedule_restart(action.a, action.time);
+        break;
+      case Kind::kExitWithdraw:
+        engine.withdraw_exit(action.path, action.time);
+        break;
+      case Kind::kExitInject:
+        engine.inject_exit(action.path, action.time);
+        break;
+    }
+  }
+}
+
+ScriptInjector::ScriptInjector(const FaultScript& script)
+    : seed_(util::derive_seed(script.seed, 0x1055)),
+      loss_prob_(script.loss_prob),
+      dup_prob_(script.dup_prob),
+      detect_delay_(script.loss_detect_delay),
+      repair_downtime_(script.repair_downtime) {}
+
+engine::MessageFate ScriptInjector::classify(NodeId from, NodeId to, std::uint64_t seq) {
+  if (loss_prob_ <= 0.0 && dup_prob_ <= 0.0) return engine::MessageFate::kDeliver;
+  // Pure per-message hash: the fate of message (from, to, seq) depends only
+  // on the seed, never on evaluation order.
+  std::uint64_t h = seed_;
+  h = util::hash_combine(h, (static_cast<std::uint64_t>(from) << 32) | to);
+  h = util::hash_combine(h, seq);
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / static_cast<double>(1ULL << 53));
+  if (u < loss_prob_) return engine::MessageFate::kDrop;
+  if (u < loss_prob_ + dup_prob_) return engine::MessageFate::kDuplicate;
+  return engine::MessageFate::kDeliver;
+}
+
+void ScriptInjector::on_drop(engine::EventEngine& engine, NodeId from, NodeId to,
+                             engine::SimTime now) {
+  if (detect_delay_ == 0) return;  // no transport-failure detection: let it rot
+  // Hold-timer expiry: the damaged session resets, flushing both ends, then
+  // re-establishes — the repair that restores RIB synchrony.
+  engine.schedule_session_down(from, to, now + detect_delay_);
+  engine.schedule_session_up(from, to, now + detect_delay_ + repair_downtime_);
+}
+
+}  // namespace ibgp::fault

@@ -1,0 +1,120 @@
+#pragma once
+// Deterministic, seed-driven fault scripts.
+//
+// A FaultScript is a reproducible campaign of operational failures against
+// one EventEngine run: session down/up flaps, router crash/restart pairs,
+// exit-path flap storms (E-BGP withdraw + re-inject), and a per-message
+// loss/duplication policy.  Everything is derived from a single 64-bit seed
+// via util/rng, so `same seed -> same script -> same event trace` holds
+// bit-for-bit — the property the determinism tests hash-check.
+//
+// Message loss is special: BGP runs over TCP, so a "lost" UPDATE really
+// means transport failure, and a real router's hold timer answers it with a
+// session reset.  ScriptInjector models that: when loss_detect_delay > 0,
+// every drop schedules a session down/up pair on the afflicted session,
+// which flushes both ends and replays a full sync.  That repair discipline
+// is what makes the post-quiescence invariants (analysis/invariants.hpp)
+// checkable — with detection disabled, drops silently desynchronize RIBs
+// forever, which the checker then reports (by design).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "engine/event_engine.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::fault {
+
+/// Knobs for make_fault_script().  Counts are exact (not probabilistic);
+/// times are drawn uniformly inside the fault window.
+struct FaultScriptConfig {
+  std::uint64_t seed = 1;
+
+  /// Fault activity window: every scheduled fault *starts* in
+  /// [window_start, window_end] (recoveries may land after the end).
+  engine::SimTime window_start = 0;
+  engine::SimTime window_end = 500;
+
+  /// Session down/up flap pairs on uniformly chosen sessions.
+  std::size_t session_flaps = 0;
+  engine::SimTime min_downtime = 10;
+  engine::SimTime max_downtime = 60;
+
+  /// Router crash/restart pairs on uniformly chosen routers.
+  std::size_t crashes = 0;
+  engine::SimTime min_outage = 20;
+  engine::SimTime max_outage = 80;
+
+  /// Exit-path flap storm: withdraw + re-inject pairs on uniformly chosen
+  /// exit paths.
+  std::size_t exit_flaps = 0;
+  engine::SimTime min_reinject_gap = 5;
+  engine::SimTime max_reinject_gap = 40;
+
+  /// Per-message fault policy (see ScriptInjector).
+  double loss_prob = 0.0;
+  double dup_prob = 0.0;
+  /// Ticks between a drop and the session reset that repairs it; 0 disables
+  /// detection (drops then desynchronize RIBs permanently).
+  engine::SimTime loss_detect_delay = 25;
+  engine::SimTime repair_downtime = 10;
+};
+
+/// One scheduled fault action.
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kSessionDown,
+    kSessionUp,
+    kCrash,
+    kRestart,
+    kExitWithdraw,
+    kExitInject,
+  };
+  engine::SimTime time = 0;
+  Kind kind = Kind::kSessionDown;
+  NodeId a = kNoNode;  ///< session endpoint / crashed router
+  NodeId b = kNoNode;  ///< other session endpoint
+  PathId path = kNoPath;  ///< exit-flap actions
+};
+
+/// A fully materialized campaign: timed actions plus the message policy.
+struct FaultScript {
+  std::uint64_t seed = 1;
+  double loss_prob = 0.0;
+  double dup_prob = 0.0;
+  engine::SimTime loss_detect_delay = 0;
+  engine::SimTime repair_downtime = 10;
+  std::vector<FaultAction> actions;  ///< ascending time
+};
+
+/// Draws a script from the config, deterministically from config.seed.
+/// Throws std::invalid_argument when the config asks for faults the
+/// instance cannot host (session flaps without sessions, exit flaps without
+/// exits).
+FaultScript make_fault_script(const core::Instance& inst, const FaultScriptConfig& config);
+
+/// Schedules every action of the script onto the engine.  Does NOT install
+/// the message policy — pair with a ScriptInjector for that.
+void apply_script(const FaultScript& script, engine::EventEngine& engine);
+
+/// The script's per-message loss/duplication policy.  classify() is a pure
+/// hash of (seed, from, to, seq): deterministic independent of call order.
+/// on_drop() schedules the hold-timer session reset described above.
+class ScriptInjector final : public engine::FaultInjector {
+ public:
+  explicit ScriptInjector(const FaultScript& script);
+
+  engine::MessageFate classify(NodeId from, NodeId to, std::uint64_t seq) override;
+  void on_drop(engine::EventEngine& engine, NodeId from, NodeId to,
+               engine::SimTime now) override;
+
+ private:
+  std::uint64_t seed_;
+  double loss_prob_;
+  double dup_prob_;
+  engine::SimTime detect_delay_;
+  engine::SimTime repair_downtime_;
+};
+
+}  // namespace ibgp::fault

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
+#include <stdexcept>
 
 #include "core/fixed_point.hpp"
 #include "engine/activation.hpp"
@@ -245,6 +247,93 @@ TEST(EventEngine, WithdrawFlushesRoute) {
   for (NodeId v = 0; v < inst.node_count(); ++v) {
     const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
     EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+}
+
+TEST(EventEngine, WithdrawFlushesEveryAdjRibIn) {
+  // The operational analogue of Lemma 7.2: once an E-BGP withdrawal has
+  // propagated, NO router may keep the path in any Adj-RIB-In, no session
+  // may still carry it in an advertised set, and nobody selects it.
+  const auto inst = topo::fig1a();
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.withdraw_exit(r3, 1000);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(engine.ebgp_live(r3));
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    EXPECT_NE(result.final_best[v], r3) << inst.node_name(v);
+    EXPECT_TRUE(engine.rib_in(v, r3).empty()) << inst.node_name(v);
+    for (const NodeId peer : inst.sessions().peers(v)) {
+      const auto sent = engine.advertised_to(v, peer);
+      EXPECT_FALSE(std::binary_search(sent.begin(), sent.end(), r3))
+          << inst.node_name(v) << " -> " << inst.node_name(peer);
+    }
+  }
+}
+
+TEST(EventEngine, WithdrawReinjectChurnNeverLeavesStaleState) {
+  // E-BGP churn: flap r3 through several withdraw/re-inject rounds ending
+  // withdrawn.  Every round's stale copies must flush; the survivors settle
+  // on the fixed point over the remaining exits.
+  const auto inst = topo::fig1a();
+  const PathId r3 = inst.exits().find_by_name("r3");
+  for (const ProtocolKind protocol : {ProtocolKind::kStandard, ProtocolKind::kWalton,
+                                      ProtocolKind::kModified}) {
+    EventEngine engine(inst, protocol);
+    engine.inject_all_exits(0);
+    for (SimTime t = 500; t < 900; t += 100) {
+      engine.withdraw_exit(r3, t);
+      engine.inject_exit(r3, t + 50);
+    }
+    engine.withdraw_exit(r3, 900);
+    const auto result = engine.run(500000);
+    // Standard I-BGP oscillates on fig1a only while r3 is announced (the
+    // MED conflict needs it): with r3 finally gone, every protocol drains.
+    ASSERT_TRUE(result.converged) << core::protocol_name(protocol);
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      EXPECT_NE(result.final_best[v], r3) << inst.node_name(v);
+      EXPECT_TRUE(engine.rib_in(v, r3).empty()) << inst.node_name(v);
+    }
+  }
+}
+
+TEST(EventEngine, ReinjectAfterWithdrawRestoresFullFixedPoint) {
+  const auto inst = topo::fig1a();
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.withdraw_exit(r3, 600);
+  engine.inject_exit(r3, 900);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  const auto prediction = core::predict_fixed_point(inst);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+}
+
+TEST(EventEngine, SetMraiRejectedOnceEventsAreScheduled) {
+  const auto inst = topo::fig1a();
+  {
+    EventEngine engine(inst, ProtocolKind::kModified);
+    engine.inject_all_exits(0);
+    EXPECT_THROW(engine.set_mrai(50), std::logic_error);
+  }
+  {
+    EventEngine engine(inst, ProtocolKind::kModified);
+    engine.set_mrai(50);  // before any event: fine
+    engine.set_mrai(0);
+    engine.inject_all_exits(0);
+    EXPECT_NO_THROW(engine.run());
+  }
+  {
+    // Processed events seal the engine too.
+    EventEngine engine(inst, ProtocolKind::kModified);
+    engine.run();
+    EXPECT_THROW(engine.set_mrai(10), std::logic_error);
   }
 }
 

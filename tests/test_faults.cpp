@@ -1,0 +1,431 @@
+// Fault-injection & resilience tests: session flaps (with Adj-RIB-In flush
+// and full re-sync on re-establishment), message loss/duplication, router
+// crash/restart, exit-flap storms, the invariant checker that polices state
+// under churn, and the determinism guarantee (same seed -> same trace hash).
+//
+// The empirical claim under test is the operational reading of Section 7:
+// the paper's modified protocol must reconverge, with consistent state and
+// no forwarding loops, after ANY finite fault burst — while standard I-BGP
+// exhibits non-reconverging cases under the same campaigns.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/invariants.hpp"
+#include "core/fixed_point.hpp"
+#include "engine/event_engine.hpp"
+#include "fault/campaign.hpp"
+#include "fault/script.hpp"
+#include "topo/figures.hpp"
+#include "util/rng.hpp"
+
+namespace ibgp::fault {
+namespace {
+
+using core::ProtocolKind;
+using engine::EventEngine;
+using engine::SimTime;
+
+void expect_fixed_point(const core::Instance& inst, const std::vector<PathId>& final_best,
+                        const std::vector<PathId>& live = {}) {
+  const auto prediction = live.empty() ? core::predict_fixed_point(inst)
+                                       : core::predict_fixed_point(inst, live);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(final_best[v], expected) << inst.node_name(v);
+  }
+}
+
+// --- session flaps -----------------------------------------------------------------
+
+TEST(Faults, SessionDownFlushesAdjRibInBothWays) {
+  const auto inst = topo::fig1a();
+  const NodeId a = inst.find_node("A");
+  const NodeId b = inst.find_node("B");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_session_down(a, b, 1000);  // long after convergence
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(engine.session_up(a, b));
+  for (PathId p = 0; p < inst.exits().size(); ++p) {
+    for (const NodeId holder : engine.rib_in(a, p)) EXPECT_NE(holder, b);
+    for (const NodeId holder : engine.rib_in(b, p)) EXPECT_NE(holder, a);
+  }
+  EXPECT_TRUE(engine.advertised_to(a, b).empty());
+  EXPECT_TRUE(engine.advertised_to(b, a).empty());
+  // The downed A—B mesh link partitions the I-BGP overlay: each side must
+  // fall back to routes it can still hear, and state must stay consistent.
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+TEST(Faults, SessionFlapRecoveryRestoresFixedPoint) {
+  const auto inst = topo::fig1a();
+  const NodeId a = inst.find_node("A");
+  const NodeId b = inst.find_node("B");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_session_down(a, b, 1000);
+  engine.schedule_session_up(a, b, 1050);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(engine.session_up(a, b));
+  expect_fixed_point(inst, result.final_best);
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+  EXPECT_EQ(result.faults_applied, 2u);
+}
+
+TEST(Faults, SessionResetVoidsInFlightMessages) {
+  // Slow messages + a quick flap while they are in flight: the pre-reset
+  // messages must die with the session instead of populating the RIB of the
+  // re-established one.
+  const auto inst = topo::fig2();
+  // A session incident to an exit point carries UPDATEs from t=0 on.
+  const NodeId exit_point = inst.exits()[0].exit_point;
+  const NodeId peer = inst.sessions().peers(exit_point)[0];
+  EventEngine engine(inst, ProtocolKind::kModified,
+                     [](NodeId, NodeId, std::uint64_t) -> SimTime { return 40; });
+  engine.inject_all_exits(0);
+  engine.schedule_session_down(exit_point, peer, 10);
+  engine.schedule_session_up(exit_point, peer, 20);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.deliveries_voided, 0u);
+  expect_fixed_point(inst, result.final_best);
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+TEST(Faults, DownedSessionStaysSilent) {
+  // While a session is down, churn elsewhere must not leak messages across
+  // it: flap an exit during the outage and check the RIBs stay flushed.
+  const auto inst = topo::fig1a();
+  const NodeId a = inst.find_node("A");
+  const NodeId b = inst.find_node("B");
+  const PathId r1 = inst.exits().find_by_name("r1");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_session_down(a, b, 1000);
+  engine.withdraw_exit(r1, 1100);
+  engine.inject_exit(r1, 1200);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  for (PathId p = 0; p < inst.exits().size(); ++p) {
+    for (const NodeId holder : engine.rib_in(b, p)) EXPECT_NE(holder, a);
+  }
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+// --- crash / restart ---------------------------------------------------------------
+
+TEST(Faults, CrashWithdrawsTheRoutersExitsEverywhere) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");  // owns r3, one of the two S' routes
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_crash(c3, 1000);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(engine.node_up(c3));
+  EXPECT_EQ(result.final_best[c3], kNoPath);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    EXPECT_NE(result.final_best[v], r3) << inst.node_name(v);
+    EXPECT_TRUE(engine.rib_in(v, r3).empty()) << inst.node_name(v);
+  }
+  // Survivors must agree with the fixed point over the remaining exits.
+  const auto prediction = core::predict_fixed_point(
+      inst, std::vector<PathId>{inst.exits().find_by_name("r1"),
+                                inst.exits().find_by_name("r2")});
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    if (!engine.node_up(v)) continue;
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+TEST(Faults, CrashRestartRelearnsOwnExitsAndRestoresFixedPoint) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_crash(c3, 1000);
+  engine.schedule_restart(c3, 1080);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(engine.node_up(c3));
+  expect_fixed_point(inst, result.final_best);
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+TEST(Faults, EbgpWithdrawDuringOutageIsNotResurrected) {
+  // r3's external origin withdraws while c3 is down: the restart must NOT
+  // re-learn the dead route (the E-BGP origin state, not the router's
+  // memory, decides what comes back).
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_crash(c3, 1000);
+  engine.withdraw_exit(r3, 1040);
+  engine.schedule_restart(c3, 1080);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(engine.ebgp_live(r3));
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    EXPECT_NE(result.final_best[v], r3) << inst.node_name(v);
+    EXPECT_TRUE(engine.rib_in(v, r3).empty()) << inst.node_name(v);
+  }
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+// --- message loss / duplication ----------------------------------------------------
+
+TEST(Faults, DuplicationIsIdempotent) {
+  const auto inst = topo::fig1a();
+  FaultScriptConfig config;
+  config.seed = 7;
+  config.dup_prob = 0.5;
+  const auto script = make_fault_script(inst, config);
+  const auto campaign = run_campaign(inst, ProtocolKind::kModified, script);
+  ASSERT_TRUE(campaign.reconverged());
+  EXPECT_GT(campaign.run.messages_duplicated, 0u);
+  expect_fixed_point(inst, campaign.run.final_best);
+  EXPECT_TRUE(campaign.invariants.clean())
+      << analysis::describe_report(campaign.invariants);
+}
+
+TEST(Faults, LossWithHoldTimerRepairHealsTheRibs) {
+  // Drops trigger a session reset after loss_detect_delay (the hold-timer
+  // model), which flushes and re-syncs both ends: after quiescence every
+  // RIB must match what its peers advertise.
+  const auto inst = topo::fig1a();
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    FaultScriptConfig config;
+    config.seed = seed;
+    config.loss_prob = 0.15;
+    config.loss_detect_delay = 25;
+    config.repair_downtime = 10;
+    const auto script = make_fault_script(inst, config);
+    const auto campaign = run_campaign(inst, ProtocolKind::kModified, script);
+    ASSERT_TRUE(campaign.reconverged()) << "seed " << seed;
+    EXPECT_GT(campaign.run.messages_dropped, 0u) << "seed " << seed;
+    expect_fixed_point(inst, campaign.run.final_best);
+    EXPECT_TRUE(campaign.invariants.clean())
+        << "seed " << seed << ": " << analysis::describe_report(campaign.invariants);
+  }
+}
+
+TEST(Faults, UnrepairedLossIsCaughtByTheInvariantChecker) {
+  // With detection disabled a dropped UPDATE silently desynchronizes
+  // sender and receiver forever.  The checker must notice on at least one
+  // seed — this is the negative control proving it can fail.
+  const auto inst = topo::fig1a();
+  bool caught = false;
+  std::size_t dropped = 0;
+  for (std::uint64_t seed = 1; seed <= 10 && !caught; ++seed) {
+    FaultScriptConfig config;
+    config.seed = seed;
+    config.loss_prob = 0.3;
+    config.loss_detect_delay = 0;  // no repair
+    const auto script = make_fault_script(inst, config);
+    const auto campaign = run_campaign(inst, ProtocolKind::kModified, script);
+    dropped += campaign.run.messages_dropped;
+    if (campaign.reconverged() && !campaign.invariants.clean()) caught = true;
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_TRUE(caught) << "30% unrepaired loss never desynchronized a RIB in 10 seeds";
+}
+
+// --- exit-flap storms --------------------------------------------------------------
+
+TEST(Faults, ExitFlapStormSettlesToTheFixedPoint) {
+  const auto inst = topo::fig3();
+  FaultScriptConfig config;
+  config.seed = 11;
+  config.exit_flaps = 8;
+  config.window_start = 50;
+  config.window_end = 400;
+  const auto script = make_fault_script(inst, config);
+  const auto campaign = run_campaign(inst, ProtocolKind::kModified, script);
+  ASSERT_TRUE(campaign.reconverged());
+  // Every withdraw in the storm is paired with a re-inject, so all exits
+  // are live again at the end and the full fixed point must hold.
+  expect_fixed_point(inst, campaign.run.final_best);
+  EXPECT_TRUE(campaign.invariants.clean())
+      << analysis::describe_report(campaign.invariants);
+}
+
+// --- determinism -------------------------------------------------------------------
+
+TEST(Faults, SameSeedSameTraceHash) {
+  // The acceptance scenario: session flaps + message loss + one router
+  // crash/restart on the Fig 3 topology, fully deterministic from the seed.
+  const auto inst = topo::fig3();
+  FaultScriptConfig config;
+  config.seed = 42;
+  config.session_flaps = 3;
+  config.crashes = 1;
+  config.loss_prob = 0.05;
+  config.window_start = 20;
+  config.window_end = 300;
+  const auto script = make_fault_script(inst, config);
+  const auto first = run_campaign(inst, ProtocolKind::kModified, script);
+  const auto second = run_campaign(inst, ProtocolKind::kModified, script);
+  ASSERT_TRUE(first.reconverged());
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.run.final_best, second.run.final_best);
+  EXPECT_EQ(first.run.deliveries, second.run.deliveries);
+  EXPECT_EQ(first.run.messages_dropped, second.run.messages_dropped);
+
+  config.seed = 43;
+  const auto other = run_campaign(inst, ProtocolKind::kModified,
+                                  make_fault_script(inst, config));
+  EXPECT_NE(first.trace_hash, other.trace_hash) << "different seed, identical trace";
+}
+
+TEST(Faults, ScriptGenerationIsDeterministic) {
+  const auto inst = topo::fig3();
+  FaultScriptConfig config;
+  config.seed = 99;
+  config.session_flaps = 4;
+  config.crashes = 2;
+  config.exit_flaps = 3;
+  const auto a = make_fault_script(inst, config);
+  const auto b = make_fault_script(inst, config);
+  ASSERT_EQ(a.actions.size(), b.actions.size());
+  ASSERT_EQ(a.actions.size(), 2 * (4 + 2 + 3u));
+  for (std::size_t i = 0; i < a.actions.size(); ++i) {
+    EXPECT_EQ(a.actions[i].time, b.actions[i].time);
+    EXPECT_EQ(a.actions[i].kind, b.actions[i].kind);
+    EXPECT_EQ(a.actions[i].a, b.actions[i].a);
+    EXPECT_EQ(a.actions[i].b, b.actions[i].b);
+    EXPECT_EQ(a.actions[i].path, b.actions[i].path);
+  }
+  // Sorted by time, and faults only start inside the window.
+  for (std::size_t i = 1; i < a.actions.size(); ++i) {
+    EXPECT_LE(a.actions[i - 1].time, a.actions[i].time);
+  }
+}
+
+// --- the Section 7 theorem, empirically --------------------------------------------
+
+TEST(Faults, ModifiedReconvergesAfterEveryFiniteFaultBurst) {
+  // Campaign matrix over every paper figure and a batch of seeds: mixed
+  // session flaps, crashes, exit flaps, loss and duplication.  The modified
+  // protocol must reconverge with clean invariants on ALL of them.
+  for (const auto& [name, inst] : topo::all_figures()) {
+    for (const std::uint64_t seed : {1, 2, 3}) {
+      FaultScriptConfig config;
+      config.seed = seed;
+      config.session_flaps = 2;
+      config.crashes = 1;
+      config.exit_flaps = 2;
+      config.loss_prob = 0.05;
+      config.dup_prob = 0.05;
+      config.window_start = 10;
+      config.window_end = 400;
+      const auto script = make_fault_script(inst, config);
+      const auto campaign = run_campaign(inst, ProtocolKind::kModified, script);
+      ASSERT_TRUE(campaign.reconverged()) << name << " seed " << seed;
+      EXPECT_TRUE(campaign.invariants.clean())
+          << name << " seed " << seed << ": "
+          << analysis::describe_report(campaign.invariants);
+    }
+  }
+}
+
+TEST(Faults, StandardHasANonReconvergingCaseInTheMatrix) {
+  // The same campaign shape finds at least one case where standard I-BGP
+  // never drains its queue (fig1a has no stable configuration at all, and
+  // fig3's delay symmetry sustains the Table-1 oscillation).
+  std::size_t failures = 0;
+  for (const auto& [name, inst] : topo::all_figures()) {
+    for (const std::uint64_t seed : {1, 2, 3}) {
+      FaultScriptConfig config;
+      config.seed = seed;
+      config.session_flaps = 2;
+      config.exit_flaps = 2;
+      config.window_start = 10;
+      config.window_end = 400;
+      const auto script = make_fault_script(inst, config);
+      CampaignOptions options;
+      options.max_deliveries = 60000;
+      const auto campaign = run_campaign(inst, ProtocolKind::kStandard, script, options);
+      if (!campaign.reconverged()) ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+// --- scheduling guards -------------------------------------------------------------
+
+TEST(Faults, ScheduleValidatesTargets) {
+  const auto inst = topo::fig1a();
+  const NodeId c1 = inst.find_node("c1");
+  const NodeId c3 = inst.find_node("c3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  // c1 (cluster 0) and c3 (cluster 1) share no session.
+  EXPECT_THROW(engine.schedule_session_down(c1, c3, 0), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_session_up(c1, c3, 0), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_crash(inst.node_count(), 0), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_restart(inst.node_count(), 0), std::invalid_argument);
+}
+
+TEST(Faults, RedundantFaultsAreNoOps) {
+  const auto inst = topo::fig1a();
+  const NodeId a = inst.find_node("A");
+  const NodeId b = inst.find_node("B");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_session_down(a, b, 1000);
+  engine.schedule_session_down(a, b, 1001);  // already down
+  engine.schedule_session_up(a, b, 1002);
+  engine.schedule_session_up(a, b, 1003);  // already up
+  engine.schedule_crash(b, 1100);
+  engine.schedule_crash(b, 1101);  // already crashed
+  engine.schedule_restart(b, 1200);
+  engine.schedule_restart(b, 1201);  // already up
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.faults_applied, 4u) << "duplicates must not re-apply";
+  expect_fixed_point(inst, result.final_best);
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+TEST(Faults, FaultLogIsChronological) {
+  const auto inst = topo::fig3();
+  FaultScriptConfig config;
+  config.seed = 5;
+  config.session_flaps = 3;
+  config.crashes = 1;
+  const auto script = make_fault_script(inst, config);
+  engine::EventEngine engine(inst, ProtocolKind::kModified);
+  ScriptInjector injector(script);
+  engine.set_fault_injector(&injector);
+  engine.inject_all_exits(0);
+  apply_script(script, engine);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  const auto log = engine.fault_log();
+  EXPECT_EQ(result.faults_applied, log.size());
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].time, log[i].time);
+  }
+  for (const auto& fault : log) {
+    EXPECT_STRNE(engine::fault_kind_name(fault.kind), "?");
+  }
+}
+
+}  // namespace
+}  // namespace ibgp::fault
