@@ -1,0 +1,211 @@
+// bench_gr — graceful restart vs cold restart (E14).
+//
+// Runs PAIRED fault campaigns: for each (figure, protocol, outage level,
+// seed), one campaign crashes the victims cold and one restarts the SAME
+// victims at the SAME times gracefully (RFC 4724-style stale-path
+// retention; the two scripts share one RNG draw sequence — see
+// fault/script.hpp).  The forwarding-continuity checker then prices each
+// run tick-by-tick: blackhole ticks (source-ticks with no usable route),
+// stale ticks (forwarding carried by retained-stale state), transient
+// loop ticks, and the longest contiguous per-source blackhole window.
+//
+// The headline claim: graceful restart strictly shrinks total blackhole
+// time relative to cold restart, for every protocol variant — retention
+// keeps the data plane forwarding while the control plane reboots.  The
+// report ends with a per-protocol PASS/FAIL verdict on exactly that.
+//
+// `bench_gr --smoke` skips the sweep and runs one small deterministic
+// cell twice in-process, printing the campaign trace hash and failing if
+// the two runs disagree (CI runs the binary twice and compares the
+// printed hashes across processes as well).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "bench_common.hpp"
+#include "fault/campaign.hpp"
+#include "fault/script.hpp"
+#include "topo/figures.hpp"
+
+namespace {
+
+using namespace ibgp;
+
+constexpr std::size_t kSeeds = 20;
+constexpr std::size_t kBudget = 100000;
+constexpr engine::SimTime kStaleTimer = 300;
+
+struct Level {
+  const char* label;
+  std::size_t outages;  // crash/restart (cold) or graceful-down/restart pairs
+  std::size_t flaps;
+  double loss;
+};
+
+constexpr Level kLevels[] = {
+    {"1 outage, quiet background", 1, 0, 0.0},
+    {"2 outages, 2 flaps, 5% loss", 2, 2, 0.05},
+};
+
+struct Cell {
+  std::size_t reconverged = 0;
+  std::size_t clean = 0;
+  std::uint64_t blackhole = 0;   // total source-ticks, summed over seeds
+  std::uint64_t stale = 0;
+  std::uint64_t loops = 0;
+  std::uint64_t max_window = 0;  // worst contiguous blackhole window seen
+  std::uint64_t settle_sum = 0;  // over reconverged runs
+};
+
+fault::FaultScriptConfig cell_config(std::uint64_t seed, const Level& level,
+                                     bool graceful) {
+  fault::FaultScriptConfig config;
+  config.seed = seed;
+  config.session_flaps = level.flaps;
+  config.loss_prob = level.loss;
+  config.window_start = 20;
+  config.window_end = 400;
+  if (graceful) {
+    config.graceful_restarts = level.outages;
+    config.stale_timer = kStaleTimer;
+  } else {
+    config.crashes = level.outages;
+  }
+  return config;
+}
+
+Cell run_cell(const core::Instance& inst, core::ProtocolKind protocol,
+              const Level& level, bool graceful) {
+  Cell cell;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto script = fault::make_fault_script(inst, cell_config(seed, level, graceful));
+    fault::CampaignOptions options;
+    options.max_deliveries = kBudget;
+    const auto campaign = fault::run_campaign(inst, protocol, script, options);
+    if (campaign.reconverged()) {
+      ++cell.reconverged;
+      cell.settle_sum += campaign.settle_time;
+      if (campaign.invariants.clean()) ++cell.clean;
+    }
+    cell.blackhole += campaign.continuity.blackhole_ticks;
+    cell.stale += campaign.continuity.stale_ticks;
+    cell.loops += campaign.continuity.loop_ticks;
+    cell.max_window = std::max(cell.max_window, campaign.continuity.max_blackhole_window);
+  }
+  return cell;
+}
+
+void report() {
+  bench::heading("E14: graceful restart vs cold restart — forwarding continuity",
+                 "stale-path retention (RFC 4724 semantics) strictly shrinks "
+                 "blackhole time vs cold restart, for every protocol variant");
+
+  // protocol -> (cold, graceful) blackhole totals across figures and levels.
+  std::map<core::ProtocolKind, std::pair<std::uint64_t, std::uint64_t>> verdict;
+
+  for (const auto& [name, inst] : topo::all_figures()) {
+    if (inst.name() != "fig1a" && inst.name() != "fig3") continue;
+    std::printf("\n%s (%zu paired seeds per cell, budget %zu deliveries, "
+                "stale timer %" PRIu64 "):\n",
+                name.c_str(), kSeeds, kBudget, kStaleTimer);
+    std::printf("  %-28s | %-9s | %-8s | %-11s | %-6s | %-9s | %-6s | %-6s\n",
+                "fault level", "protocol", "restart", "reconverged", "clean",
+                "blackhole", "max-bh", "stale");
+    std::printf("  %.28s-+-----------+----------+-------------+--------+-----------+--------+-------\n",
+                "------------------------------");
+    for (const auto& level : kLevels) {
+      for (const auto protocol :
+           {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+            core::ProtocolKind::kModified}) {
+        for (const bool graceful : {false, true}) {
+          const Cell cell = run_cell(inst, protocol, level, graceful);
+          std::printf("  %-28s | %-9s | %-8s | %5zu/%-5zu | %2zu/%-3zu | %9" PRIu64
+                      " | %6" PRIu64 " | %6" PRIu64 "\n",
+                      level.label, core::protocol_name(protocol),
+                      graceful ? "graceful" : "cold", cell.reconverged, kSeeds,
+                      cell.clean, cell.reconverged, cell.blackhole, cell.max_window,
+                      cell.stale);
+          auto& totals = verdict[protocol];
+          (graceful ? totals.second : totals.first) += cell.blackhole;
+        }
+      }
+    }
+  }
+
+  std::printf("\npaired verdict (total blackhole source-ticks, cold vs graceful):\n");
+  for (const auto& [protocol, totals] : verdict) {
+    std::printf("  %-9s : cold=%-8" PRIu64 " graceful=%-8" PRIu64 " -> %s\n",
+                core::protocol_name(protocol), totals.first, totals.second,
+                totals.second < totals.first ? "PASS (strictly smaller)" : "FAIL");
+  }
+  std::printf("\n(blackhole = source-ticks with no usable route; max-bh = longest\n"
+              " contiguous per-source blackhole window; stale = source-ticks carried\n"
+              " by retained-stale forwarding state — the price of continuity)\n");
+}
+
+// One small deterministic cell, run twice in-process; prints the campaign
+// trace hash for cross-process comparison and fails on any divergence.
+int smoke() {
+  const auto inst = topo::fig3();
+  fault::FaultScriptConfig config;
+  config.seed = 7;
+  config.session_flaps = 1;
+  config.graceful_restarts = 2;
+  config.stale_timer = kStaleTimer;
+  config.loss_prob = 0.05;
+  config.window_start = 20;
+  config.window_end = 300;
+  const auto script = fault::make_fault_script(inst, config);
+  const auto first = fault::run_campaign(inst, core::ProtocolKind::kModified, script);
+  const auto second = fault::run_campaign(inst, core::ProtocolKind::kModified, script);
+  std::printf("bench_gr smoke: trace_hash=%016" PRIx64 " reconverged=%d clean=%d "
+              "stale_retained=%" PRIu64 " blackhole=%" PRIu64 " stale_ticks=%" PRIu64 "\n",
+              first.trace_hash, first.reconverged() ? 1 : 0,
+              first.invariants.clean() ? 1 : 0,
+              static_cast<std::uint64_t>(first.run.stale_retained),
+              first.continuity.blackhole_ticks, first.continuity.stale_ticks);
+  if (first.trace_hash != second.trace_hash) {
+    std::fprintf(stderr, "bench_gr smoke: FAIL — trace hash differs between runs\n");
+    return 1;
+  }
+  if (!first.reconverged() || !first.invariants.clean()) {
+    std::fprintf(stderr, "bench_gr smoke: FAIL — campaign not reconverged/clean\n");
+    return 1;
+  }
+  return 0;
+}
+
+void BM_GrCampaign(benchmark::State& state, bool graceful) {
+  const auto inst = topo::fig3();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto script =
+        fault::make_fault_script(inst, cell_config(++seed, kLevels[1], graceful));
+    fault::CampaignOptions options;
+    options.max_deliveries = kBudget;
+    const auto campaign =
+        fault::run_campaign(inst, core::ProtocolKind::kModified, script, options);
+    benchmark::DoNotOptimize(campaign.trace_hash);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_GrCampaign, cold, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GrCampaign, graceful, true)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Custom main instead of IBGP_BENCH_MAIN: `--smoke` must be handled before
+// google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return smoke();
+  }
+  report();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 //
 //   $ ./fault_storm --figure fig3 --protocol modified --seed 42 --flaps 3 --crashes 1 --loss 0.05
 //   $ ./fault_storm --figure fig1a --protocol standard --flaps 4 --trace
+//   $ ./fault_storm --figure fig1a --graceful 1 --crashes 0 --stale-timer 300
 //
 // Same seed -> same trace hash, bit for bit: re-run any storm from its
 // command line.
@@ -11,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/continuity.hpp"
 #include "analysis/invariants.hpp"
 #include "fault/campaign.hpp"
 #include "fault/script.hpp"
@@ -25,7 +27,9 @@ int main(int argc, char** argv) {
   flags.add_string("protocol", "modified", "standard|walton|modified");
   flags.add_int("seed", 42, "campaign seed (same seed = same trace hash)");
   flags.add_int("flaps", 3, "session down/up flap pairs");
-  flags.add_int("crashes", 1, "router crash/restart pairs");
+  flags.add_int("crashes", 1, "router crash/restart pairs (cold)");
+  flags.add_int("graceful", 0, "graceful-down/restart pairs (RFC 4724-style)");
+  flags.add_int("stale-timer", 0, "stale retention bound in ticks (0 = until End-of-RIB)");
   flags.add_int("exit-flaps", 0, "exit withdraw/re-inject pairs");
   flags.add_double("loss", 0.05, "per-message loss probability");
   flags.add_double("dup", 0.0, "per-message duplication probability");
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.session_flaps = static_cast<std::size_t>(flags.get_int("flaps"));
   config.crashes = static_cast<std::size_t>(flags.get_int("crashes"));
+  config.graceful_restarts = static_cast<std::size_t>(flags.get_int("graceful"));
+  config.stale_timer = static_cast<engine::SimTime>(flags.get_int("stale-timer"));
   config.exit_flaps = static_cast<std::size_t>(flags.get_int("exit-flaps"));
   config.loss_prob = flags.get_double("loss");
   config.dup_prob = flags.get_double("dup");
@@ -80,6 +86,7 @@ int main(int argc, char** argv) {
 
   // Replay the campaign with direct engine access so the logs are visible.
   engine::EventEngine engine(inst, protocol);
+  if (script.stale_timer > 0) engine.set_stale_timer(script.stale_timer);
   fault::ScriptInjector injector(script);
   engine.set_fault_injector(&injector);
   engine.inject_all_exits(0);
@@ -114,6 +121,12 @@ int main(int argc, char** argv) {
               result.converged ? "RECONVERGED" : "STILL CHURNING (budget hit)",
               result.deliveries, result.updates_sent, result.messages_dropped,
               result.messages_duplicated, result.deliveries_voided, result.best_flips);
+  if (result.stale_retained > 0 || result.eor_markers_sent > 0) {
+    std::printf("graceful restart: %zu entries retained stale, %zu End-of-RIB markers, "
+                "%zu swept on EoR, %zu cold-flushed on timer expiry\n",
+                result.stale_retained, result.eor_markers_sent, result.stale_swept_eor,
+                result.stale_swept_expired);
+  }
 
   std::printf("\nfinal routing:\n");
   for (NodeId v = 0; v < inst.node_count(); ++v) {
@@ -129,6 +142,9 @@ int main(int argc, char** argv) {
   for (const auto& violation : report.violations) {
     std::printf("  VIOLATION: %s\n", violation.c_str());
   }
+  const auto continuity = analysis::check_continuity(engine, result.end_time);
+  std::printf("forwarding continuity: %s\n",
+              analysis::describe_continuity(continuity).c_str());
   std::printf("trace hash: %016llx\n",
               static_cast<unsigned long long>(fault::trace_hash(engine, result)));
   return result.converged && report.clean() ? 0 : 1;

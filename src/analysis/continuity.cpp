@@ -1,0 +1,159 @@
+#include "analysis/continuity.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "analysis/forwarding.hpp"
+
+namespace ibgp::analysis {
+
+namespace {
+
+using engine::EventEngine;
+using engine::FaultKind;
+using engine::SimTime;
+
+/// A router's life state as far as the forwarding plane is concerned.
+enum class Mode : std::uint8_t {
+  kUp,    // forwarding on the control plane's current best route
+  kCold,  // crashed: forwards nothing, originates nothing
+  kGr,    // graceful restart: forwards on the frozen (stale) FIB entry
+};
+
+struct ModeChange {
+  SimTime time = 0;
+  NodeId node = kNoNode;
+  Mode mode = Mode::kUp;
+};
+
+}  // namespace
+
+ContinuityReport check_continuity(const engine::EventEngine& engine, SimTime horizon) {
+  const core::Instance& inst = engine.instance();
+  const auto fib_log = engine.fib_log();
+
+  ContinuityReport report;
+  report.horizon = horizon;
+  if (horizon == 0) return report;
+
+  // Router mode transitions, derived from the fault log (chronological).
+  // kStaleExpire changes retention at *peers*, which the FIB log already
+  // captures; the router's own mode is untouched by it.
+  std::vector<ModeChange> mode_changes;
+  for (const auto& fault : engine.fault_log()) {
+    switch (fault.kind) {
+      case FaultKind::kCrash:
+        mode_changes.push_back({fault.time, fault.a, Mode::kCold});
+        break;
+      case FaultKind::kGracefulDown:
+        mode_changes.push_back({fault.time, fault.a, Mode::kGr});
+        break;
+      case FaultKind::kRestart:
+        mode_changes.push_back({fault.time, fault.a, Mode::kUp});
+        break;
+      case FaultKind::kSessionDown:
+      case FaultKind::kSessionUp:
+      case FaultKind::kStaleExpire:
+        break;
+    }
+  }
+
+  // Boundaries of the piecewise-constant forwarding state.
+  std::vector<SimTime> times;
+  times.reserve(fib_log.size() + mode_changes.size() + 2);
+  times.push_back(0);
+  times.push_back(horizon);
+  for (const auto& record : fib_log) {
+    if (record.time < horizon) times.push_back(record.time);
+  }
+  for (const auto& change : mode_changes) {
+    if (change.time < horizon) times.push_back(change.time);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  const std::size_t n = inst.node_count();
+  std::vector<PathId> fib(n, kNoPath);
+  std::vector<Mode> mode(n, Mode::kUp);
+  std::vector<bool> had_route(n, false);
+  std::vector<SimTime> blackhole_run(n, 0);
+
+  std::size_t next_fib = 0;
+  std::size_t next_mode = 0;
+  for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+    const SimTime start = times[i];
+    const SimTime len = times[i + 1] - start;
+
+    // Events at `start` take effect for [start, next boundary).
+    while (next_fib < fib_log.size() && fib_log[next_fib].time <= start) {
+      const auto& record = fib_log[next_fib++];
+      fib[record.node] = record.new_path;
+      if (record.new_path != kNoPath) had_route[record.node] = true;
+    }
+    while (next_mode < mode_changes.size() && mode_changes[next_mode].time <= start) {
+      const auto& change = mode_changes[next_mode++];
+      mode[change.node] = change.mode;
+    }
+    ++report.intervals;
+
+    for (NodeId v = 0; v < n; ++v) {
+      if (mode[v] == Mode::kCold || !had_route[v]) {
+        blackhole_run[v] = 0;  // dead or pre-convergence: originates nothing
+        continue;
+      }
+      const ForwardTrace trace = trace_forwarding(inst, fib, v);
+      bool blackhole = false;
+      switch (trace.outcome) {
+        case ForwardOutcome::kExits: {
+          bool stale_hop = false;
+          for (const NodeId hop : trace.hops) {
+            if (mode[hop] == Mode::kGr) stale_hop = true;
+          }
+          if (stale_hop) {
+            report.stale_ticks += len;
+          } else {
+            report.ok_ticks += len;
+          }
+          break;
+        }
+        case ForwardOutcome::kNoRoute:
+          report.blackhole_ticks += len;
+          blackhole = true;
+          break;
+        case ForwardOutcome::kLoop:
+          report.loop_ticks += len;
+          break;
+      }
+      if (blackhole) {
+        blackhole_run[v] += len;
+        report.max_blackhole_window = std::max(report.max_blackhole_window, blackhole_run[v]);
+      } else {
+        blackhole_run[v] = 0;
+      }
+    }
+  }
+  return report;
+}
+
+std::string describe_continuity(const ContinuityReport& report) {
+  if (report.continuous() && report.stale_ticks == 0) return "continuous";
+  std::string out;
+  const auto item = [&out](const char* label, std::uint64_t n) {
+    if (n == 0) return;
+    if (!out.empty()) out += ", ";
+    out += label;
+    out += "=";
+    out += std::to_string(n);
+  };
+  item("blackhole", report.blackhole_ticks);
+  item("loop", report.loop_ticks);
+  item("stale", report.stale_ticks);
+  if (out.empty()) return "continuous";
+  if (report.max_blackhole_window > 0) {
+    out += ", max-blackhole-window=" + std::to_string(report.max_blackhole_window);
+  }
+  return out;
+}
+
+}  // namespace ibgp::analysis

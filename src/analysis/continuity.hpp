@@ -1,0 +1,72 @@
+#pragma once
+// Forwarding-continuity analysis: tick-by-tick accounting of the forwarding
+// plane DURING a fault campaign, not just at quiescence.
+//
+// The invariant checker (analysis/invariants.hpp) delivers a post-mortem
+// verdict; what it cannot see is the *cost paid along the way* — how long
+// packets were blackholed while peers flushed a crashed router's routes,
+// whether transient forwarding loops opened mid-churn, and how much traffic
+// rode stale (retained) state during a graceful restart.  That cost is the
+// quantity RFC 4724-style graceful restart exists to reduce, and the one
+// "BGP Stability is Precarious" identifies as the dominant operational
+// price of instability.
+//
+// check_continuity() replays the engine's complete forwarding history —
+// the FIB log (every forwarding-entry change, time-stamped) joined with the
+// fault log (cold-down and graceful-restart windows per router) — as a
+// piecewise-constant timeline.  In every interval between consecutive
+// changes it traces a packet from each live source (analysis/forwarding
+// hop-by-hop semantics) and charges the interval's length to one bucket:
+//
+//   ok        — delivered over fresh state only;
+//   stale     — delivered, but some hop was inside a graceful-restart
+//               window, i.e. the packet rode a frozen/retained FIB entry;
+//   blackhole — dropped: no route at the source, or a dead (cold-down)
+//               router on the realized path;
+//   loop      — the hop-by-hop walk revisited a node.
+//
+// Sources that are cold-down originate no traffic and are not charged;
+// sources are only accounted from the first instant they ever had a route
+// (startup convergence is not a blackhole).  Because the replay is a pure
+// function of the engine's logs, it inherits the campaign determinism:
+// same seed -> same continuity report.
+
+#include <cstdint>
+#include <string>
+
+#include "engine/event_engine.hpp"
+
+namespace ibgp::analysis {
+
+struct ContinuityReport {
+  engine::SimTime horizon = 0;  ///< history replayed over [0, horizon)
+  std::size_t intervals = 0;    ///< piecewise-constant segments evaluated
+
+  /// Time-weighted source-ticks (interval length summed over affected
+  /// sources) per outcome class.
+  std::uint64_t ok_ticks = 0;
+  std::uint64_t stale_ticks = 0;
+  std::uint64_t blackhole_ticks = 0;
+  std::uint64_t loop_ticks = 0;
+
+  /// Longest contiguous blackhole suffered by any single source.
+  engine::SimTime max_blackhole_window = 0;
+
+  [[nodiscard]] std::uint64_t accounted_ticks() const {
+    return ok_ticks + stale_ticks + blackhole_ticks + loop_ticks;
+  }
+  /// Forwarding never broke: no packet was dropped or looped at any tick.
+  [[nodiscard]] bool continuous() const {
+    return blackhole_ticks == 0 && loop_ticks == 0;
+  }
+};
+
+/// Replays the engine's FIB + fault history over [0, horizon).  Pass the
+/// run's end_time as the horizon to cover the whole campaign.
+ContinuityReport check_continuity(const engine::EventEngine& engine,
+                                  engine::SimTime horizon);
+
+/// One-line summary ("continuous" or per-bucket tick counts).
+std::string describe_continuity(const ContinuityReport& report);
+
+}  // namespace ibgp::analysis

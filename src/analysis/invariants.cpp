@@ -31,7 +31,9 @@ InvariantReport check_invariants(const engine::EventEngine& engine) {
         report.violations.push_back(inst.node_name(v) + ": best route " +
                                     path_label(inst, best) +
                                     " references a withdrawn exit");
-      } else if (!engine.node_up(exit_point)) {
+      } else if (!engine.node_up(exit_point) && !engine.restarting(exit_point)) {
+        // A gracefully restarting exit router still forwards (frozen FIB),
+        // so only a cold-down exit point invalidates the route.
         ++report.stale_best;
         report.violations.push_back(inst.node_name(v) + ": best route " +
                                     path_label(inst, best) + " exits at crashed router " +
@@ -47,8 +49,24 @@ InvariantReport check_invariants(const engine::EventEngine& engine) {
     }
 
     // 3a: no entry from a downed session, no ghost entries on up sessions.
+    // Entries marked stale are the exception the retention contract allows:
+    // legitimate exactly while their peer is inside a graceful-restart
+    // window, a violation anywhere else (the EoR sweep missed them).
     for (PathId p = 0; p < paths; ++p) {
       for (const NodeId w : engine.rib_in(v, p)) {
+        const auto stale = engine.stale_rib_in(v, p);
+        const bool is_stale = std::binary_search(stale.begin(), stale.end(), w);
+        if (is_stale) {
+          if (engine.restarting(w)) {
+            ++report.stale_retained;  // retention working as designed
+          } else {
+            ++report.unswept_stale;
+            report.violations.push_back(inst.node_name(v) + ": stale entry " +
+                                        path_label(inst, p) + " from " + inst.node_name(w) +
+                                        " outlived the graceful restart unswept");
+          }
+          continue;
+        }
         if (!engine.session_up(v, w)) {
           ++report.stale_rib_entries;
           report.violations.push_back(inst.node_name(v) + ": Adj-RIB-In entry " +
@@ -82,11 +100,12 @@ InvariantReport check_invariants(const engine::EventEngine& engine) {
     }
   }
 
-  // 4: forwarding loop-freedom over the current best routes.  Crashed
-  // routers forward nothing; their entries stay kNoPath.
+  // 4: forwarding loop-freedom over the *forwarding* entries: the best
+  // route where the control plane is up, the frozen FIB at gracefully
+  // restarting routers, kNoPath (forwards nothing) where cold-down.
   std::vector<PathId> best(inst.node_count(), kNoPath);
   for (NodeId v = 0; v < inst.node_count(); ++v) {
-    if (engine.node_up(v)) best[v] = engine.best_path(v);
+    best[v] = engine.node_forwarding(v);
   }
   const auto forwarding = analyze_forwarding(inst, best);
   report.forwarding_loops = forwarding.loops;
@@ -114,6 +133,7 @@ std::string describe_report(const InvariantReport& report) {
   item("stale-rib", report.stale_rib_entries);
   item("missing-rib", report.missing_rib_entries);
   item("loops", report.forwarding_loops);
+  item("unswept-stale", report.unswept_stale);
   return out;
 }
 

@@ -17,7 +17,18 @@
 //      session, and on up sessions receiver state matches what the sender
 //      believes it advertised (ghost entries = stale withdraw, missing
 //      entries = lost announce that was never repaired);
-//   4. forwarding loop-freedom, via analysis/forwarding (Lemma 7.6/7.7).
+//   4. forwarding loop-freedom, via analysis/forwarding (Lemma 7.6/7.7),
+//      over the *forwarding* entries (node_forwarding), which include the
+//      frozen FIBs of gracefully restarting routers.
+//
+// Graceful restart (RFC 4724 stale-path retention) refines check 3: an
+// entry from a peer inside a graceful-restart window is *supposed* to
+// survive the downed session as long as it is marked stale — that is the
+// retention contract — so those entries are exempt from the flush rule and
+// reported in `stale_retained` (informational, not a violation).  What IS
+// a violation is a stale mark outliving its excuse: a stale entry from a
+// peer whose session is back up (the End-of-RIB sweep failed) or from a
+// peer that is not restarting at all, counted in `unswept_stale`.
 //
 // Checks 1-3 are exact only at quiescence (run() returned converged): while
 // messages are in flight the sender/receiver views legitimately disagree.
@@ -38,12 +49,16 @@ struct InvariantReport {
   std::size_t stale_rib_entries = 0;    ///< entry from a downed session or un-advertised path
   std::size_t missing_rib_entries = 0;  ///< sender advertised, receiver never heard
   std::size_t forwarding_loops = 0;     ///< looping forwarding traces
+  std::size_t unswept_stale = 0;  ///< stale mark with no restarting peer to excuse it
+  /// Entries legitimately retained across an in-progress graceful restart
+  /// (informational: not a violation, not in total()).
+  std::size_t stale_retained = 0;
   /// Human-readable description of every violation, in discovery order.
   std::vector<std::string> violations;
 
   [[nodiscard]] std::size_t total() const {
     return stale_best + unsupported_best + stale_rib_entries + missing_rib_entries +
-           forwarding_loops;
+           forwarding_loops + unswept_stale;
   }
   [[nodiscard]] bool clean() const { return total() == 0; }
 };

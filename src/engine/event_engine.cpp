@@ -12,6 +12,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kSessionUp: return "session-up";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kRestart: return "restart";
+    case FaultKind::kGracefulDown: return "graceful-down";
+    case FaultKind::kStaleExpire: return "stale-expire";
   }
   return "?";
 }
@@ -29,12 +31,17 @@ EventEngine::EventEngine(const core::Instance& inst, core::ProtocolKind protocol
       session_epoch_(inst.node_count() * inst.node_count(), 0),
       session_admin_down_(inst.node_count() * inst.node_count(), false),
       node_up_(inst.node_count(), true),
+      graceful_down_(inst.node_count(), false),
+      gr_generation_(inst.node_count(), 0),
+      fib_(inst.node_count(), kNoPath),
+      fib_frozen_(inst.node_count(), false),
       ebgp_live_(inst.exits().size(), false),
       flips_by_node_(inst.node_count(), 0) {
   const std::size_t paths = inst.exits().size();
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     const std::size_t peer_count = inst.sessions().peers(v).size();
     nodes_[v].holders.resize(paths);
+    nodes_[v].stale.resize(paths);
     nodes_[v].own.assign(paths, false);
     nodes_[v].advertised_out.resize(peer_count);
     nodes_[v].desired_out.resize(peer_count);
@@ -57,6 +64,14 @@ void EventEngine::set_fault_injector(FaultInjector* injector) {
         "EventEngine::set_fault_injector: must be called before any event is scheduled");
   }
   injector_ = injector;
+}
+
+void EventEngine::set_stale_timer(SimTime ticks) {
+  if (sealed_) {
+    throw std::logic_error(
+        "EventEngine::set_stale_timer: must be called before any event is scheduled");
+  }
+  stale_timer_ = ticks;
 }
 
 bool EventEngine::session_up(NodeId u, NodeId v) const {
@@ -130,6 +145,13 @@ void EventEngine::schedule_restart(NodeId v, SimTime when) {
     throw std::invalid_argument("EventEngine::schedule_restart: no such node");
   }
   push_fault(EventKind::kRestart, v, kNoNode, when);
+}
+
+void EventEngine::schedule_graceful_down(NodeId v, SimTime when) {
+  if (v >= inst_->node_count()) {
+    throw std::invalid_argument("EventEngine::schedule_graceful_down: no such node");
+  }
+  push_fault(EventKind::kGracefulDown, v, kNoNode, when);
 }
 
 std::size_t EventEngine::peer_index(NodeId u, NodeId peer) const {
@@ -254,6 +276,18 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
     flap_log_.push_back({now, u, old_best, new_best});
   }
   node.best = decision.best;
+  // reconsider only runs on control-plane-up nodes, so the FIB tracks the
+  // best route here.  A FIB frozen by graceful restart stays on its
+  // pre-restart entry through the post-restart resync (when best is
+  // transiently empty); the first real best route thaws it.
+  if (fib_frozen_[u]) {
+    if (new_best != kNoPath) {
+      fib_frozen_[u] = false;
+      set_fib(u, new_best, now);
+    }
+  } else {
+    set_fib(u, new_best, now);
+  }
 
   // Per-peer target sets; UPDATE diffs flow immediately, or — with an MRAI
   // configured — as batched net diffs at the next permitted send time.
@@ -327,6 +361,79 @@ void EventEngine::flush_endpoint(NodeId u, NodeId peer) {
     const auto it = std::lower_bound(holders.begin(), holders.end(), peer);
     if (it != holders.end() && *it == peer) holders.erase(it);
   }
+  for (auto& stale : node.stale) {
+    const auto it = std::lower_bound(stale.begin(), stale.end(), peer);
+    if (it != stale.end() && *it == peer) stale.erase(it);
+  }
+}
+
+void EventEngine::detach_session_graceful(NodeId v, NodeId w) {
+  // Like sever_session, but w keeps what it heard from v: the entries are
+  // marked stale instead of flushed.  v's side loses everything (its
+  // control plane is restarting).
+  ++session_epoch_[sess(v, w)];
+  ++session_epoch_[sess(w, v)];
+  session_last_delivery_[sess(v, w)] = 0;
+  session_last_delivery_[sess(w, v)] = 0;
+  flush_endpoint(v, w);
+  NodeState& wn = nodes_[w];
+  const std::size_t pi = peer_index(w, v);
+  // w must replay its full table on re-establishment (v remembers nothing).
+  wn.advertised_out[pi].clear();
+  wn.desired_out[pi].clear();
+  wn.mrai_ready[pi] = 0;
+  wn.flush_scheduled[pi] = false;
+  for (PathId p = 0; p < wn.holders.size(); ++p) {
+    const auto& holders = wn.holders[p];
+    if (!std::binary_search(holders.begin(), holders.end(), v)) continue;
+    auto& stale = wn.stale[p];
+    const auto it = std::lower_bound(stale.begin(), stale.end(), v);
+    if (it == stale.end() || *it != v) {
+      stale.insert(it, v);
+      ++stale_retained_;
+    }
+  }
+}
+
+void EventEngine::set_fib(NodeId v, PathId path, SimTime now) {
+  if (fib_[v] == path) return;
+  fib_log_.push_back({now, v, fib_[v], path});
+  fib_[v] = path;
+}
+
+std::size_t EventEngine::sweep_stale_from(NodeId w, NodeId v) {
+  NodeState& node = nodes_[w];
+  std::size_t swept = 0;
+  for (PathId p = 0; p < node.stale.size(); ++p) {
+    auto& stale = node.stale[p];
+    const auto sit = std::lower_bound(stale.begin(), stale.end(), v);
+    if (sit == stale.end() || *sit != v) continue;
+    stale.erase(sit);
+    auto& holders = node.holders[p];
+    const auto hit = std::lower_bound(holders.begin(), holders.end(), v);
+    if (hit != holders.end() && *hit == v) holders.erase(hit);
+    ++swept;
+  }
+  return swept;
+}
+
+void EventEngine::send_end_of_rib(NodeId v, NodeId w, SimTime now) {
+  // Rides the same per-session delay/FIFO machinery as UPDATEs (so it lands
+  // after the initial-table replay) but bypasses the FaultInjector: loss is
+  // already modeled by the injector's session-reset repair, which flushes
+  // stale state wholesale.
+  Event event;
+  event.kind = EventKind::kEndOfRib;
+  event.from = v;
+  event.to = w;
+  event.seq = next_seq_++;
+  event.epoch = session_epoch_[sess(v, w)];
+  const SimTime requested = now + delay_(v, w, session_msg_seq_++);
+  SimTime& last = session_last_delivery_[sess(v, w)];
+  event.time = std::max(requested, last);
+  last = event.time;
+  queue_.push(event);
+  ++eor_sent_;
 }
 
 void EventEngine::sever_session(NodeId u, NodeId v) {
@@ -364,7 +471,20 @@ void EventEngine::apply_session_up(NodeId u, NodeId v, SimTime now) {
 }
 
 void EventEngine::apply_crash(NodeId v, SimTime now) {
-  if (!node_up_[v]) return;  // already down
+  if (!node_up_[v]) {
+    if (!graceful_down_[v]) return;  // already cold-down
+    // A hard crash mid-graceful-restart: the warm recovery failed.  Peers'
+    // retention collapses to the cold discipline and the frozen forwarding
+    // entry dies with the data plane.
+    graceful_down_[v] = false;
+    fib_frozen_[v] = false;
+    fault_log_.push_back({now, FaultKind::kCrash, v, kNoNode});
+    set_fib(v, kNoPath, now);
+    for (const NodeId w : inst_->sessions().peers(v)) {
+      if (sweep_stale_from(w, v) > 0 && node_up_[w]) reconsider(w, now);
+    }
+    return;
+  }
   fault_log_.push_back({now, FaultKind::kCrash, v, kNoNode});
   node_up_[v] = false;
   const auto peers = inst_->sessions().peers(v);
@@ -372,8 +492,11 @@ void EventEngine::apply_crash(NodeId v, SimTime now) {
   // Total state loss at v; peers re-route around it.
   NodeState& node = nodes_[v];
   for (auto& holders : node.holders) holders.clear();
+  for (auto& stale : node.stale) stale.clear();
   node.own.assign(node.own.size(), false);
   record_best_loss(v, now);
+  fib_frozen_[v] = false;
+  set_fib(v, kNoPath, now);
   for (std::size_t i = 0; i < node.advertised_out.size(); ++i) {
     node.advertised_out[i].clear();
     node.desired_out[i].clear();
@@ -387,6 +510,8 @@ void EventEngine::apply_crash(NodeId v, SimTime now) {
 
 void EventEngine::apply_restart(NodeId v, SimTime now) {
   if (node_up_[v]) return;  // already up
+  const bool was_graceful = graceful_down_[v];
+  graceful_down_[v] = false;
   fault_log_.push_back({now, FaultKind::kRestart, v, kNoNode});
   node_up_[v] = true;
   // The external neighbors never stopped announcing: re-learn every E-BGP
@@ -395,8 +520,84 @@ void EventEngine::apply_restart(NodeId v, SimTime now) {
     if (inst_->exits()[p].exit_point == v && ebgp_live_[p]) nodes_[v].own[p] = true;
   }
   reconsider(v, now);
+  if (was_graceful) {
+    // The initial-table replay (the reconsider above) is on the wire; close
+    // it with an End-of-RIB marker per live session.  FIFO guarantees the
+    // marker lands after the replayed UPDATEs, so a peer sweeping on EoR
+    // only drops what the replay really did not refresh.
+    for (const NodeId w : inst_->sessions().peers(v)) {
+      if (session_up(v, w)) send_end_of_rib(v, w, now);
+    }
+  }
   for (const NodeId w : inst_->sessions().peers(v)) {
     if (session_up(v, w)) reconsider(w, now);
+  }
+}
+
+void EventEngine::apply_graceful_down(NodeId v, SimTime now) {
+  if (!node_up_[v]) return;  // already down (cold or graceful)
+  fault_log_.push_back({now, FaultKind::kGracefulDown, v, kNoNode});
+  node_up_[v] = false;
+  graceful_down_[v] = true;
+  ++gr_generation_[v];
+  // Sessions stop carrying messages; peers retain v's routes as stale.
+  for (const NodeId w : inst_->sessions().peers(v)) detach_session_graceful(v, w);
+  // v's control plane loses everything (detach cleared its per-session
+  // state); the FIB entry deliberately stays frozen — the data plane keeps
+  // forwarding on it until restart, crash, or cold fallback.
+  nodes_[v].own.assign(nodes_[v].own.size(), false);
+  record_best_loss(v, now);
+  fib_frozen_[v] = true;
+  if (stale_timer_ > 0) {
+    Event event;
+    event.time = now + stale_timer_;
+    event.seq = next_seq_++;
+    event.kind = EventKind::kStaleExpire;
+    event.from = v;
+    event.epoch = gr_generation_[v];
+    queue_.push(event);
+  }
+  // Peers do NOT reconsider: their candidate sets are unchanged by design —
+  // that is exactly the continuity graceful restart buys.
+}
+
+void EventEngine::apply_end_of_rib(NodeId v, NodeId w, std::uint64_t epoch, SimTime now) {
+  if (epoch != session_epoch_[sess(v, w)]) {
+    // The session reset after the marker was sent: it died in flight.
+    ++deliveries_voided_;
+    return;
+  }
+  const std::size_t swept = sweep_stale_from(w, v);
+  if (swept > 0) {
+    stale_swept_eor_ += swept;
+    reconsider(w, now);
+  }
+}
+
+void EventEngine::apply_stale_expire(NodeId v, std::uint64_t generation, SimTime now) {
+  // A stale timer armed by an older graceful restart must not fire into a
+  // newer one; the generation stamp disambiguates.
+  if (generation != gr_generation_[v]) return;
+  if (fib_frozen_[v]) {
+    // The restart never produced a fresh best route: thaw the frozen entry
+    // to whatever the control plane actually has (usually nothing).
+    fib_frozen_[v] = false;
+    const NodeState& node = nodes_[v];
+    set_fib(v, node_up_[v] && node.best ? node.best->path : kNoPath, now);
+  }
+  std::size_t swept_total = 0;
+  for (const NodeId w : inst_->sessions().peers(v)) {
+    const std::size_t swept = sweep_stale_from(w, v);
+    if (swept > 0) {
+      swept_total += swept;
+      if (node_up_[w]) reconsider(w, now);
+    }
+  }
+  if (swept_total > 0) {
+    // Logged only when it actually degraded to a cold flush — a timer that
+    // fires after a completed recovery is a silent no-op.
+    stale_swept_expired_ += swept_total;
+    fault_log_.push_back({now, FaultKind::kStaleExpire, v, kNoNode});
   }
 }
 
@@ -437,6 +638,12 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
         } else {
           if (it != holders.end() && *it == event.from) holders.erase(it);
         }
+        // Any post-restart UPDATE from this peer supersedes the retained
+        // copy: an announce refreshes the entry (no longer stale), a
+        // withdraw removes it outright.
+        auto& stale = nodes_[event.to].stale[event.path];
+        const auto sit = std::lower_bound(stale.begin(), stale.end(), event.from);
+        if (sit != stale.end() && *sit == event.from) stale.erase(sit);
         reconsider(event.to, event.time);
         break;
       }
@@ -460,6 +667,15 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
       case EventKind::kRestart:
         apply_restart(event.from, event.time);
         break;
+      case EventKind::kGracefulDown:
+        apply_graceful_down(event.from, event.time);
+        break;
+      case EventKind::kEndOfRib:
+        apply_end_of_rib(event.from, event.to, event.epoch, event.time);
+        break;
+      case EventKind::kStaleExpire:
+        apply_stale_expire(event.from, event.epoch, event.time);
+        break;
     }
   }
 
@@ -470,6 +686,10 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   result.messages_duplicated = messages_duplicated_;
   result.deliveries_voided = deliveries_voided_;
   result.faults_applied = fault_log_.size();
+  result.eor_markers_sent = eor_sent_;
+  result.stale_retained = stale_retained_;
+  result.stale_swept_eor = stale_swept_eor_;
+  result.stale_swept_expired = stale_swept_expired_;
   result.final_best.reserve(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) result.final_best.push_back(best_path(v));
   return result;

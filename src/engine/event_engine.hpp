@@ -45,6 +45,44 @@
 // schedule_* calls and the FaultInjector hook, and every fault is an event
 // in the same deterministic (time, seq) order as message deliveries, so a
 // fault campaign is exactly reproducible from its script.
+//
+// Graceful restart (RFC 4724 semantics, router-level).  A *cold* crash is
+// maximally disruptive: peers flush every route learned from the victim and
+// the victim's forwarding plane dies with its control plane.  A *graceful*
+// restart models a control-plane-only reboot with stale-path retention.
+// The state machine, per restarting router v:
+//
+//   UP --graceful_down--> RESTARTING --restart--> UP        (warm recovery)
+//                         RESTARTING --crash-->   DOWN      (restart failed)
+//
+//   graceful_down(v): v's sessions stop carrying messages (in-flight
+//     UPDATEs are voided) and v loses its control-plane state, but each
+//     peer *retains* its Adj-RIB-In entries from v, marked STALE — still
+//     eligible for selection, advertisement, and forwarding.  v's
+//     forwarding entry (the FIB, tracked separately from the best route)
+//     freezes at its pre-restart value: the data plane keeps forwarding.
+//   restart(v) while RESTARTING: v re-learns its live E-BGP exits, replays
+//     its initial table to every peer, then emits an End-of-RIB marker per
+//     session (FIFO-ordered after the replayed UPDATEs).  A peer receiving
+//     the EoR sweeps whatever entries from v are *still* stale — anything
+//     the replay did not refresh is gone for real.  v's FIB stays frozen
+//     through the resync: it thaws (and resumes mirroring the best route)
+//     only once v computes its first post-restart best route, so the
+//     restarting router never blackholes while its table refills.
+//   stale timer (set_stale_timer): bounds retention per restart.  If it
+//     expires before the EoR arrived, every still-stale entry from v is
+//     cold-flushed at its holder, and a still-frozen FIB at v thaws to the
+//     current best route (usually none) — the restart-never-completes
+//     degradation path.  0 disables the timer (retain until EoR).
+//   crash(v) while RESTARTING: retention collapses — peers cold-flush v's
+//     stale entries and v's frozen FIB is erased.
+//
+// End-of-RIB markers ride the normal per-session delay/FIFO machinery but
+// bypass the FaultInjector: transport loss is already modeled by the
+// injector's session-reset repair, which flushes stale state wholesale.
+// The per-node FIB history (fib_log) plus the fault log let
+// analysis/continuity replay forwarding tick-by-tick and price blackhole,
+// stale-use, and loop windows — the quantitative cold-vs-graceful verdict.
 
 #include <cstdint>
 #include <functional>
@@ -66,7 +104,16 @@ using SimTime = std::uint64_t;
 enum class MessageFate : std::uint8_t { kDeliver, kDrop, kDuplicate };
 
 /// Categories of injected faults, as recorded in the fault log.
-enum class FaultKind : std::uint8_t { kSessionDown, kSessionUp, kCrash, kRestart };
+/// kGracefulDown starts a graceful restart; kStaleExpire is logged when a
+/// stale timer fires and actually cold-flushes retained entries.
+enum class FaultKind : std::uint8_t {
+  kSessionDown,
+  kSessionUp,
+  kCrash,
+  kRestart,
+  kGracefulDown,
+  kStaleExpire,
+};
 
 /// Display name ("session-down", ...).
 const char* fault_kind_name(FaultKind kind);
@@ -112,6 +159,14 @@ class EventEngine {
   /// so every message of the run is classified under one policy.
   void set_fault_injector(FaultInjector* injector);
 
+  /// Bounds stale-path retention per graceful restart: `ticks` after a
+  /// graceful down, any entry from the restarting router that is still
+  /// stale is cold-flushed at its holder (the restart-never-completes
+  /// degradation path).  0 (default) disables the timer: peers retain
+  /// stale paths until the End-of-RIB marker.  Same precondition as
+  /// set_mrai: must be called before any event is scheduled.
+  void set_stale_timer(SimTime ticks);
+
   // --- scenario scripting ---------------------------------------------------
 
   /// Schedules E-BGP injection of path p at its exit point at `when`.
@@ -126,22 +181,42 @@ class EventEngine {
   // --- fault scripting ------------------------------------------------------
 
   /// Schedules an administrative down of session u—v: in-flight messages on
-  /// it are voided, both endpoints flush routes learned over it.  Throws
+  /// it are voided, both endpoints flush routes learned over it (stale
+  /// retention included — an admin down during a peer's graceful restart
+  /// kills retention on that session).  Downing an already-down session is
+  /// a well-defined no-op (nothing is logged or flushed twice).  Throws
   /// std::invalid_argument if u—v is not a session.
   void schedule_session_down(NodeId u, NodeId v, SimTime when);
 
   /// Schedules re-establishment of session u—v; both endpoints replay a
   /// full advertisement sync (no-op while an endpoint is crashed: the
-  /// session only carries traffic once both ends are up).
+  /// session only carries traffic once both ends are up).  Raising a
+  /// session that is not administratively down is a well-defined no-op.
   void schedule_session_up(NodeId u, NodeId v, SimTime when);
 
   /// Schedules a crash of router v: all its sessions drop, all its state
   /// (Adj-RIB-In, best route, advertised sets, own E-BGP routes) is lost.
+  /// Crashing mid-graceful-restart converts the warm recovery to cold:
+  /// peers flush v's stale entries and v's frozen forwarding entry dies.
+  /// Crashing an already-cold-down router is a well-defined no-op.
   void schedule_crash(NodeId v, SimTime when);
 
   /// Schedules a restart of router v: it re-learns whatever E-BGP routes
-  /// are still live at its exit point and re-syncs with its peers.
+  /// are still live at its exit point and re-syncs with its peers.  After a
+  /// graceful down this completes the warm recovery: the initial-table
+  /// replay is followed by an End-of-RIB marker per session, on whose
+  /// arrival the peer sweeps still-stale entries.  Restarting a router
+  /// that is not down is a well-defined no-op (nothing is logged).
   void schedule_restart(NodeId v, SimTime when);
+
+  /// Schedules a graceful restart of router v (RFC 4724 semantics): v's
+  /// control plane goes down and its sessions stop carrying messages, but
+  /// peers retain v's routes as STALE and v's forwarding entry freezes at
+  /// its pre-restart value.  Pair with schedule_restart for the recovery;
+  /// see set_stale_timer for the bounded-retention degradation path.
+  /// Graceful down of an already-down router is a well-defined no-op.
+  /// Throws std::invalid_argument if v is not a node.
+  void schedule_graceful_down(NodeId v, SimTime when);
 
   // --- execution --------------------------------------------------------------
 
@@ -156,6 +231,10 @@ class EventEngine {
     std::size_t messages_duplicated = 0;  ///< extra copies enqueued
     std::size_t deliveries_voided = 0;  ///< in-flight messages killed by session resets
     std::size_t faults_applied = 0;     ///< fault_log() entries
+    std::size_t eor_markers_sent = 0;   ///< End-of-RIB markers enqueued
+    std::size_t stale_retained = 0;     ///< Adj-RIB-In entries marked stale
+    std::size_t stale_swept_eor = 0;    ///< stale entries swept by an EoR
+    std::size_t stale_swept_expired = 0;  ///< stale entries cold-flushed by the timer
   };
 
   /// Processes events until the queue drains or `max_deliveries` is hit.
@@ -174,8 +253,19 @@ class EventEngine {
   [[nodiscard]] std::size_t updates_sent() const { return updates_sent_; }
   [[nodiscard]] std::span<const std::size_t> flips_by_node() const { return flips_by_node_; }
 
-  /// Whether router v is currently up (not crashed).
+  /// Whether router v's control plane is currently up (not crashed and not
+  /// mid-graceful-restart).
   [[nodiscard]] bool node_up(NodeId v) const { return node_up_.at(v); }
+
+  /// Whether router v is inside a graceful-restart window: control plane
+  /// down (node_up(v) is false) but data plane still forwarding on its
+  /// frozen FIB entry.
+  [[nodiscard]] bool restarting(NodeId v) const { return graceful_down_.at(v); }
+
+  /// Router v's current *forwarding* entry (the FIB).  Mirrors the best
+  /// route while v is up, freezes during a graceful restart, and is
+  /// kNoPath while cold-down.
+  [[nodiscard]] PathId node_forwarding(NodeId v) const { return fib_.at(v); }
 
   /// Whether session u—v currently carries messages: both endpoints up and
   /// no administrative down in force.
@@ -186,9 +276,15 @@ class EventEngine {
   [[nodiscard]] bool ebgp_live(PathId p) const { return ebgp_live_.at(p); }
 
   /// Peers currently announcing p to v (v's Adj-RIB-In support for p),
-  /// ascending node order.
+  /// ascending node order.  Includes stale (retained) entries.
   [[nodiscard]] std::span<const NodeId> rib_in(NodeId v, PathId p) const {
     return nodes_.at(v).holders.at(p);
+  }
+
+  /// The subset of rib_in(v, p) currently marked stale (retained across a
+  /// peer's graceful restart, not yet refreshed or swept), ascending.
+  [[nodiscard]] std::span<const NodeId> stale_rib_in(NodeId v, PathId p) const {
+    return nodes_.at(v).stale.at(p);
   }
 
   /// The path set `from` believes it has advertised to `to` (ascending).
@@ -197,6 +293,10 @@ class EventEngine {
   [[nodiscard]] std::size_t messages_dropped() const { return messages_dropped_; }
   [[nodiscard]] std::size_t messages_duplicated() const { return messages_duplicated_; }
   [[nodiscard]] std::size_t deliveries_voided() const { return deliveries_voided_; }
+  [[nodiscard]] std::size_t eor_markers_sent() const { return eor_sent_; }
+  [[nodiscard]] std::size_t stale_retained() const { return stale_retained_; }
+  [[nodiscard]] std::size_t stale_swept_eor() const { return stale_swept_eor_; }
+  [[nodiscard]] std::size_t stale_swept_expired() const { return stale_swept_expired_; }
 
   /// One best-route change at a node, for flap traces (Table 1 reports).
   struct FlapRecord {
@@ -217,6 +317,17 @@ class EventEngine {
   };
   [[nodiscard]] std::span<const FaultRecord> fault_log() const { return fault_log_; }
 
+  /// One forwarding-entry (FIB) change at a node.  Together with the fault
+  /// log this is a complete piecewise-constant history of the forwarding
+  /// plane, which analysis/continuity replays tick-by-tick.
+  struct FibRecord {
+    SimTime time = 0;
+    NodeId node = kNoNode;
+    PathId old_path = kNoPath;
+    PathId new_path = kNoPath;
+  };
+  [[nodiscard]] std::span<const FibRecord> fib_log() const { return fib_log_; }
+
  private:
   enum class EventKind : std::uint8_t {
     kEbgpAnnounce,
@@ -227,6 +338,9 @@ class EventEngine {
     kSessionUp,
     kCrash,
     kRestart,
+    kGracefulDown,
+    kEndOfRib,     // from -> to marker closing a graceful-restart replay
+    kStaleExpire,  // from = restarting router whose stale timer fired
   };
 
   struct Event {
@@ -237,7 +351,10 @@ class EventEngine {
     NodeId to = kNoNode;
     PathId path = kNoPath;
     bool announce = true;      // kUpdate: announce vs withdraw
-    std::uint64_t epoch = 0;   // kUpdate: voided if the session reset since send
+    std::uint64_t epoch = 0;   // kUpdate/kEndOfRib: voided if the session reset
+                               // since send; kStaleExpire: the graceful-restart
+                               // generation it guards (stale timers of an older
+                               // restart must not fire into a newer one)
   };
 
   struct EventAfter {
@@ -250,6 +367,9 @@ class EventEngine {
   struct NodeState {
     /// holders[p] = session peers currently announcing p to us, ascending.
     std::vector<std::vector<NodeId>> holders;
+    /// stale[p] ⊆ holders[p]: entries retained across the peer's graceful
+    /// restart, pending refresh (re-announce), EoR sweep, or timer expiry.
+    std::vector<std::vector<NodeId>> stale;
     /// Own E-BGP paths currently injected.
     std::vector<bool> own;
     std::optional<bgp::RouteView> best;
@@ -285,15 +405,28 @@ class EventEngine {
   void sever_session(NodeId u, NodeId v);
   /// Clears everything node u tracks about session u—peer.
   void flush_endpoint(NodeId u, NodeId peer);
+  /// Voids in-flight messages on v—w and resets both ends' send state, but
+  /// leaves w's Adj-RIB-In entries from v in place, marked stale — the
+  /// graceful analogue of sever_session.
+  void detach_session_graceful(NodeId v, NodeId w);
+  /// Records a FIB change for v (no-op when unchanged).
+  void set_fib(NodeId v, PathId path, SimTime now);
+  /// Drops every still-stale entry from v at peer w; returns entries swept.
+  std::size_t sweep_stale_from(NodeId w, NodeId v);
+  void send_end_of_rib(NodeId v, NodeId w, SimTime now);
   void apply_session_down(NodeId u, NodeId v, SimTime now);
   void apply_session_up(NodeId u, NodeId v, SimTime now);
   void apply_crash(NodeId v, SimTime now);
   void apply_restart(NodeId v, SimTime now);
+  void apply_graceful_down(NodeId v, SimTime now);
+  void apply_end_of_rib(NodeId v, NodeId w, std::uint64_t epoch, SimTime now);
+  void apply_stale_expire(NodeId v, std::uint64_t generation, SimTime now);
 
   const core::Instance* inst_;
   core::ProtocolKind protocol_;
   DelayFn delay_;
   SimTime mrai_ = 0;  // 0 = disabled
+  SimTime stale_timer_ = 0;  // 0 = retain until EoR
   FaultInjector* injector_ = nullptr;  // non-owning
   bool sealed_ = false;  // an event has been scheduled: config is frozen
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
@@ -302,6 +435,13 @@ class EventEngine {
   std::vector<std::uint64_t> session_epoch_;  // bumped per reset, voids in-flight msgs
   std::vector<bool> session_admin_down_;      // explicit session faults (symmetric)
   std::vector<bool> node_up_;
+  std::vector<bool> graceful_down_;  // inside a graceful-restart window
+  std::vector<std::uint64_t> gr_generation_;  // bumped per graceful down; guards timers
+  std::vector<PathId> fib_;  // forwarding entries (frozen during graceful restart)
+  // FIB freeze flag: set on graceful-down, cleared by the first post-restart
+  // best route, a crash, or stale-timer expiry.  While set, reconsider()
+  // does not push best-route changes into the FIB.
+  std::vector<bool> fib_frozen_;
   std::vector<bool> ebgp_live_;  // per path: E-BGP origin currently announcing
   std::uint64_t next_seq_ = 0;
   std::uint64_t session_msg_seq_ = 0;
@@ -310,9 +450,14 @@ class EventEngine {
   std::size_t messages_dropped_ = 0;
   std::size_t messages_duplicated_ = 0;
   std::size_t deliveries_voided_ = 0;
+  std::size_t eor_sent_ = 0;
+  std::size_t stale_retained_ = 0;
+  std::size_t stale_swept_eor_ = 0;
+  std::size_t stale_swept_expired_ = 0;
   std::vector<std::size_t> flips_by_node_;
   std::vector<FlapRecord> flap_log_;
   std::vector<FaultRecord> fault_log_;
+  std::vector<FibRecord> fib_log_;
 };
 
 }  // namespace ibgp::engine

@@ -16,11 +16,18 @@ std::uint64_t trace_hash(const engine::EventEngine& engine,
         .add(fault.a)
         .add(fault.b);
   }
+  for (const auto& fib : engine.fib_log()) {
+    fp.add(fib.time).add(fib.node).add(fib.old_path).add(fib.new_path);
+  }
   fp.add_range(result.final_best);
   fp.add(result.updates_sent)
       .add(result.messages_dropped)
       .add(result.messages_duplicated)
       .add(result.deliveries_voided)
+      .add(result.eor_markers_sent)
+      .add(result.stale_retained)
+      .add(result.stale_swept_eor)
+      .add(result.stale_swept_expired)
       .add(result.end_time);
   return fp.value();
 }
@@ -29,6 +36,7 @@ CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind proto
                             const FaultScript& script, const CampaignOptions& options) {
   engine::EventEngine engine(inst, protocol, options.delay);
   if (options.mrai > 0) engine.set_mrai(options.mrai);
+  if (script.stale_timer > 0) engine.set_stale_timer(script.stale_timer);
   ScriptInjector injector(script);
   engine.set_fault_injector(&injector);
   engine.inject_all_exits(0);
@@ -37,6 +45,7 @@ CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind proto
   CampaignResult campaign;
   campaign.run = engine.run(options.max_deliveries);
   campaign.invariants = analysis::check_invariants(engine);
+  campaign.continuity = analysis::check_continuity(engine, campaign.run.end_time);
   campaign.trace_hash = trace_hash(engine, campaign.run);
   if (!engine.fault_log().empty()) {
     campaign.last_fault_time = engine.fault_log().back().time;

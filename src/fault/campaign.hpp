@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "analysis/continuity.hpp"
 #include "analysis/invariants.hpp"
 #include "core/instance.hpp"
 #include "core/policy.hpp"
@@ -30,6 +31,10 @@ struct CampaignOptions {
 struct CampaignResult {
   engine::EventEngine::Result run;          ///< raw engine outcome
   analysis::InvariantReport invariants;     ///< exact only when run.converged
+  /// Tick-by-tick forwarding-plane accounting over the whole campaign
+  /// (blackhole / stale-use / loop windows) — exact regardless of
+  /// convergence, since it replays the engine's complete history.
+  analysis::ContinuityReport continuity;
   std::uint64_t trace_hash = 0;             ///< fingerprint of the full history
   engine::SimTime last_fault_time = 0;      ///< when the final fault applied
   /// Virtual ticks from the last applied fault to quiescence (0 when the

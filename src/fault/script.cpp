@@ -34,6 +34,7 @@ FaultScript make_fault_script(const core::Instance& inst, const FaultScriptConfi
   script.dup_prob = std::clamp(config.dup_prob, 0.0, 1.0);
   script.loss_detect_delay = config.loss_detect_delay;
   script.repair_downtime = config.repair_downtime;
+  script.stale_timer = config.stale_timer;
 
   util::Xoshiro256 rng(util::derive_seed(config.seed, 0xFA017));
   const auto edges = inst.sessions().edges();
@@ -47,11 +48,14 @@ FaultScript make_fault_script(const core::Instance& inst, const FaultScriptConfi
     script.actions.push_back({down, Kind::kSessionDown, edge.u, edge.v, kNoPath});
     script.actions.push_back({down + hold, Kind::kSessionUp, edge.u, edge.v, kNoPath});
   }
-  for (std::size_t i = 0; i < config.crashes; ++i) {
+  // Cold and graceful outages share one draw sequence so that swapping the
+  // counts (N cold vs N graceful) replays the identical victim/time pairs.
+  for (std::size_t i = 0; i < config.crashes + config.graceful_restarts; ++i) {
     const NodeId victim = static_cast<NodeId>(rng.below(inst.node_count()));
     const engine::SimTime down = draw_time(rng, config.window_start, config.window_end);
     const engine::SimTime outage = draw_time(rng, config.min_outage, config.max_outage);
-    script.actions.push_back({down, Kind::kCrash, victim, kNoNode, kNoPath});
+    const Kind kind = i < config.crashes ? Kind::kCrash : Kind::kGracefulDown;
+    script.actions.push_back({down, kind, victim, kNoNode, kNoPath});
     script.actions.push_back({down + outage, Kind::kRestart, victim, kNoNode, kNoPath});
   }
   for (std::size_t i = 0; i < config.exit_flaps; ++i) {
@@ -83,6 +87,9 @@ void apply_script(const FaultScript& script, engine::EventEngine& engine) {
         break;
       case Kind::kRestart:
         engine.schedule_restart(action.a, action.time);
+        break;
+      case Kind::kGracefulDown:
+        engine.schedule_graceful_down(action.a, action.time);
         break;
       case Kind::kExitWithdraw:
         engine.withdraw_exit(action.path, action.time);

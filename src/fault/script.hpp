@@ -41,10 +41,23 @@ struct FaultScriptConfig {
   engine::SimTime min_downtime = 10;
   engine::SimTime max_downtime = 60;
 
-  /// Router crash/restart pairs on uniformly chosen routers.
+  /// Router outage/recovery pairs on uniformly chosen routers: `crashes`
+  /// cold crash/restart pairs plus `graceful_restarts` RFC 4724-style
+  /// graceful-down/restart pairs.  Both kinds share one outage-duration
+  /// range AND one RNG draw sequence: a config with (crashes=N,
+  /// graceful_restarts=0) and one with (crashes=0, graceful_restarts=N)
+  /// hit the SAME victims at the SAME times, differing only in restart
+  /// style — the paired comparison bench_gr quantifies.
   std::size_t crashes = 0;
+  std::size_t graceful_restarts = 0;
   engine::SimTime min_outage = 20;
   engine::SimTime max_outage = 80;
+
+  /// Stale-path retention bound for graceful restarts (engine knob,
+  /// EventEngine::set_stale_timer): 0 retains until the End-of-RIB marker,
+  /// otherwise still-stale entries are cold-flushed this many ticks after
+  /// the graceful down.
+  engine::SimTime stale_timer = 0;
 
   /// Exit-path flap storm: withdraw + re-inject pairs on uniformly chosen
   /// exit paths.
@@ -70,6 +83,7 @@ struct FaultAction {
     kRestart,
     kExitWithdraw,
     kExitInject,
+    kGracefulDown,
   };
   engine::SimTime time = 0;
   Kind kind = Kind::kSessionDown;
@@ -78,13 +92,15 @@ struct FaultAction {
   PathId path = kNoPath;  ///< exit-flap actions
 };
 
-/// A fully materialized campaign: timed actions plus the message policy.
+/// A fully materialized campaign: timed actions plus the message policy
+/// and the engine-level stale-retention bound.
 struct FaultScript {
   std::uint64_t seed = 1;
   double loss_prob = 0.0;
   double dup_prob = 0.0;
   engine::SimTime loss_detect_delay = 0;
   engine::SimTime repair_downtime = 10;
+  engine::SimTime stale_timer = 0;
   std::vector<FaultAction> actions;  ///< ascending time
 };
 

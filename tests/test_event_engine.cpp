@@ -380,6 +380,86 @@ TEST(EventEngine, FifoPreservedUnderShrinkingDelays) {
   }
 }
 
+TEST(EventEngine, VoidedInFlightMessageNeverResurfacesAfterReUp) {
+  // Epoch-semantics regression: an UPDATE in flight when its session resets
+  // must be voided — it must NOT deliver after the session re-establishes,
+  // even though its scheduled delivery time falls inside the new session's
+  // lifetime.  Timeline (delay 50): announce sent at t=0 would land at 50;
+  // the session flaps down at 10 / up at 20, so the resync replay lands at
+  // 70.  Stepping one event at a time, the RIB must still be empty right
+  // after the voided 50-tick delivery is consumed.
+  const auto inst = topo::fig2();
+  const PathId p0 = 0;
+  const NodeId exit_point = inst.exits()[p0].exit_point;
+  const NodeId peer = inst.sessions().peers(exit_point)[0];
+  EventEngine engine(inst, ProtocolKind::kModified,
+                     [](NodeId, NodeId, std::uint64_t) -> SimTime { return 50; });
+  engine.inject_exit(p0, 0);
+  engine.schedule_session_down(exit_point, peer, 10);
+  engine.schedule_session_up(exit_point, peer, 20);
+
+  bool checked_after_void = false;
+  while (true) {
+    const auto step = engine.run(/*max_deliveries=*/1);
+    if (step.deliveries_voided > 0 && !checked_after_void) {
+      checked_after_void = true;
+      const auto holders = engine.rib_in(peer, p0);
+      EXPECT_FALSE(std::binary_search(holders.begin(), holders.end(), exit_point))
+          << "a voided pre-reset announce populated the re-established session";
+    }
+    if (step.converged) break;
+  }
+  ASSERT_TRUE(checked_after_void) << "scenario failed to void any delivery";
+
+  // The resync replay (not the voided original) is what fills the RIB.
+  const auto holders = engine.rib_in(peer, p0);
+  EXPECT_TRUE(std::binary_search(holders.begin(), holders.end(), exit_point));
+  const std::vector<PathId> live{p0};
+  const auto prediction = core::predict_fixed_point(inst, live);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(engine.best_path(v), expected) << inst.node_name(v);
+  }
+}
+
+namespace {
+// Duplicates every message; used to stress per-session FIFO below.
+class DuplicateEverything final : public FaultInjector {
+ public:
+  MessageFate classify(NodeId, NodeId, std::uint64_t) override {
+    return MessageFate::kDuplicate;
+  }
+  void on_drop(EventEngine&, NodeId, NodeId, SimTime) override {}
+};
+}  // namespace
+
+TEST(EventEngine, DuplicatedMessagesRespectPerSessionFifo) {
+  // FIFO regression under duplication: every message is duplicated and the
+  // per-message delay oscillates, so a duplicate drawn with a small delay
+  // constantly tries to overtake earlier traffic on its session.  Combined
+  // with announce/withdraw churn, any overtake resurrects a withdrawn route
+  // or drops a live one — both show up as a deviation from the closed-form
+  // fixed point.
+  const auto inst = topo::fig2();
+  const auto prediction = core::predict_fixed_point(inst);
+  EventEngine engine(inst, ProtocolKind::kModified,
+                     [](NodeId, NodeId, std::uint64_t seq) -> SimTime {
+                       return (seq % 7) * 5 + 1;  // non-monotonic per session
+                     });
+  DuplicateEverything injector;
+  engine.set_fault_injector(&injector);
+  engine.inject_all_exits(0);
+  engine.withdraw_exit(0, 40);
+  engine.inject_exit(0, 80);
+  const auto result = engine.run(200000);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.messages_duplicated, 0u);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+}
+
 TEST(EventEngine, FlapLogRecordsTransitions) {
   const auto inst = topo::fig14();
   EventEngine engine(inst, ProtocolKind::kStandard);

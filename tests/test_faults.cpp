@@ -367,6 +367,309 @@ TEST(Faults, StandardHasANonReconvergingCaseInTheMatrix) {
   EXPECT_GT(failures, 0u);
 }
 
+// --- graceful restart --------------------------------------------------------------
+
+TEST(GracefulRestart, GracefulDownRetainsStalePathsAndKeepsForwarding) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");  // owns r3
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_graceful_down(c3, 1000);  // long after convergence
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(engine.node_up(c3));
+  EXPECT_TRUE(engine.restarting(c3));
+  // Peers retained r3 (stale) instead of flushing it: the routing visible
+  // to the rest of the AS is exactly the pre-fault fixed point.
+  EXPECT_GT(result.stale_retained, 0u);
+  const auto prediction = core::predict_fixed_point(inst);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    if (v == c3) continue;
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+  }
+  // c3's control plane is empty but its frozen FIB keeps forwarding r3.
+  EXPECT_EQ(result.final_best[c3], kNoPath);
+  EXPECT_EQ(engine.node_forwarding(c3), r3);
+  bool any_stale = false;
+  for (PathId p = 0; p < inst.exits().size(); ++p) {
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      if (!engine.stale_rib_in(v, p).empty()) any_stale = true;
+    }
+  }
+  EXPECT_TRUE(any_stale);
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+  EXPECT_GT(report.stale_retained, 0u) << "retention should be visible to the checker";
+  // The whole point: no forwarding interruption at any tick.  The run goes
+  // quiescent at the graceful-down itself, so extend the horizon to price
+  // the open-ended retention window.
+  const auto continuity = analysis::check_continuity(engine, result.end_time + 200);
+  EXPECT_EQ(continuity.blackhole_ticks, 0u);
+  EXPECT_EQ(continuity.loop_ticks, 0u);
+  EXPECT_GT(continuity.stale_ticks, 0u) << "the retained window must be priced as stale";
+}
+
+TEST(GracefulRestart, WarmRecoveryCompletesWithEorSweep) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_graceful_down(c3, 1000);
+  engine.schedule_restart(c3, 1080);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(engine.node_up(c3));
+  EXPECT_FALSE(engine.restarting(c3));
+  EXPECT_GT(result.eor_markers_sent, 0u);
+  EXPECT_GT(result.stale_retained, 0u);
+  expect_fixed_point(inst, result.final_best);
+  // No stale marks survive a completed recovery.
+  for (PathId p = 0; p < inst.exits().size(); ++p) {
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      EXPECT_TRUE(engine.stale_rib_in(v, p).empty()) << inst.node_name(v);
+    }
+  }
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+  EXPECT_EQ(report.stale_retained, 0u);
+  const auto continuity = analysis::check_continuity(engine, result.end_time);
+  EXPECT_EQ(continuity.blackhole_ticks, 0u)
+      << "warm recovery must never blackhole on fig1a";
+}
+
+TEST(GracefulRestart, StaleTimerExpiryFallsBackToColdFlush) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.set_stale_timer(50);
+  engine.inject_all_exits(0);
+  engine.schedule_graceful_down(c3, 1000);  // restart never comes
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.stale_swept_expired, 0u);
+  bool expired_logged = false;
+  for (const auto& fault : engine.fault_log()) {
+    if (fault.kind == engine::FaultKind::kStaleExpire && fault.a == c3) {
+      expired_logged = true;
+    }
+  }
+  EXPECT_TRUE(expired_logged);
+  // After expiry the survivors have flushed r3 and settled on the fixed
+  // point over the remaining exits — exactly the cold outcome, just later.
+  const std::vector<PathId> live{inst.exits().find_by_name("r1"),
+                                 inst.exits().find_by_name("r2")};
+  const auto prediction = core::predict_fixed_point(inst, live);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    if (v == c3) continue;
+    const PathId expected = prediction.best[v] ? prediction.best[v]->path : kNoPath;
+    EXPECT_EQ(result.final_best[v], expected) << inst.node_name(v);
+    EXPECT_TRUE(engine.rib_in(v, r3).empty()) << inst.node_name(v);
+  }
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+  EXPECT_EQ(report.stale_retained, 0u);
+}
+
+TEST(GracefulRestart, RestartAfterExpiryStillResyncsCleanly) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.set_stale_timer(50);
+  engine.inject_all_exits(0);
+  engine.schedule_graceful_down(c3, 1000);
+  engine.schedule_restart(c3, 1200);  // long after the timer fired
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.stale_swept_expired, 0u);
+  EXPECT_GT(result.eor_markers_sent, 0u);  // sweeps nothing, still sent
+  EXPECT_EQ(result.stale_swept_eor, 0u);
+  expect_fixed_point(inst, result.final_best);
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+TEST(GracefulRestart, CrashMidRestartCollapsesRetentionToCold) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_graceful_down(c3, 1000);
+  engine.schedule_crash(c3, 1050);  // the warm recovery fails hard
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(engine.node_up(c3));
+  EXPECT_FALSE(engine.restarting(c3));
+  EXPECT_EQ(engine.node_forwarding(c3), kNoPath) << "frozen FIB dies with the crash";
+  EXPECT_GT(result.stale_retained, 0u);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    EXPECT_TRUE(engine.rib_in(v, r3).empty()) << inst.node_name(v);
+  }
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+  EXPECT_EQ(report.stale_retained, 0u);
+}
+
+TEST(GracefulRestart, EbgpWithdrawDuringRestartIsSweptNotResurrected) {
+  // r3's external origin withdraws mid-restart: the restarting router
+  // cannot tell anyone, so peers keep forwarding the stale path until the
+  // EoR sweep retires it — then it must be gone for good.
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  const PathId r3 = inst.exits().find_by_name("r3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_graceful_down(c3, 1000);
+  engine.withdraw_exit(r3, 1040);
+  engine.schedule_restart(c3, 1080);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(engine.ebgp_live(r3));
+  EXPECT_GT(result.stale_swept_eor, 0u);
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    EXPECT_NE(result.final_best[v], r3) << inst.node_name(v);
+    EXPECT_TRUE(engine.rib_in(v, r3).empty()) << inst.node_name(v);
+  }
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
+TEST(GracefulRestart, PairedScriptsHitTheSameVictimsAtTheSameTimes) {
+  const auto inst = topo::fig3();
+  FaultScriptConfig config;
+  config.seed = 21;
+  config.crashes = 2;
+  const auto cold = make_fault_script(inst, config);
+  config.crashes = 0;
+  config.graceful_restarts = 2;
+  config.stale_timer = 400;
+  const auto warm = make_fault_script(inst, config);
+  ASSERT_EQ(cold.actions.size(), warm.actions.size());
+  for (std::size_t i = 0; i < cold.actions.size(); ++i) {
+    EXPECT_EQ(cold.actions[i].time, warm.actions[i].time);
+    EXPECT_EQ(cold.actions[i].a, warm.actions[i].a);
+    if (cold.actions[i].kind == FaultAction::Kind::kCrash) {
+      EXPECT_EQ(warm.actions[i].kind, FaultAction::Kind::kGracefulDown);
+    } else {
+      EXPECT_EQ(warm.actions[i].kind, cold.actions[i].kind);
+    }
+  }
+}
+
+TEST(GracefulRestart, GracefulBeatsColdOnBlackholeTime) {
+  // The quantitative claim behind the whole feature: over paired campaigns
+  // (identical victims, times, and outage lengths — only the restart style
+  // differs), graceful restart strictly shrinks the blackhole time, for
+  // every protocol variant.
+  const auto figures = {topo::fig1a(), topo::fig3()};
+  for (const auto protocol : {ProtocolKind::kStandard, ProtocolKind::kWalton,
+                              ProtocolKind::kModified}) {
+    std::uint64_t cold_blackhole = 0;
+    std::uint64_t warm_blackhole = 0;
+    for (const auto& inst : figures) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        FaultScriptConfig config;
+        config.seed = seed;
+        config.window_start = 50;
+        config.window_end = 300;
+        config.crashes = 1;
+        CampaignOptions options;
+        options.max_deliveries = 60000;
+        const auto cold =
+            run_campaign(inst, protocol, make_fault_script(inst, config), options);
+        config.crashes = 0;
+        config.graceful_restarts = 1;
+        config.stale_timer = 400;
+        const auto warm =
+            run_campaign(inst, protocol, make_fault_script(inst, config), options);
+        cold_blackhole += cold.continuity.blackhole_ticks;
+        warm_blackhole += warm.continuity.blackhole_ticks;
+      }
+    }
+    EXPECT_GT(cold_blackhole, warm_blackhole)
+        << core::protocol_name(protocol)
+        << ": graceful restart must strictly shrink blackhole time";
+  }
+}
+
+TEST(GracefulRestart, ModifiedReconvergesUnderGracefulCampaignMatrix) {
+  // The Section 7 guarantee must survive the new fault kind: graceful
+  // restarts mixed with flaps and loss, across every paper figure.
+  for (const auto& [name, inst] : topo::all_figures()) {
+    for (const std::uint64_t seed : {1, 2, 3}) {
+      FaultScriptConfig config;
+      config.seed = seed;
+      config.session_flaps = 2;
+      config.graceful_restarts = 1;
+      config.stale_timer = 120;
+      config.loss_prob = 0.05;
+      config.window_start = 10;
+      config.window_end = 400;
+      const auto script = make_fault_script(inst, config);
+      const auto campaign = run_campaign(inst, ProtocolKind::kModified, script);
+      ASSERT_TRUE(campaign.reconverged()) << name << " seed " << seed;
+      EXPECT_TRUE(campaign.invariants.clean())
+          << name << " seed " << seed << ": "
+          << analysis::describe_report(campaign.invariants);
+      // Transient micro-loops during the churn window are a measured
+      // quantity, not a violation; what must hold at quiescence is a
+      // loop-free forwarding plane (part of invariants.clean() above).
+    }
+  }
+}
+
+TEST(GracefulRestart, SameSeedSameTraceHashWithGrEvents) {
+  const auto inst = topo::fig3();
+  FaultScriptConfig config;
+  config.seed = 77;
+  config.session_flaps = 2;
+  config.graceful_restarts = 2;
+  config.stale_timer = 60;
+  config.loss_prob = 0.05;
+  config.window_start = 20;
+  config.window_end = 300;
+  const auto script = make_fault_script(inst, config);
+  const auto first = run_campaign(inst, ProtocolKind::kModified, script);
+  const auto second = run_campaign(inst, ProtocolKind::kModified, script);
+  ASSERT_TRUE(first.reconverged());
+  EXPECT_GT(first.run.stale_retained, 0u) << "campaign must exercise retention";
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.continuity.blackhole_ticks, second.continuity.blackhole_ticks);
+  EXPECT_EQ(first.continuity.stale_ticks, second.continuity.stale_ticks);
+
+  config.seed = 78;
+  const auto other =
+      run_campaign(inst, ProtocolKind::kModified, make_fault_script(inst, config));
+  EXPECT_NE(first.trace_hash, other.trace_hash);
+}
+
+TEST(GracefulRestart, RedundantGracefulFaultsAreNoOps) {
+  const auto inst = topo::fig1a();
+  const NodeId c3 = inst.find_node("c3");
+  EventEngine engine(inst, ProtocolKind::kModified);
+  engine.inject_all_exits(0);
+  engine.schedule_graceful_down(c3, 1000);
+  engine.schedule_graceful_down(c3, 1001);  // already restarting
+  engine.schedule_restart(c3, 1100);
+  engine.schedule_restart(c3, 1101);  // already up
+  engine.schedule_graceful_down(inst.find_node("B"), 1200);
+  engine.schedule_crash(inst.find_node("B"), 1250);   // converts to cold
+  engine.schedule_crash(inst.find_node("B"), 1251);   // already cold: no-op
+  engine.schedule_restart(inst.find_node("B"), 1300);
+  EXPECT_THROW(engine.schedule_graceful_down(inst.node_count(), 0),
+               std::invalid_argument);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.converged);
+  // graceful-down + restart + graceful-down + crash + restart = 5 applied.
+  EXPECT_EQ(result.faults_applied, 5u);
+  expect_fixed_point(inst, result.final_best);
+  const auto report = analysis::check_invariants(engine);
+  EXPECT_TRUE(report.clean()) << analysis::describe_report(report);
+}
+
 // --- scheduling guards -------------------------------------------------------------
 
 TEST(Faults, ScheduleValidatesTargets) {
