@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "analysis/finder.hpp"
@@ -16,8 +19,80 @@
 #include "core/policy.hpp"
 #include "engine/activation.hpp"
 #include "engine/oscillation.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
 
 namespace ibgp::bench {
+
+/// Flags shared by every bench binary, stripped from argv before
+/// google-benchmark parses it:
+///   --jobs N       worker threads for sweep fan-out (0 = hardware)
+///   --json PATH    write the machine-readable result file (BENCH_*.json)
+///   --smoke        reduced deterministic sweep (CI-sized), where supported
+struct BenchConfig {
+  std::size_t jobs = 0;
+  std::string json_path;
+  bool smoke = false;
+  bool json_written = false;  ///< a report already produced its document
+};
+
+inline BenchConfig& config() {
+  static BenchConfig instance;
+  return instance;
+}
+
+/// Removes the shared flags from argv (in place) and records them in
+/// config().  Unrecognized arguments are left for google-benchmark.
+inline void strip_common_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&](std::string_view name) -> const char* {
+      if (arg.rfind(name, 0) != 0) return nullptr;
+      if (arg.size() > name.size() && arg[name.size()] == '=') {
+        return argv[i] + name.size() + 1;
+      }
+      if (arg.size() == name.size() && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (arg == "--smoke") {
+      config().smoke = true;
+    } else if (const char* jobs = value_of("--jobs")) {
+      config().jobs = static_cast<std::size_t>(std::strtoull(jobs, nullptr, 10));
+    } else if (const char* path = value_of("--json")) {
+      config().json_path = path;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+/// Writes `doc` to the --json path (no-op without --json).  Returns false
+/// only on I/O failure.
+inline bool write_json(const util::json::Value& doc) {
+  if (config().json_path.empty()) return true;
+  config().json_written = true;
+  if (!util::json::write_file(config().json_path, doc)) {
+    std::fprintf(stderr, "failed to write %s\n", config().json_path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s\n", config().json_path.c_str());
+  return true;
+}
+
+/// Fallback --json document for benches without a richer schema: name and
+/// report wall-clock only, so every binary still emits a trajectory point.
+inline void write_default_json(const char* argv0, double report_wall_seconds) {
+  if (config().json_path.empty() || config().json_written) return;
+  const char* base = std::strrchr(argv0, '/');
+  util::json::Object doc;
+  doc.emplace_back("schema", "ibgp-bench-v1");
+  doc.emplace_back("bench", base != nullptr ? base + 1 : argv0);
+  doc.emplace_back("report_wall_seconds", report_wall_seconds);
+  write_json(util::json::Value(std::move(doc)));
+}
 
 inline void heading(const char* experiment, const char* claim) {
   std::printf("\n================================================================\n");
@@ -75,10 +150,17 @@ inline void run_protocol_benchmark(benchmark::State& state, const core::Instance
 
 }  // namespace ibgp::bench
 
-/// Prints the report, then hands argv to google-benchmark.
+/// Strips the shared flags (--jobs/--json/--smoke), prints the report,
+/// emits the --json document (the report's own, or the minimal fallback),
+/// then hands the remaining argv to google-benchmark.
 #define IBGP_BENCH_MAIN(report_fn)                       \
   int main(int argc, char** argv) {                      \
+    ::ibgp::bench::strip_common_flags(argc, argv);       \
+    const auto ibgp_bench_t0 = std::chrono::steady_clock::now(); \
     report_fn();                                         \
+    ::ibgp::bench::write_default_json(                   \
+        argv[0], std::chrono::duration<double>(          \
+                     std::chrono::steady_clock::now() - ibgp_bench_t0).count()); \
     ::benchmark::Initialize(&argc, argv);                \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();               \

@@ -7,12 +7,21 @@
 // (analysis/invariants) hold.  The paper's Section 7 theorem predicts the
 // modified-protocol column reads "all reconverge, all clean" at every fault
 // rate; standard I-BGP has no such guarantee and fails visibly.
+//
+// The whole grid is one deterministic parallel sweep (fault/sweep.hpp):
+// every (figure, level, protocol, seed) cell is self-contained, so --jobs N
+// produces byte-identical per-cell trace hashes to --jobs 1.  --json PATH
+// emits the machine-readable result (BENCH_E13.json); --smoke runs a
+// reduced CI-sized sweep serially AND in parallel, verifies the two agree
+// hash-for-hash, and records the measured speedup in the JSON.
 
+#include <cinttypes>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "fault/campaign.hpp"
 #include "fault/script.hpp"
+#include "fault/sweep.hpp"
 #include "topo/figures.hpp"
 #include "util/rng.hpp"
 
@@ -23,10 +32,24 @@ using namespace ibgp;
 constexpr std::size_t kSeeds = 30;
 constexpr std::size_t kBudget = 200000;
 
-struct Cell {
+struct Level {
+  const char* label;
+  std::size_t flaps;
+  double loss;
+  std::size_t crashes;
+};
+
+constexpr Level kLevels[] = {
+    {"none", 0, 0.0, 0},
+    {"light   (2 flaps)", 2, 0.0, 0},
+    {"medium  (4 flaps, 5% loss)", 4, 0.05, 0},
+    {"heavy   (8 flaps, 10% loss, 1 crash)", 8, 0.10, 1},
+};
+
+struct CellStats {
   std::size_t reconverged = 0;
   std::size_t clean = 0;
-  std::uint64_t settle_sum = 0;   // over reconverged runs
+  std::uint64_t settle_sum = 0;   // over reconverged runs (settle_time engaged)
   std::uint64_t flips_sum = 0;
   std::uint64_t dropped_sum = 0;
 };
@@ -43,24 +66,21 @@ fault::FaultScriptConfig cell_config(std::uint64_t seed, std::size_t flaps, doub
   return config;
 }
 
-Cell run_cell(const core::Instance& inst, core::ProtocolKind protocol, std::size_t flaps,
-              double loss, std::size_t crashes) {
-  Cell cell;
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-    const auto script =
-        fault::make_fault_script(inst, cell_config(seed, flaps, loss, crashes));
-    fault::CampaignOptions options;
-    options.max_deliveries = kBudget;
-    const auto campaign = fault::run_campaign(inst, protocol, script, options);
+/// Aggregates `count` consecutive sweep cells starting at `first`.
+CellStats aggregate(const fault::SweepResult& sweep, std::size_t first,
+                    std::size_t count) {
+  CellStats stats;
+  for (std::size_t i = first; i < first + count; ++i) {
+    const auto& campaign = sweep.cells[i];
     if (campaign.reconverged()) {
-      ++cell.reconverged;
-      cell.settle_sum += campaign.settle_time;
-      if (campaign.invariants.clean()) ++cell.clean;
+      ++stats.reconverged;
+      stats.settle_sum += *campaign.settle_time;
+      if (campaign.invariants.clean()) ++stats.clean;
     }
-    cell.flips_sum += campaign.run.best_flips;
-    cell.dropped_sum += campaign.run.messages_dropped;
+    stats.flips_sum += campaign.run.best_flips;
+    stats.dropped_sum += campaign.run.messages_dropped;
   }
-  return cell;
+  return stats;
 }
 
 void report() {
@@ -68,20 +88,37 @@ void report() {
                  "the modified protocol reconverges consistently after any finite "
                  "fault burst (Section 7); standard I-BGP does not");
 
-  struct Level {
-    const char* label;
-    std::size_t flaps;
-    double loss;
-    std::size_t crashes;
-  };
-  const Level levels[] = {
-      {"none", 0, 0.0, 0},
-      {"light   (2 flaps)", 2, 0.0, 0},
-      {"medium  (4 flaps, 5% loss)", 4, 0.05, 0},
-      {"heavy   (8 flaps, 10% loss, 1 crash)", 8, 0.10, 1},
-  };
+  // Materialize the whole grid as one sweep: figures outermost, then levels,
+  // protocols, seeds innermost — aggregation below walks the same order.
+  const auto figures = topo::all_figures();
+  std::vector<fault::SweepCell> cells;
+  for (const auto& [name, inst] : figures) {
+    if (inst.name() != "fig1a" && inst.name() != "fig3") continue;
+    for (const auto& level : kLevels) {
+      for (const auto protocol :
+           {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+            core::ProtocolKind::kModified}) {
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+          fault::SweepCell cell;
+          cell.instance = &inst;
+          cell.protocol = protocol;
+          cell.script = fault::make_fault_script(
+              inst, cell_config(seed, level.flaps, level.loss, level.crashes));
+          cell.options.max_deliveries = kBudget;
+          cell.group = inst.name() + std::string("/") + level.label;
+          cell.seed = seed;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
 
-  for (const auto& [name, inst] : topo::all_figures()) {
+  const auto sweep = fault::run_sweep(cells, bench::config().jobs);
+  std::fprintf(stderr, "sweep: %zu cells in %.2fs on %zu jobs\n", cells.size(),
+               sweep.wall_seconds, sweep.jobs);
+
+  std::size_t next = 0;
+  for (const auto& [name, inst] : figures) {
     if (inst.name() != "fig1a" && inst.name() != "fig3") continue;
     std::printf("\n%s (%zu seeds per cell, budget %zu deliveries):\n", name.c_str(),
                 kSeeds, kBudget);
@@ -89,23 +126,114 @@ void report() {
                 "reconverged", "clean", "settle", "flips");
     std::printf("  %.38s-+-----------+-------------+--------+-----------+--------\n",
                 "----------------------------------------");
-    for (const auto& level : levels) {
+    for (const auto& level : kLevels) {
       for (const auto protocol :
            {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
             core::ProtocolKind::kModified}) {
-        const Cell cell = run_cell(inst, protocol, level.flaps, level.loss, level.crashes);
+        const CellStats stats = aggregate(sweep, next, kSeeds);
+        next += kSeeds;
         const double settle =
-            cell.reconverged ? static_cast<double>(cell.settle_sum) / cell.reconverged : 0;
+            stats.reconverged ? static_cast<double>(stats.settle_sum) / stats.reconverged
+                              : 0;
         std::printf("  %-38s | %-9s | %5zu/%-5zu | %2zu/%-3zu | %9.1f | %6.1f\n",
-                    level.label, core::protocol_name(protocol), cell.reconverged, kSeeds,
-                    cell.clean, cell.reconverged, settle,
-                    static_cast<double>(cell.flips_sum) / kSeeds);
+                    level.label, core::protocol_name(protocol), stats.reconverged, kSeeds,
+                    stats.clean, stats.reconverged, settle,
+                    static_cast<double>(stats.flips_sum) / kSeeds);
       }
     }
   }
   std::printf("\n(settle = mean virtual ticks from the last applied fault to quiescence,\n"
               " over reconverged runs; clean = invariant checker found no stale routes,\n"
               " RIB desync, or forwarding loops after quiescence)\n");
+
+  if (!bench::config().json_path.empty()) {
+    util::json::Object doc;
+    doc.emplace_back("schema", "ibgp-bench-v1");
+    doc.emplace_back("bench", "bench_faults");
+    doc.emplace_back("experiment", "E13");
+    doc.emplace_back("mode", "full");
+    doc.emplace_back("sweep", fault::sweep_json(cells, sweep));
+    bench::write_json(util::json::Value(std::move(doc)));
+  }
+}
+
+// Reduced deterministic sweep for CI: runs serially and in parallel, fails
+// on any per-cell hash divergence, prints the (deterministic) per-cell
+// hashes to stdout and timing to stderr, and records the speedup in the
+// --json document.
+int smoke() {
+  const auto inst = topo::fig3();
+  std::vector<fault::SweepCell> cells;
+  // Two fault levels: "none" leaves standard I-BGP oscillating to the
+  // delivery budget (the heavy, budget-bound cells that give the speedup
+  // measurement something to parallelize); "medium" exercises the fault
+  // machinery.
+  struct SmokeLevel {
+    const char* label;
+    std::size_t flaps;
+    double loss;
+    std::size_t crashes;
+  };
+  for (const SmokeLevel& level : {SmokeLevel{"none", 0, 0.0, 0},
+                                  SmokeLevel{"medium", 4, 0.05, 1}}) {
+    for (const auto protocol :
+         {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+          core::ProtocolKind::kModified}) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        fault::SweepCell cell;
+        cell.instance = &inst;
+        cell.protocol = protocol;
+        cell.script = fault::make_fault_script(
+            inst, cell_config(seed, level.flaps, level.loss, level.crashes));
+        cell.options.max_deliveries = 100000;
+        cell.group = std::string("fig3/") + level.label;
+        cell.seed = seed;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  const std::size_t jobs = bench::config().jobs == 0 ? 4 : bench::config().jobs;
+  const auto serial = fault::run_sweep(cells, 1);
+  const auto parallel = fault::run_sweep(cells, jobs);
+
+  std::printf("bench_faults smoke: %zu cells, fingerprint=%016" PRIx64 "\n",
+              cells.size(), serial.fingerprint);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("  cell %2zu %s %-9s seed=%" PRIu64 " hash=%016" PRIx64 "\n", i,
+                cells[i].group.c_str(), core::protocol_name(cells[i].protocol),
+                cells[i].seed, serial.cells[i].trace_hash);
+  }
+  const double speedup =
+      parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds : 0;
+  std::fprintf(stderr, "serial %.3fs, parallel %.3fs on %zu jobs (%.2fx)\n",
+               serial.wall_seconds, parallel.wall_seconds, parallel.jobs, speedup);
+
+  bool ok = serial.fingerprint == parallel.fingerprint;
+  for (std::size_t i = 0; ok && i < cells.size(); ++i) {
+    ok = serial.cells[i].trace_hash == parallel.cells[i].trace_hash;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench_faults smoke: FAIL — serial vs parallel trace "
+                         "hashes diverge\n");
+  }
+
+  util::json::Object doc;
+  doc.emplace_back("schema", "ibgp-bench-v1");
+  doc.emplace_back("bench", "bench_faults");
+  doc.emplace_back("experiment", "E13");
+  doc.emplace_back("mode", "smoke");
+  doc.emplace_back("serial_wall_seconds", serial.wall_seconds);
+  doc.emplace_back("parallel_wall_seconds", parallel.wall_seconds);
+  doc.emplace_back("jobs", parallel.jobs);
+  // Interprets the speedup: a single-core host can only record ~1x no
+  // matter how correct the fan-out is.
+  doc.emplace_back("hardware_threads", util::resolve_jobs(0));
+  doc.emplace_back("speedup", speedup);
+  doc.emplace_back("fingerprint_match", ok);
+  doc.emplace_back("sweep", fault::sweep_json(cells, parallel));
+  if (!bench::write_json(util::json::Value(std::move(doc)))) return 1;
+  return ok ? 0 : 1;
 }
 
 void BM_FaultCampaign(benchmark::State& state, core::ProtocolKind protocol) {
@@ -128,4 +256,13 @@ BENCHMARK_CAPTURE(BM_FaultCampaign, modified, ibgp::core::ProtocolKind::kModifie
 
 }  // namespace
 
-IBGP_BENCH_MAIN(report)
+int main(int argc, char** argv) {
+  ibgp::bench::strip_common_flags(argc, argv);
+  if (ibgp::bench::config().smoke) return smoke();
+  report();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -14,19 +14,21 @@
 // keeps the data plane forwarding while the control plane reboots.  The
 // report ends with a per-protocol PASS/FAIL verdict on exactly that.
 //
-// `bench_gr --smoke` skips the sweep and runs one small deterministic
-// cell twice in-process, printing the campaign trace hash and failing if
-// the two runs disagree (CI runs the binary twice and compares the
-// printed hashes across processes as well).
+// The grid runs as one deterministic parallel sweep (fault/sweep.hpp), so
+// --jobs N matches --jobs 1 hash-for-hash.  `bench_gr --smoke` runs a
+// reduced paired sweep serially AND in parallel, prints the per-cell trace
+// hashes (stdout is deterministic — CI diffs it across processes and
+// across --jobs values), fails on any divergence, and records the measured
+// speedup in the --json document (BENCH_E14.json).
 
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
 #include <map>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "fault/campaign.hpp"
 #include "fault/script.hpp"
+#include "fault/sweep.hpp"
 #include "topo/figures.hpp"
 
 namespace {
@@ -49,7 +51,7 @@ constexpr Level kLevels[] = {
     {"2 outages, 2 flaps, 5% loss", 2, 2, 0.05},
 };
 
-struct Cell {
+struct CellStats {
   std::size_t reconverged = 0;
   std::size_t clean = 0;
   std::uint64_t blackhole = 0;   // total source-ticks, summed over seeds
@@ -76,25 +78,35 @@ fault::FaultScriptConfig cell_config(std::uint64_t seed, const Level& level,
   return config;
 }
 
-Cell run_cell(const core::Instance& inst, core::ProtocolKind protocol,
-              const Level& level, bool graceful) {
-  Cell cell;
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-    const auto script = fault::make_fault_script(inst, cell_config(seed, level, graceful));
-    fault::CampaignOptions options;
-    options.max_deliveries = kBudget;
-    const auto campaign = fault::run_campaign(inst, protocol, script, options);
-    if (campaign.reconverged()) {
-      ++cell.reconverged;
-      cell.settle_sum += campaign.settle_time;
-      if (campaign.invariants.clean()) ++cell.clean;
-    }
-    cell.blackhole += campaign.continuity.blackhole_ticks;
-    cell.stale += campaign.continuity.stale_ticks;
-    cell.loops += campaign.continuity.loop_ticks;
-    cell.max_window = std::max(cell.max_window, campaign.continuity.max_blackhole_window);
-  }
+fault::SweepCell make_cell(const core::Instance& inst, core::ProtocolKind protocol,
+                           const Level& level, bool graceful, std::uint64_t seed,
+                           std::size_t budget) {
+  fault::SweepCell cell;
+  cell.instance = &inst;
+  cell.protocol = protocol;
+  cell.script = fault::make_fault_script(inst, cell_config(seed, level, graceful));
+  cell.options.max_deliveries = budget;
+  cell.group = inst.name() + std::string(graceful ? "/graceful/" : "/cold/") + level.label;
+  cell.seed = seed;
   return cell;
+}
+
+CellStats aggregate(const fault::SweepResult& sweep, std::size_t first,
+                    std::size_t count) {
+  CellStats stats;
+  for (std::size_t i = first; i < first + count; ++i) {
+    const auto& campaign = sweep.cells[i];
+    if (campaign.reconverged()) {
+      ++stats.reconverged;
+      stats.settle_sum += *campaign.settle_time;
+      if (campaign.invariants.clean()) ++stats.clean;
+    }
+    stats.blackhole += campaign.continuity.blackhole_ticks;
+    stats.stale += campaign.continuity.stale_ticks;
+    stats.loops += campaign.continuity.loop_ticks;
+    stats.max_window = std::max(stats.max_window, campaign.continuity.max_blackhole_window);
+  }
+  return stats;
 }
 
 void report() {
@@ -102,10 +114,35 @@ void report() {
                  "stale-path retention (RFC 4724 semantics) strictly shrinks "
                  "blackhole time vs cold restart, for every protocol variant");
 
+  // One sweep over the whole paired grid: figures outermost, then levels,
+  // protocols, restart styles, seeds innermost — aggregation walks the
+  // same order.
+  const auto figures = topo::all_figures();
+  std::vector<fault::SweepCell> cells;
+  for (const auto& [name, inst] : figures) {
+    if (inst.name() != "fig1a" && inst.name() != "fig3") continue;
+    for (const auto& level : kLevels) {
+      for (const auto protocol :
+           {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+            core::ProtocolKind::kModified}) {
+        for (const bool graceful : {false, true}) {
+          for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            cells.push_back(make_cell(inst, protocol, level, graceful, seed, kBudget));
+          }
+        }
+      }
+    }
+  }
+
+  const auto sweep = fault::run_sweep(cells, bench::config().jobs);
+  std::fprintf(stderr, "sweep: %zu cells in %.2fs on %zu jobs\n", cells.size(),
+               sweep.wall_seconds, sweep.jobs);
+
   // protocol -> (cold, graceful) blackhole totals across figures and levels.
   std::map<core::ProtocolKind, std::pair<std::uint64_t, std::uint64_t>> verdict;
 
-  for (const auto& [name, inst] : topo::all_figures()) {
+  std::size_t next = 0;
+  for (const auto& [name, inst] : figures) {
     if (inst.name() != "fig1a" && inst.name() != "fig3") continue;
     std::printf("\n%s (%zu paired seeds per cell, budget %zu deliveries, "
                 "stale timer %" PRIu64 "):\n",
@@ -120,15 +157,16 @@ void report() {
            {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
             core::ProtocolKind::kModified}) {
         for (const bool graceful : {false, true}) {
-          const Cell cell = run_cell(inst, protocol, level, graceful);
+          const CellStats stats = aggregate(sweep, next, kSeeds);
+          next += kSeeds;
           std::printf("  %-28s | %-9s | %-8s | %5zu/%-5zu | %2zu/%-3zu | %9" PRIu64
                       " | %6" PRIu64 " | %6" PRIu64 "\n",
                       level.label, core::protocol_name(protocol),
-                      graceful ? "graceful" : "cold", cell.reconverged, kSeeds,
-                      cell.clean, cell.reconverged, cell.blackhole, cell.max_window,
-                      cell.stale);
+                      graceful ? "graceful" : "cold", stats.reconverged, kSeeds,
+                      stats.clean, stats.reconverged, stats.blackhole, stats.max_window,
+                      stats.stale);
           auto& totals = verdict[protocol];
-          (graceful ? totals.second : totals.first) += cell.blackhole;
+          (graceful ? totals.second : totals.first) += stats.blackhole;
         }
       }
     }
@@ -143,38 +181,78 @@ void report() {
   std::printf("\n(blackhole = source-ticks with no usable route; max-bh = longest\n"
               " contiguous per-source blackhole window; stale = source-ticks carried\n"
               " by retained-stale forwarding state — the price of continuity)\n");
+
+  if (!bench::config().json_path.empty()) {
+    util::json::Object doc;
+    doc.emplace_back("schema", "ibgp-bench-v1");
+    doc.emplace_back("bench", "bench_gr");
+    doc.emplace_back("experiment", "E14");
+    doc.emplace_back("mode", "full");
+    doc.emplace_back("sweep", fault::sweep_json(cells, sweep));
+    bench::write_json(util::json::Value(std::move(doc)));
+  }
 }
 
-// One small deterministic cell, run twice in-process; prints the campaign
-// trace hash for cross-process comparison and fails on any divergence.
+// Reduced paired sweep, run twice (serial, then --jobs N parallel; default
+// 4).  stdout carries only deterministic lines, so CI can diff two
+// invocations — across processes and across --jobs values — byte for byte.
 int smoke() {
   const auto inst = topo::fig3();
-  fault::FaultScriptConfig config;
-  config.seed = 7;
-  config.session_flaps = 1;
-  config.graceful_restarts = 2;
-  config.stale_timer = kStaleTimer;
-  config.loss_prob = 0.05;
-  config.window_start = 20;
-  config.window_end = 300;
-  const auto script = fault::make_fault_script(inst, config);
-  const auto first = fault::run_campaign(inst, core::ProtocolKind::kModified, script);
-  const auto second = fault::run_campaign(inst, core::ProtocolKind::kModified, script);
-  std::printf("bench_gr smoke: trace_hash=%016" PRIx64 " reconverged=%d clean=%d "
-              "stale_retained=%" PRIu64 " blackhole=%" PRIu64 " stale_ticks=%" PRIu64 "\n",
-              first.trace_hash, first.reconverged() ? 1 : 0,
-              first.invariants.clean() ? 1 : 0,
-              static_cast<std::uint64_t>(first.run.stale_retained),
-              first.continuity.blackhole_ticks, first.continuity.stale_ticks);
-  if (first.trace_hash != second.trace_hash) {
-    std::fprintf(stderr, "bench_gr smoke: FAIL — trace hash differs between runs\n");
-    return 1;
+  std::vector<fault::SweepCell> cells;
+  for (const auto protocol : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+                              core::ProtocolKind::kModified}) {
+    for (const bool graceful : {false, true}) {
+      for (std::uint64_t seed = 7; seed <= 10; ++seed) {
+        cells.push_back(make_cell(inst, protocol, kLevels[1], graceful, seed, 60000));
+      }
+    }
   }
-  if (!first.reconverged() || !first.invariants.clean()) {
-    std::fprintf(stderr, "bench_gr smoke: FAIL — campaign not reconverged/clean\n");
-    return 1;
+
+  const std::size_t jobs = bench::config().jobs == 0 ? 4 : bench::config().jobs;
+  const auto serial = fault::run_sweep(cells, 1);
+  const auto parallel = fault::run_sweep(cells, jobs);
+
+  std::printf("bench_gr smoke: %zu paired cells, fingerprint=%016" PRIx64 "\n",
+              cells.size(), serial.fingerprint);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("  cell %2zu %-9s %-42s seed=%" PRIu64 " hash=%016" PRIx64
+                " reconverged=%d blackhole=%" PRIu64 " stale=%" PRIu64 "\n",
+                i, core::protocol_name(cells[i].protocol), cells[i].group.c_str(),
+                cells[i].seed, serial.cells[i].trace_hash,
+                serial.cells[i].reconverged() ? 1 : 0,
+                serial.cells[i].continuity.blackhole_ticks,
+                serial.cells[i].continuity.stale_ticks);
   }
-  return 0;
+  const double speedup =
+      parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds : 0;
+  std::fprintf(stderr, "serial %.3fs, parallel %.3fs on %zu jobs (%.2fx)\n",
+               serial.wall_seconds, parallel.wall_seconds, parallel.jobs, speedup);
+
+  bool ok = serial.fingerprint == parallel.fingerprint;
+  for (std::size_t i = 0; ok && i < cells.size(); ++i) {
+    ok = serial.cells[i].trace_hash == parallel.cells[i].trace_hash;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_gr smoke: FAIL — serial vs parallel trace hashes diverge\n");
+  }
+
+  util::json::Object doc;
+  doc.emplace_back("schema", "ibgp-bench-v1");
+  doc.emplace_back("bench", "bench_gr");
+  doc.emplace_back("experiment", "E14");
+  doc.emplace_back("mode", "smoke");
+  doc.emplace_back("serial_wall_seconds", serial.wall_seconds);
+  doc.emplace_back("parallel_wall_seconds", parallel.wall_seconds);
+  doc.emplace_back("jobs", parallel.jobs);
+  // Interprets the speedup: a single-core host can only record ~1x no
+  // matter how correct the fan-out is.
+  doc.emplace_back("hardware_threads", util::resolve_jobs(0));
+  doc.emplace_back("speedup", speedup);
+  doc.emplace_back("fingerprint_match", ok);
+  doc.emplace_back("sweep", fault::sweep_json(cells, parallel));
+  if (!bench::write_json(util::json::Value(std::move(doc)))) return 1;
+  return ok ? 0 : 1;
 }
 
 void BM_GrCampaign(benchmark::State& state, bool graceful) {
@@ -196,12 +274,11 @@ BENCHMARK_CAPTURE(BM_GrCampaign, graceful, true)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-// Custom main instead of IBGP_BENCH_MAIN: `--smoke` must be handled before
-// google-benchmark sees (and rejects) it.
+// Custom main instead of IBGP_BENCH_MAIN: `--smoke` switches to the
+// reduced sweep and must short-circuit before google-benchmark runs.
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) return smoke();
-  }
+  ibgp::bench::strip_common_flags(argc, argv);
+  if (ibgp::bench::config().smoke) return smoke();
   report();
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/finder.hpp"
 #include "core/policy.hpp"
@@ -19,6 +20,7 @@
 #include "engine/oscillation.hpp"
 #include "topo/dsl.hpp"
 #include "util/flags.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 int main(int argc, char** argv) {
@@ -48,6 +50,8 @@ int main(int argc, char** argv) {
   flags.add_int("event-seed", 1, "base seed for message-level confirmation trials");
   flags.add_int("event-trials", 10,
                 "seeded event-engine delay schedules to confirm the find (0 = skip)");
+  flags.add_int("jobs", 0,
+                "worker threads for the confirmation trials (0 = one per hardware thread)");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),
@@ -117,23 +121,30 @@ int main(int argc, char** argv) {
   // under seeded random per-message delays.  A schedule-level cycle is only
   // interesting if delay schedules also fail to settle; each trial is
   // reproducible from --event-seed (trial i uses derive_seed(event-seed, i)).
+  // Trials are independent cells (own engine, own index-derived RNG), so the
+  // batch fans out across --jobs threads; verdicts are collected in an
+  // index-keyed vector and counted in order, keeping the tally and every
+  // printed line identical for any --jobs value.
   const auto trials = static_cast<std::size_t>(flags.get_int("event-trials"));
   if (trials > 0) {
     const auto base_seed = static_cast<std::uint64_t>(flags.get_int("event-seed"));
+    const auto jobs = util::resolve_jobs(static_cast<std::size_t>(flags.get_int("jobs")));
     const std::size_t budget = 50 * static_cast<std::size_t>(flags.get_int("max-steps"));
     for (const auto& [kind, label] :
          {std::pair{criteria.protocol, protocol.c_str()},
           std::pair{core::ProtocolKind::kModified, "modified"}}) {
-      std::size_t settled = 0;
-      for (std::size_t i = 0; i < trials; ++i) {
+      std::vector<char> converged(trials, 0);
+      util::parallel_for(trials, jobs, [&, kind = kind](std::size_t i) {
         auto rng = std::make_shared<util::Xoshiro256>(util::derive_seed(base_seed, i));
         engine::EventEngine sim(*result.found, kind,
                                 [rng](NodeId, NodeId, std::uint64_t) {
                                   return engine::SimTime{1 + rng->below(40)};
                                 });
         sim.inject_all_exits(0);
-        if (sim.run(budget).converged) ++settled;
-      }
+        converged[i] = sim.run(budget).converged ? 1 : 0;
+      });
+      std::size_t settled = 0;
+      for (const char c : converged) settled += c;
       std::printf("message-level (%zu seeded delay trials, seed %llu): %s settled %zu/%zu\n",
                   trials, static_cast<unsigned long long>(base_seed), label, settled,
                   trials);

@@ -27,6 +27,7 @@
 #include "topo/dsl.hpp"
 #include "topo/figures.hpp"
 #include "util/flags.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
   flags.add_int("max-steps", 20000, "step budget");
   flags.add_int("seed", 1, "base seed for the message-level delay trials");
   flags.add_int("event-trials", 20, "seeded event-engine trials per protocol (0 = skip)");
+  flags.add_int("jobs", 0, "worker threads for the trials (0 = one per hardware thread)");
   flags.add_int("max-delay", 50, "maximum random per-message delay in the trials");
   flags.add_bool("dump", false, "dump the instance back as .topo text");
   if (!flags.parse(argc, argv)) {
@@ -152,18 +154,27 @@ int main(int argc, char** argv) {
 
   // Message-level trials: the same instance under randomized per-message
   // delays, fully reproducible from --seed (trial i uses derive_seed(seed, i)).
+  // Each trial is a self-contained cell (own engine, own RNG derived from its
+  // index), so the batch fans out over --jobs worker threads; per-trial
+  // verdicts land in an index-keyed vector and the summary folds in trial
+  // order, making the output independent of --jobs.
   const auto trials = static_cast<std::size_t>(flags.get_int("event-trials"));
   if (trials > 0) {
     const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    const auto jobs =
+        util::resolve_jobs(static_cast<std::size_t>(flags.get_int("jobs")));
     const auto max_delay =
         static_cast<std::uint64_t>(std::max<std::int64_t>(1, flags.get_int("max-delay")));
     std::printf("\nmessage-level trials (%zu seeded delay schedules, base seed %llu):\n",
                 trials, static_cast<unsigned long long>(base_seed));
     for (const auto kind : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
                             core::ProtocolKind::kModified}) {
-      std::size_t converged = 0;
-      std::map<std::vector<PathId>, std::size_t> outcomes;
-      for (std::size_t i = 0; i < trials; ++i) {
+      struct Trial {
+        bool converged = false;
+        std::vector<PathId> best;
+      };
+      std::vector<Trial> results(trials);
+      util::parallel_for(trials, jobs, [&](std::size_t i) {
         auto rng = std::make_shared<util::Xoshiro256>(util::derive_seed(base_seed, i));
         engine::EventEngine engine(inst, kind,
                                    [rng, max_delay](NodeId, NodeId, std::uint64_t) {
@@ -171,10 +182,15 @@ int main(int argc, char** argv) {
                                    });
         engine.inject_all_exits(0);
         const auto result = engine.run(10 * max_steps);
-        if (result.converged) {
-          ++converged;
-          ++outcomes[result.final_best];
-        }
+        results[i].converged = result.converged;
+        if (result.converged) results[i].best = result.final_best;
+      });
+      std::size_t converged = 0;
+      std::map<std::vector<PathId>, std::size_t> outcomes;
+      for (const auto& trial : results) {
+        if (!trial.converged) continue;
+        ++converged;
+        ++outcomes[trial.best];
       }
       std::printf("  %-9s : %zu/%zu converged, %zu distinct outcome%s\n",
                   core::protocol_name(kind), converged, trials, outcomes.size(),

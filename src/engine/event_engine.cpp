@@ -680,6 +680,34 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   }
 
   result.converged = queue_.empty();
+  result.budget_exhausted = result.deliveries >= max_deliveries;
+  result.events_pending = queue_.size();
+  if (!queue_.empty()) {
+    // Scan a drained copy for fault events the budget cut off; the engine's
+    // own queue stays intact so a later run() call can resume.
+    auto pending = queue_;
+    while (!pending.empty()) {
+      const Event& event = pending.top();
+      switch (event.kind) {
+        case EventKind::kSessionDown:
+        case EventKind::kSessionUp:
+        case EventKind::kCrash:
+        case EventKind::kRestart:
+        case EventKind::kGracefulDown:
+        case EventKind::kStaleExpire:
+          if (result.faults_pending == 0) result.next_fault_time = event.time;
+          ++result.faults_pending;
+          break;
+        case EventKind::kEbgpAnnounce:
+        case EventKind::kEbgpWithdraw:
+        case EventKind::kUpdate:
+        case EventKind::kMraiFlush:
+        case EventKind::kEndOfRib:
+          break;
+      }
+      pending.pop();
+    }
+  }
   result.updates_sent = updates_sent_;
   result.best_flips = best_flips_;
   result.messages_dropped = messages_dropped_;

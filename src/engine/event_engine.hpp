@@ -221,7 +221,26 @@ class EventEngine {
   // --- execution --------------------------------------------------------------
 
   struct Result {
-    bool converged = false;      ///< event queue drained
+    /// The event queue drained: nothing was left to do.  Independent of
+    /// budget_exhausted — a run that spends its delivery budget on the very
+    /// last event reports BOTH converged (drained) and budget_exhausted
+    /// (the stop condition tripped), so "ran to quiescence" and "was cut
+    /// off" are never conflated.
+    bool converged = false;
+    /// deliveries hit max_deliveries.  When converged is false this run was
+    /// truncated: events_pending events (faults_pending of them scheduled
+    /// faults) were still queued and silently never applied — consumers
+    /// pricing fault timelines (settle time, continuity) must treat the
+    /// history as incomplete past end_time.
+    bool budget_exhausted = false;
+    std::size_t events_pending = 0;  ///< events left unprocessed (0 iff converged)
+    /// Unapplied fault events (session down/up, crash, restart, graceful
+    /// down, stale-timer expiry) among events_pending, with the earliest
+    /// one's time; next_fault_time is meaningful only when faults_pending
+    /// is nonzero.  These are the script actions at or after end_time that
+    /// a truncated run never got to.
+    std::size_t faults_pending = 0;
+    SimTime next_fault_time = 0;
     std::size_t deliveries = 0;  ///< events processed
     std::size_t updates_sent = 0;  ///< announce+withdraw messages enqueued
     SimTime end_time = 0;        ///< virtual time of the last processed event

@@ -50,8 +50,10 @@ CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind proto
   if (!engine.fault_log().empty()) {
     campaign.last_fault_time = engine.fault_log().back().time;
   }
-  if (campaign.run.converged && campaign.run.end_time > campaign.last_fault_time) {
-    campaign.settle_time = campaign.run.end_time - campaign.last_fault_time;
+  if (campaign.run.converged) {
+    campaign.settle_time = campaign.run.end_time > campaign.last_fault_time
+                               ? campaign.run.end_time - campaign.last_fault_time
+                               : 0;
   }
   return campaign;
 }

@@ -12,6 +12,7 @@
 // which is how the `same seed -> same trace` guarantee is enforced.
 
 #include <cstdint>
+#include <optional>
 
 #include "analysis/continuity.hpp"
 #include "analysis/invariants.hpp"
@@ -36,13 +37,22 @@ struct CampaignResult {
   /// convergence, since it replays the engine's complete history.
   analysis::ContinuityReport continuity;
   std::uint64_t trace_hash = 0;             ///< fingerprint of the full history
-  engine::SimTime last_fault_time = 0;      ///< when the final fault applied
-  /// Virtual ticks from the last applied fault to quiescence (0 when the
-  /// run did not converge — see run.converged).
-  engine::SimTime settle_time = 0;
+  /// When the final *applied* fault landed.  A truncated run (see
+  /// truncated()) may have scheduled faults it never reached; those are
+  /// counted in run.faults_pending (earliest at run.next_fault_time), not
+  /// here, so they cannot silently vanish from settle/continuity math.
+  engine::SimTime last_fault_time = 0;
+  /// Virtual ticks from the last applied fault to quiescence.  Engaged only
+  /// when the run reconverged: 0 means "instantly settled" (quiescent at
+  /// the last fault itself), while nullopt means "never settled" (budget
+  /// truncation) — aggregators must not fold the two together.
+  std::optional<engine::SimTime> settle_time;
 
   [[nodiscard]] bool reconverged() const { return run.converged; }
   [[nodiscard]] bool healthy() const { return run.converged && invariants.clean(); }
+  /// The delivery budget cut the campaign short: the history (and every
+  /// statistic above) covers only [0, run.end_time).
+  [[nodiscard]] bool truncated() const { return !run.converged; }
 };
 
 /// Runs the campaign: all exits injected at t=0, script faults + message

@@ -1,0 +1,96 @@
+#include "fault/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+
+namespace ibgp::fault {
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+}  // namespace
+
+SweepResult run_sweep(std::span<const SweepCell> cells, std::size_t jobs) {
+  SweepResult result;
+  result.jobs = util::resolve_jobs(jobs);
+  result.cells.resize(cells.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  util::parallel_for(cells.size(), result.jobs, [&](std::size_t i) {
+    const SweepCell& cell = cells[i];
+    result.cells[i] =
+        run_campaign(*cell.instance, cell.protocol, cell.script, cell.options);
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  result.wall_seconds = std::chrono::duration<double>(elapsed).count();
+  result.fingerprint = sweep_fingerprint(result.cells);
+  return result;
+}
+
+std::uint64_t sweep_fingerprint(std::span<const CampaignResult> cells) {
+  util::Fingerprint fp;
+  for (const auto& cell : cells) fp.add(cell.trace_hash);
+  return fp.value();
+}
+
+util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult& result,
+                             bool include_timing) {
+  using util::json::Array;
+  using util::json::Object;
+  using util::json::Value;
+
+  Array rows;
+  rows.reserve(result.cells.size());
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CampaignResult& campaign = result.cells[i];
+    Object row;
+    if (i < cells.size()) {
+      row.emplace_back("group", cells[i].group);
+      row.emplace_back("instance", cells[i].instance->name());
+      row.emplace_back("protocol", core::protocol_name(cells[i].protocol));
+      row.emplace_back("seed", cells[i].seed);
+    }
+    row.emplace_back("trace_hash", hex64(campaign.trace_hash));
+    row.emplace_back("reconverged", campaign.reconverged());
+    row.emplace_back("clean", campaign.invariants.clean());
+    row.emplace_back("truncated", campaign.truncated());
+    row.emplace_back("settle_time", campaign.settle_time
+                                        ? Value(*campaign.settle_time)
+                                        : Value(nullptr));
+    row.emplace_back("last_fault_time", campaign.last_fault_time);
+    row.emplace_back("faults_applied", campaign.run.faults_applied);
+    row.emplace_back("faults_pending", campaign.run.faults_pending);
+    row.emplace_back("deliveries", campaign.run.deliveries);
+    row.emplace_back("end_time", campaign.run.end_time);
+    row.emplace_back("best_flips", campaign.run.best_flips);
+    row.emplace_back("messages_dropped", campaign.run.messages_dropped);
+    row.emplace_back("messages_duplicated", campaign.run.messages_duplicated);
+    row.emplace_back("stale_retained", campaign.run.stale_retained);
+    row.emplace_back("blackhole_ticks", campaign.continuity.blackhole_ticks);
+    row.emplace_back("stale_ticks", campaign.continuity.stale_ticks);
+    row.emplace_back("loop_ticks", campaign.continuity.loop_ticks);
+    row.emplace_back("max_blackhole_window", campaign.continuity.max_blackhole_window);
+    rows.emplace_back(std::move(row));
+  }
+
+  Object doc;
+  doc.emplace_back("schema", "ibgp-sweep-v1");
+  doc.emplace_back("cell_count", result.cells.size());
+  doc.emplace_back("fingerprint", hex64(result.fingerprint));
+  if (include_timing) {
+    doc.emplace_back("jobs", result.jobs);
+    doc.emplace_back("wall_seconds", result.wall_seconds);
+  }
+  doc.emplace_back("cells", std::move(rows));
+  return Value(std::move(doc));
+}
+
+}  // namespace ibgp::fault

@@ -1,0 +1,117 @@
+#include "util/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ibgp::util::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; null is the honest spelling
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf;
+  const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  if (ec == std::errc{}) {
+    out.append(buf.data(), end);
+  } else {
+    out += "0";
+  }
+}
+
+void indent_to(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void Value::write(std::string& out, int indent) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: append_number(out, double_); break;
+    case Kind::kString: out += escape(string_); break;
+    case Kind::kArray: {
+      if (!array_ || array_->empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < array_->size(); ++i) {
+        indent_to(out, indent + 1);
+        (*array_)[i].write(out, indent + 1);
+        out += i + 1 < array_->size() ? ",\n" : "\n";
+      }
+      indent_to(out, indent);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (!object_ || object_->empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < object_->size(); ++i) {
+        indent_to(out, indent + 1);
+        out += escape((*object_)[i].first);
+        out += ": ";
+        (*object_)[i].second.write(out, indent + 1);
+        out += i + 1 < object_->size() ? ",\n" : "\n";
+      }
+      indent_to(out, indent);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  write(out, 0);
+  out += '\n';
+  return out;
+}
+
+bool write_file(const std::string& path, const Value& value) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::string text = value.dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  return (std::fclose(file) == 0) && ok;
+}
+
+}  // namespace ibgp::util::json

@@ -1,0 +1,71 @@
+#pragma once
+// Minimal JSON document builder for machine-readable bench output.
+//
+// The BENCH_*.json trajectory files need a stable, diffable serialization:
+// object keys keep insertion order, numbers print with no locale or
+// precision surprises (integers exactly, doubles via shortest round-trip),
+// and dump() emits deterministic two-space-indented text.  Only writing is
+// supported — the repo produces these files, CI and external tooling
+// consume them — so there is deliberately no parser here.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ibgp::util::json {
+
+class Value;
+
+/// JSON array with append-only construction.
+using Array = std::vector<Value>;
+/// JSON object preserving insertion order (stable dumps for diffing).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  Value(std::nullptr_t) : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  Value(std::uint64_t u) : kind_(Kind::kUint), uint_(u) {}
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}
+  Value(unsigned int u) : Value(static_cast<std::uint64_t>(u)) {}
+  Value(double d) : kind_(Kind::kDouble), double_(d) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : Value(std::string(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+  Value(Array a) : kind_(Kind::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o) : kind_(Kind::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  /// Serializes with two-space indentation and a trailing newline at the
+  /// top level, so dumps are stable `diff` targets.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject,
+  };
+
+  void write(std::string& out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Quotes and escapes a string per RFC 8259.
+std::string escape(std::string_view text);
+
+/// Writes `value.dump()` to `path`.  Returns false (and leaves no partial
+/// file guarantee) when the file cannot be opened or written.
+bool write_file(const std::string& path, const Value& value);
+
+}  // namespace ibgp::util::json

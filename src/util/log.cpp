@@ -47,6 +47,7 @@ Logger::Logger() {
 }
 
 void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (sink) {
     sink_ = std::move(sink);
   } else {
@@ -58,7 +59,9 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::write(LogLevel level, std::string_view message) {
-  if (enabled(level)) sink_(level, message);
+  if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_(level, message);
 }
 
 }  // namespace ibgp::util

@@ -3,10 +3,21 @@
 //
 // The engines can narrate every activation / message delivery when tracing a
 // counterexample; benches and tests run silent by default.  A single global
-// level (set explicitly by main programs, never mutated concurrently) keeps
-// the interface trivial; sinks allow tests to capture output.
+// level (set explicitly by main programs) keeps the interface trivial; sinks
+// allow tests to capture output.
+//
+// Thread safety: the parallel sweep runner (util/parallel, fault/sweep) runs
+// simulation cells on worker threads, and any cell may log.  The level is an
+// atomic (so the disabled-level fast path stays a single relaxed load) and
+// sink replacement + writes share a mutex, so concurrent log lines are
+// serialized whole — never interleaved mid-line — and never race a
+// set_sink().  Configure level and sink from the main thread before fanning
+// out; mutating them mid-sweep is safe but applies to in-flight lines
+// nondeterministically.
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -33,13 +44,13 @@ class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
 
-  /// Global logger instance.  Not thread-safe by design: the library is
-  /// single-threaded (the simulators are deterministic sequential machines).
+  /// Global logger instance.  Safe to use from sweep worker threads: see
+  /// the thread-safety note at the top of this header.
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Replaces the output sink (default: stderr).  Pass nullptr to restore
   /// the default sink.
@@ -49,7 +60,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  // guards sink_ (replacement and invocation)
   Sink sink_;
 };
 

@@ -1,0 +1,58 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ibgp::util {
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t workers = std::min(jobs, count);
+  std::atomic<std::size_t> next{0};
+  // First failure by item index, so the rethrown exception is the same one
+  // a serial run would have surfaced first.
+  std::mutex failure_mutex;
+  std::size_t failed_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr failure;
+
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (i < failed_index) {
+          failed_index = i;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();
+  for (auto& thread : pool) thread.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace ibgp::util

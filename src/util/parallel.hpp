@@ -1,0 +1,35 @@
+#pragma once
+// Deterministic fan-out over independent work items.
+//
+// The sweeps in this repo (fault campaigns, ensemble statistics, seeded
+// event-engine trials) are embarrassingly parallel: every cell owns its
+// engine and its RNG, and the only shared state is the result slot the
+// cell writes.  parallel_for() runs `fn(i)` for i in [0, count) across a
+// small worker pool; callers keep determinism by making each item a pure
+// function of its index (derive the item's seed from the index, never from
+// a shared generator) and by aggregating results in index order afterwards.
+// Under that discipline a --jobs N run is byte-identical to --jobs 1.
+//
+// Scheduling is dynamic (an atomic work counter), so which *thread* runs an
+// item is nondeterministic — only the item->result mapping matters, and
+// that is index-keyed.  Exceptions thrown by items are captured; the first
+// one (by item index) is rethrown on the calling thread after all workers
+// join, so a throwing item cannot leak detached threads.
+
+#include <cstddef>
+#include <functional>
+
+namespace ibgp::util {
+
+/// Resolves a --jobs request: 0 means "one per hardware thread" (at least
+/// 1); any other value is returned unchanged.
+std::size_t resolve_jobs(std::size_t requested);
+
+/// Runs fn(i) for every i in [0, count), using up to `jobs` threads
+/// (`jobs` <= 1 runs inline on the calling thread, spawning nothing).
+/// Blocks until every item completed.  If items throw, the exception of
+/// the lowest-indexed throwing item is rethrown after all workers join.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace ibgp::util

@@ -1,0 +1,167 @@
+// The deterministic parallel sweep contract: parallel_for visits every
+// index exactly once for any worker count, exceptions propagate (lowest
+// index wins), the fault sweep produces byte-identical per-cell trace
+// hashes / fingerprints / JSON for --jobs 1 vs --jobs N, and the logger
+// survives concurrent writers without tearing lines.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/script.hpp"
+#include "fault/sweep.hpp"
+#include "topo/figures.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+
+namespace ibgp {
+namespace {
+
+using core::ProtocolKind;
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> visits(kCount);
+    util::parallel_for(kCount, jobs,
+                       [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " with jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  bool ran = false;
+  util::parallel_for(0, 8, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, ResolveJobsNeverReturnsZero) {
+  EXPECT_GE(util::resolve_jobs(0), 1u);
+  EXPECT_EQ(util::resolve_jobs(1), 1u);
+  EXPECT_EQ(util::resolve_jobs(7), 7u);
+}
+
+TEST(ParallelFor, LowestIndexExceptionWins) {
+  // Several indices throw; the rethrown exception must be the lowest-index
+  // failure so error reporting is deterministic across worker schedules.
+  try {
+    util::parallel_for(64, 8, [&](std::size_t i) {
+      if (i % 7 == 3) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+}
+
+TEST(ParallelFor, SerialPathPropagatesToo) {
+  EXPECT_THROW(
+      util::parallel_for(4, 1,
+                         [](std::size_t i) {
+                           if (i == 2) throw std::logic_error("serial");
+                         }),
+      std::logic_error);
+}
+
+// --- sweep determinism -------------------------------------------------------------
+
+std::vector<fault::SweepCell> make_cells(const core::Instance& fig1a,
+                                         const core::Instance& fig3) {
+  std::vector<fault::SweepCell> cells;
+  for (const core::Instance* inst : {&fig1a, &fig3}) {
+    for (const auto protocol :
+         {ProtocolKind::kStandard, ProtocolKind::kWalton, ProtocolKind::kModified}) {
+      for (const std::uint64_t seed : {1, 2}) {
+        fault::FaultScriptConfig config;
+        config.seed = seed;
+        config.session_flaps = 3;
+        config.crashes = 1;
+        config.loss_prob = 0.05;
+        config.window_start = 20;
+        config.window_end = 300;
+        fault::SweepCell cell;
+        cell.instance = inst;
+        cell.protocol = protocol;
+        cell.script = fault::make_fault_script(*inst, config);
+        cell.options.max_deliveries = 40000;
+        cell.group = inst->name();
+        cell.seed = seed;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+TEST(Sweep, ParallelMatchesSerialHashForHash) {
+  const auto fig1a = topo::fig1a();
+  const auto fig3 = topo::fig3();
+  const auto cells = make_cells(fig1a, fig3);
+  ASSERT_GE(cells.size(), 8u) << "the equivalence claim needs a real fan-out";
+
+  const auto serial = fault::run_sweep(cells, 1);
+  const auto parallel = fault::run_sweep(cells, 4);
+  ASSERT_EQ(serial.cells.size(), cells.size());
+  ASSERT_EQ(parallel.cells.size(), cells.size());
+  EXPECT_EQ(serial.jobs, 1u);
+  EXPECT_GE(parallel.jobs, 2u);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].trace_hash, parallel.cells[i].trace_hash)
+        << "cell " << i << " (" << cells[i].group << ")";
+    EXPECT_EQ(serial.cells[i].run.converged, parallel.cells[i].run.converged);
+    EXPECT_EQ(serial.cells[i].settle_time, parallel.cells[i].settle_time);
+    EXPECT_EQ(serial.cells[i].continuity.blackhole_ticks,
+              parallel.cells[i].continuity.blackhole_ticks);
+  }
+  EXPECT_EQ(serial.fingerprint, parallel.fingerprint);
+  EXPECT_EQ(serial.fingerprint, fault::sweep_fingerprint(serial.cells));
+
+  // The machine-readable documents (timing fields suppressed) must be
+  // byte-identical — that is the artifact CI diffs.
+  EXPECT_EQ(fault::sweep_json(cells, serial, /*include_timing=*/false).dump(),
+            fault::sweep_json(cells, parallel, /*include_timing=*/false).dump());
+}
+
+TEST(Sweep, RepeatRunsAreBitStable) {
+  const auto fig3 = topo::fig3();
+  const auto fig1a = topo::fig1a();
+  const auto cells = make_cells(fig1a, fig3);
+  const auto first = fault::run_sweep(cells, 4);
+  const auto second = fault::run_sweep(cells, 4);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+}
+
+// --- concurrent logging smoke (meaningful under TSan) ------------------------------
+
+TEST(Logging, ConcurrentWritersNeverTearLines) {
+  auto& logger = util::Logger::instance();
+  const auto previous_level = logger.level();
+
+  std::atomic<std::size_t> lines{0};
+  std::atomic<std::size_t> torn{0};
+  logger.set_sink([&](util::LogLevel, std::string_view message) {
+    // The mutex serializes whole lines; each message must arrive intact.
+    lines.fetch_add(1);
+    if (message.find("tick") == std::string_view::npos) torn.fetch_add(1);
+  });
+  logger.set_level(util::LogLevel::kInfo);
+
+  constexpr std::size_t kCount = 512;
+  util::parallel_for(kCount, 8, [](std::size_t i) {
+    IBGP_INFO() << "tick " << i;
+  });
+
+  logger.set_sink(nullptr);
+  logger.set_level(previous_level);
+  EXPECT_EQ(lines.load(), kCount);
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ibgp
