@@ -82,6 +82,24 @@ inline bool write_json(const util::json::Value& doc) {
   return true;
 }
 
+/// Run-dependent smoke measurements, grouped under one "volatile" key so
+/// committed BENCH_*.json regenerations diff fingerprint-only: strip every
+/// "volatile" object and two runs that behaved identically dump identical
+/// text.  Deterministic verdicts (fingerprint_match) stay top-level.
+inline util::json::Value smoke_volatile_json(double serial_wall_seconds,
+                                             double parallel_wall_seconds,
+                                             std::size_t jobs, double speedup) {
+  util::json::Object fields;
+  fields.emplace_back("serial_wall_seconds", serial_wall_seconds);
+  fields.emplace_back("parallel_wall_seconds", parallel_wall_seconds);
+  fields.emplace_back("jobs", jobs);
+  // Interprets the speedup: a single-core host can only record ~1x no
+  // matter how correct the fan-out is.
+  fields.emplace_back("hardware_threads", util::resolve_jobs(0));
+  fields.emplace_back("speedup", speedup);
+  return util::json::Value(std::move(fields));
+}
+
 /// Fallback --json document for benches without a richer schema: name and
 /// report wall-clock only, so every binary still emits a trajectory point.
 inline void write_default_json(const char* argv0, double report_wall_seconds) {

@@ -242,13 +242,9 @@ int smoke() {
   doc.emplace_back("bench", "bench_gr");
   doc.emplace_back("experiment", "E14");
   doc.emplace_back("mode", "smoke");
-  doc.emplace_back("serial_wall_seconds", serial.wall_seconds);
-  doc.emplace_back("parallel_wall_seconds", parallel.wall_seconds);
-  doc.emplace_back("jobs", parallel.jobs);
-  // Interprets the speedup: a single-core host can only record ~1x no
-  // matter how correct the fan-out is.
-  doc.emplace_back("hardware_threads", util::resolve_jobs(0));
-  doc.emplace_back("speedup", speedup);
+  doc.emplace_back("volatile", bench::smoke_volatile_json(
+                                   serial.wall_seconds, parallel.wall_seconds,
+                                   parallel.jobs, speedup));
   doc.emplace_back("fingerprint_match", ok);
   doc.emplace_back("sweep", fault::sweep_json(cells, parallel));
   if (!bench::write_json(util::json::Value(std::move(doc)))) return 1;

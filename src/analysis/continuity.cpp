@@ -56,8 +56,22 @@ ContinuityReport check_continuity(const engine::EventEngine& engine, SimTime hor
       case FaultKind::kSessionUp:
       case FaultKind::kStaleExpire:
         break;
+      case FaultKind::kLinkCostChange:
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+        // Link faults change the IGP epoch (handled below via igp_log), and
+        // each opens a pricing window attributing transient damage to it.
+        report.churn_events.push_back({fault.time, fault.kind, fault.a, fault.b});
+        break;
     }
   }
+
+  // The IGP epoch timeline: epoch [k] is in force from igp_log[k].time until
+  // the next record; the instance's base epoch before the first.  Epoch
+  // swaps are interval boundaries even when no FIB entry moved — the same
+  // FIB forwards differently under new distances.
+  const auto igp_log = engine.igp_log();
+  std::shared_ptr<const netsim::ShortestPaths> igp = inst.igp_handle();
 
   // Boundaries of the piecewise-constant forwarding state.
   std::vector<SimTime> times;
@@ -70,6 +84,9 @@ ContinuityReport check_continuity(const engine::EventEngine& engine, SimTime hor
   for (const auto& change : mode_changes) {
     if (change.time < horizon) times.push_back(change.time);
   }
+  for (const auto& record : igp_log) {
+    if (record.time < horizon) times.push_back(record.time);
+  }
   std::sort(times.begin(), times.end());
   times.erase(std::unique(times.begin(), times.end()), times.end());
 
@@ -78,9 +95,14 @@ ContinuityReport check_continuity(const engine::EventEngine& engine, SimTime hor
   std::vector<Mode> mode(n, Mode::kUp);
   std::vector<bool> had_route(n, false);
   std::vector<SimTime> blackhole_run(n, 0);
+  std::vector<SimTime> deflection_run(n, 0);
 
   std::size_t next_fib = 0;
   std::size_t next_mode = 0;
+  std::size_t next_igp = 0;
+  // Index of the link fault whose pricing window covers the current
+  // interval; npos before the first one.
+  std::size_t cur_churn = static_cast<std::size_t>(-1);
   for (std::size_t i = 0; i + 1 < times.size(); ++i) {
     const SimTime start = times[i];
     const SimTime len = times[i + 1] - start;
@@ -95,15 +117,26 @@ ContinuityReport check_continuity(const engine::EventEngine& engine, SimTime hor
       const auto& change = mode_changes[next_mode++];
       mode[change.node] = change.mode;
     }
+    while (next_igp < igp_log.size() && igp_log[next_igp].time <= start) {
+      igp = igp_log[next_igp++].igp;
+    }
+    while (cur_churn + 1 < report.churn_events.size() &&
+           report.churn_events[cur_churn + 1].time <= start) {
+      ++cur_churn;
+    }
+    ChurnEventCost* churn =
+        cur_churn < report.churn_events.size() ? &report.churn_events[cur_churn] : nullptr;
     ++report.intervals;
 
     for (NodeId v = 0; v < n; ++v) {
       if (mode[v] == Mode::kCold || !had_route[v]) {
         blackhole_run[v] = 0;  // dead or pre-convergence: originates nothing
+        deflection_run[v] = 0;
         continue;
       }
-      const ForwardTrace trace = trace_forwarding(inst, fib, v);
+      const ForwardTrace trace = trace_forwarding(inst, *igp, fib, v);
       bool blackhole = false;
+      bool deflected = false;
       switch (trace.outcome) {
         case ForwardOutcome::kExits: {
           bool stale_hop = false;
@@ -115,14 +148,27 @@ ContinuityReport check_continuity(const engine::EventEngine& engine, SimTime hor
           } else {
             report.ok_ticks += len;
           }
+          // Deflection: the packet left the AS, but not where the source's
+          // own route intended (intermediate nodes' best routes disagree —
+          // the Fig 12 phenomenon, priced per churn event below).
+          const NodeId intended = fib[v] != kNoPath
+                                      ? inst.exits()[fib[v]].exit_point
+                                      : kNoNode;
+          if (trace.exit_node != intended) {
+            deflected = true;
+            report.deflection_ticks += len;
+            if (churn) churn->deflection_ticks += len;
+          }
           break;
         }
         case ForwardOutcome::kNoRoute:
           report.blackhole_ticks += len;
+          if (churn) churn->blackhole_ticks += len;
           blackhole = true;
           break;
         case ForwardOutcome::kLoop:
           report.loop_ticks += len;
+          if (churn) churn->loop_ticks += len;
           break;
       }
       if (blackhole) {
@@ -131,13 +177,22 @@ ContinuityReport check_continuity(const engine::EventEngine& engine, SimTime hor
       } else {
         blackhole_run[v] = 0;
       }
+      if (deflected) {
+        deflection_run[v] += len;
+        report.max_deflection_window =
+            std::max(report.max_deflection_window, deflection_run[v]);
+      } else {
+        deflection_run[v] = 0;
+      }
     }
   }
   return report;
 }
 
 std::string describe_continuity(const ContinuityReport& report) {
-  if (report.continuous() && report.stale_ticks == 0) return "continuous";
+  if (report.continuous() && report.stale_ticks == 0 && report.deflection_ticks == 0) {
+    return "continuous";
+  }
   std::string out;
   const auto item = [&out](const char* label, std::uint64_t n) {
     if (n == 0) return;
@@ -149,9 +204,13 @@ std::string describe_continuity(const ContinuityReport& report) {
   item("blackhole", report.blackhole_ticks);
   item("loop", report.loop_ticks);
   item("stale", report.stale_ticks);
+  item("deflection", report.deflection_ticks);
   if (out.empty()) return "continuous";
   if (report.max_blackhole_window > 0) {
     out += ", max-blackhole-window=" + std::to_string(report.max_blackhole_window);
+  }
+  if (report.max_deflection_window > 0) {
+    out += ", max-deflection-window=" + std::to_string(report.max_deflection_window);
   }
   return out;
 }

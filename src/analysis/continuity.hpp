@@ -30,13 +30,46 @@
 // (startup convergence is not a blackhole).  Because the replay is a pure
 // function of the engine's logs, it inherits the campaign determinism:
 // same seed -> same continuity report.
+//
+// IGP churn awareness.  Under link-cost/link-failure faults the next hops
+// themselves are piecewise-constant: the replay advances through the
+// engine's igp_log() so every interval is traced against the shortest-path
+// epoch that was actually in force, and epoch-swap times are interval
+// boundaries even when no FIB entry moved (the same FIB forwards
+// differently under new distances).  Two further measures fall out:
+//
+//   deflection — a delivered packet that left the AS at a different exit
+//     than the *source's* own best route intended (the Fig 12 phenomenon:
+//     hop-by-hop forwarding consults intermediate nodes' routes, and route
+//     reflection makes them disagree).  Counted in deflection_ticks as a
+//     sub-class of delivered ticks (it overlaps ok/stale, so it is not in
+//     accounted_ticks' partition), with the longest single-source window in
+//     max_deflection_window.
+//   per-churn-event pricing — every applied link fault opens a window
+//     [fault time, next link fault or horizon) and the loop / blackhole /
+//     deflection source-ticks spent inside it are attributed to that event
+//     (ChurnEventCost), pricing each individual topology change.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "engine/event_engine.hpp"
 
 namespace ibgp::analysis {
+
+/// Transient cost attributed to one applied link fault: the source-ticks
+/// spent looping / blackholed / deflected in [time, next link fault or
+/// horizon).
+struct ChurnEventCost {
+  engine::SimTime time = 0;
+  engine::FaultKind kind = engine::FaultKind::kLinkDown;
+  NodeId a = kNoNode;  ///< link endpoints
+  NodeId b = kNoNode;
+  std::uint64_t loop_ticks = 0;
+  std::uint64_t blackhole_ticks = 0;
+  std::uint64_t deflection_ticks = 0;
+};
 
 struct ContinuityReport {
   engine::SimTime horizon = 0;  ///< history replayed over [0, horizon)
@@ -49,8 +82,18 @@ struct ContinuityReport {
   std::uint64_t blackhole_ticks = 0;
   std::uint64_t loop_ticks = 0;
 
+  /// Delivered, but at a different exit than the source's own best route
+  /// intended (RR-induced deflection).  Overlaps ok/stale — a sub-class of
+  /// delivered ticks, not a fifth partition bucket.
+  std::uint64_t deflection_ticks = 0;
+
   /// Longest contiguous blackhole suffered by any single source.
   engine::SimTime max_blackhole_window = 0;
+  /// Longest contiguous deflection suffered by any single source.
+  engine::SimTime max_deflection_window = 0;
+
+  /// One entry per applied link fault, in application order.
+  std::vector<ChurnEventCost> churn_events;
 
   [[nodiscard]] std::uint64_t accounted_ticks() const {
     return ok_ticks + stale_ticks + blackhole_ticks + loop_ticks;

@@ -7,6 +7,12 @@ namespace ibgp::analysis {
 
 ForwardTrace trace_forwarding(const core::Instance& inst, std::span<const PathId> best,
                               NodeId source) {
+  return trace_forwarding(inst, inst.igp(), best, source);
+}
+
+ForwardTrace trace_forwarding(const core::Instance& inst,
+                              const netsim::ShortestPaths& igp,
+                              std::span<const PathId> best, NodeId source) {
   ForwardTrace trace;
   trace.source = source;
   std::vector<bool> visited(inst.node_count(), false);
@@ -32,7 +38,7 @@ ForwardTrace trace_forwarding(const core::Instance& inst, std::span<const PathId
       trace.exit_path = b;
       return trace;
     }
-    const NodeId next = inst.igp().next_hop(cur, exit_point);
+    const NodeId next = igp.next_hop(cur, exit_point);
     if (next == kNoNode) {
       trace.outcome = ForwardOutcome::kNoRoute;  // IGP-unreachable exit point
       return trace;
@@ -43,9 +49,15 @@ ForwardTrace trace_forwarding(const core::Instance& inst, std::span<const PathId
 
 ForwardingReport analyze_forwarding(const core::Instance& inst,
                                     std::span<const PathId> best) {
+  return analyze_forwarding(inst, inst.igp(), best);
+}
+
+ForwardingReport analyze_forwarding(const core::Instance& inst,
+                                    const netsim::ShortestPaths& igp,
+                                    std::span<const PathId> best) {
   ForwardingReport report;
   for (NodeId v = 0; v < inst.node_count(); ++v) {
-    report.traces.push_back(trace_forwarding(inst, best, v));
+    report.traces.push_back(trace_forwarding(inst, igp, best, v));
     switch (report.traces.back().outcome) {
       case ForwardOutcome::kLoop: ++report.loops; break;
       case ForwardOutcome::kNoRoute: ++report.no_route; break;

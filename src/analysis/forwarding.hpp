@@ -39,6 +39,13 @@ struct ForwardTrace {
 ForwardTrace trace_forwarding(const core::Instance& inst, std::span<const PathId> best,
                               NodeId source);
 
+/// Same trace against an explicit IGP epoch (hop-by-hop next hops and
+/// reachability come from `igp` instead of the instance's frozen base
+/// graph) — required whenever link faults have churned the topology.
+ForwardTrace trace_forwarding(const core::Instance& inst,
+                              const netsim::ShortestPaths& igp,
+                              std::span<const PathId> best, NodeId source);
+
 struct ForwardingReport {
   std::vector<ForwardTrace> traces;  ///< one per node, in node order
   std::size_t loops = 0;
@@ -49,6 +56,11 @@ struct ForwardingReport {
 
 /// Traces from every node.
 ForwardingReport analyze_forwarding(const core::Instance& inst, std::span<const PathId> best);
+
+/// Traces from every node against an explicit IGP epoch.
+ForwardingReport analyze_forwarding(const core::Instance& inst,
+                                    const netsim::ShortestPaths& igp,
+                                    std::span<const PathId> best);
 
 /// "c1 -> c2 -> c1 (LOOP)" style rendering for reports.
 std::string describe_trace(const core::Instance& inst, const ForwardTrace& trace);

@@ -46,6 +46,27 @@ InvariantReport check_invariants(const engine::EventEngine& engine) {
                                     path_label(inst, best) +
                                     " has no Adj-RIB-In support");
       }
+
+      // 5: IGP-metric currency.  The cached metric must equal the price the
+      // *current* epoch assigns; anything else means a link fault's
+      // re-evaluation sweep missed this node.
+      const auto& igp = engine.igp();
+      if (!igp.reachable(v, exit_point)) {
+        ++report.igp_mismatch;
+        report.violations.push_back(inst.node_name(v) + ": best route " +
+                                    path_label(inst, best) + " exits at " +
+                                    inst.node_name(exit_point) +
+                                    ", IGP-unreachable under the current epoch");
+      } else if (engine.best(v) &&
+                 engine.best(v)->metric !=
+                     igp.cost(v, exit_point) + inst.exits()[best].exit_cost) {
+        ++report.igp_mismatch;
+        report.violations.push_back(
+            inst.node_name(v) + ": best route " + path_label(inst, best) +
+            " metric " + std::to_string(engine.best(v)->metric) +
+            " != current IGP price " +
+            std::to_string(igp.cost(v, exit_point) + inst.exits()[best].exit_cost));
+      }
     }
 
     // 3a: no entry from a downed session, no ghost entries on up sessions.
@@ -103,11 +124,12 @@ InvariantReport check_invariants(const engine::EventEngine& engine) {
   // 4: forwarding loop-freedom over the *forwarding* entries: the best
   // route where the control plane is up, the frozen FIB at gracefully
   // restarting routers, kNoPath (forwards nothing) where cold-down.
+  // Packets ride the IGP epoch currently in force, not the base graph.
   std::vector<PathId> best(inst.node_count(), kNoPath);
   for (NodeId v = 0; v < inst.node_count(); ++v) {
     best[v] = engine.node_forwarding(v);
   }
-  const auto forwarding = analyze_forwarding(inst, best);
+  const auto forwarding = analyze_forwarding(inst, engine.igp(), best);
   report.forwarding_loops = forwarding.loops;
   for (const auto& trace : forwarding.traces) {
     if (trace.outcome == ForwardOutcome::kLoop) {
@@ -134,6 +156,7 @@ std::string describe_report(const InvariantReport& report) {
   item("missing-rib", report.missing_rib_entries);
   item("loops", report.forwarding_loops);
   item("unswept-stale", report.unswept_stale);
+  item("igp-mismatch", report.igp_mismatch);
   return out;
 }
 

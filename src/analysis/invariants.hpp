@@ -19,7 +19,17 @@
 //      entries = lost announce that was never repaired);
 //   4. forwarding loop-freedom, via analysis/forwarding (Lemma 7.6/7.7),
 //      over the *forwarding* entries (node_forwarding), which include the
-//      frozen FIBs of gracefully restarting routers.
+//      frozen FIBs of gracefully restarting routers;
+//   5. IGP-metric currency — under topology churn (link-cost/link-failure
+//      faults) every up node's best route must be priced against the IGP
+//      epoch *currently* in force: its exit point reachable under
+//      engine.igp() and its cached metric equal to
+//      igp.cost(v, exitPoint) + exitCost.  A mismatch means a link fault's
+//      re-evaluation sweep missed the node — the route was selected under
+//      distances that no longer exist.
+//
+// Checks 4 and 5 use engine.igp(), the engine's current epoch, not the
+// instance's frozen base graph — on a churn-free run they coincide.
 //
 // Graceful restart (RFC 4724 stale-path retention) refines check 3: an
 // entry from a peer inside a graceful-restart window is *supposed* to
@@ -50,6 +60,7 @@ struct InvariantReport {
   std::size_t missing_rib_entries = 0;  ///< sender advertised, receiver never heard
   std::size_t forwarding_loops = 0;     ///< looping forwarding traces
   std::size_t unswept_stale = 0;  ///< stale mark with no restarting peer to excuse it
+  std::size_t igp_mismatch = 0;   ///< best route priced against a dead IGP epoch
   /// Entries legitimately retained across an in-progress graceful restart
   /// (informational: not a violation, not in total()).
   std::size_t stale_retained = 0;
@@ -58,7 +69,7 @@ struct InvariantReport {
 
   [[nodiscard]] std::size_t total() const {
     return stale_best + unsupported_best + stale_rib_entries + missing_rib_entries +
-           forwarding_loops + unswept_stale;
+           forwarding_loops + unswept_stale + igp_mismatch;
   }
   [[nodiscard]] bool clean() const { return total() == 0; }
 };

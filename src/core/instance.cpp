@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "netsim/link_state.hpp"
+
 namespace ibgp::core {
 
 Instance::Instance(std::string name, netsim::PhysicalGraph physical,
@@ -48,7 +50,10 @@ Instance::Instance(std::string name, netsim::PhysicalGraph physical,
     throw std::invalid_argument("Instance '" + name_ + "': node_names size mismatch");
   }
 
-  igp_ = std::make_shared<const netsim::ShortestPaths>(physical_);
+  spf_cache_ = std::make_shared<netsim::SpfCache>(physical_);
+  // Seed the cache with the base epoch so a churn sequence that restores the
+  // original costs gets back this very object (pointer-equal to igp_).
+  igp_ = spf_cache_->get(netsim::LinkState(physical_).effective());
 }
 
 NodeId Instance::find_node(std::string_view label) const {

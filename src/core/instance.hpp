@@ -19,6 +19,7 @@
 #include "netsim/physical_graph.hpp"
 #include "netsim/session_graph.hpp"
 #include "netsim/shortest_paths.hpp"
+#include "netsim/spf_cache.hpp"
 #include "netsim/validate.hpp"
 #include "util/types.hpp"
 
@@ -47,6 +48,33 @@ class Instance {
   [[nodiscard]] const netsim::ShortestPaths& igp() const { return *igp_; }
   [[nodiscard]] const bgp::SelectionPolicy& policy() const { return policy_; }
 
+  // --- IGP epochs (runtime topology churn) ----------------------------------
+  //
+  // The Instance itself stays the paper's static tuple: physical() and
+  // igp() never change.  Engines that model IGP churn hold an *epoch
+  // handle* — a shared_ptr to the ShortestPaths matching the currently
+  // effective link costs — and swap it on link faults.  Epochs are
+  // materialized through a memoized SPF cache shared by every copy of this
+  // instance (and thus by every cell of a sweep over it), so repeated
+  // recomputation of the same link-state vector runs Dijkstra once.
+
+  /// The epoch handle for the unchurned base graph; igp() dereferences it.
+  [[nodiscard]] std::shared_ptr<const netsim::ShortestPaths> igp_handle() const {
+    return igp_;
+  }
+
+  /// The epoch for an arbitrary effective link-cost vector (index-aligned
+  /// with physical().links(), kInfCost = link down), memoized.  Reverting
+  /// to previously seen costs returns the identical object — restoring the
+  /// base costs returns igp_handle() itself.  Thread-safe.
+  [[nodiscard]] std::shared_ptr<const netsim::ShortestPaths> igp_epoch(
+      std::span<const Cost> effective_costs) const {
+    return spf_cache_->get(effective_costs);
+  }
+
+  /// Distinct IGP epochs materialized so far across all holders.
+  [[nodiscard]] std::size_t igp_epoch_count() const { return spf_cache_->size(); }
+
   [[nodiscard]] BgpId bgp_id(NodeId v) const { return bgp_ids_.at(v); }
 
   /// Human-readable node label ("RR1", "c2", ...); defaults to "n<v>".
@@ -73,6 +101,7 @@ class Instance {
   std::vector<std::string> node_names_;
   std::vector<std::string> warnings_;
   std::shared_ptr<const netsim::ShortestPaths> igp_;  // shared so copies are cheap
+  std::shared_ptr<netsim::SpfCache> spf_cache_;  // churn epochs; shared by copies
 };
 
 }  // namespace ibgp::core

@@ -16,8 +16,14 @@ const char* protocol_name(ProtocolKind kind) {
 
 std::vector<PathId> walton_advertised(const Instance& inst, NodeId node,
                                       std::span<const bgp::Candidate> possible) {
+  return walton_advertised(inst, inst.igp(), node, possible);
+}
+
+std::vector<PathId> walton_advertised(const Instance& inst,
+                                      const netsim::ShortestPaths& igp, NodeId node,
+                                      std::span<const bgp::Candidate> possible) {
   const auto& table = inst.exits();
-  const auto overall = bgp::choose_best(table, inst.igp(), node, possible, inst.policy());
+  const auto overall = bgp::choose_best(table, igp, node, possible, inst.policy());
   if (!overall) return {};
   const LocalPref best_lp = table[overall->path].local_pref;
   const std::uint32_t best_len = table[overall->path].as_path_length;
@@ -31,7 +37,7 @@ std::vector<PathId> walton_advertised(const Instance& inst, NodeId node,
 
   std::vector<PathId> advertised;
   for (const auto& [as, group] : by_as) {
-    const auto group_best = bgp::choose_best(table, inst.igp(), node, group, inst.policy());
+    const auto group_best = bgp::choose_best(table, igp, node, group, inst.policy());
     if (!group_best) continue;
     // Only announced when it matches the overall best's LOCAL-PREF and
     // AS-path length (Section 8, "Brief Overview of the Walton et al.
@@ -48,18 +54,24 @@ std::vector<PathId> walton_advertised(const Instance& inst, NodeId node,
 
 NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
                     std::span<const bgp::Candidate> possible) {
+  return decide(inst, inst.igp(), kind, node, possible);
+}
+
+NodeDecision decide(const Instance& inst, const netsim::ShortestPaths& igp,
+                    ProtocolKind kind, NodeId node,
+                    std::span<const bgp::Candidate> possible) {
   NodeDecision decision;
   const auto& table = inst.exits();
 
   switch (kind) {
     case ProtocolKind::kStandard: {
-      decision.best = bgp::choose_best(table, inst.igp(), node, possible, inst.policy());
+      decision.best = bgp::choose_best(table, igp, node, possible, inst.policy());
       if (decision.best) decision.advertised.push_back(decision.best->path);
       break;
     }
     case ProtocolKind::kWalton: {
-      decision.best = bgp::choose_best(table, inst.igp(), node, possible, inst.policy());
-      decision.advertised = walton_advertised(inst, node, possible);
+      decision.best = bgp::choose_best(table, igp, node, possible, inst.policy());
+      decision.advertised = walton_advertised(inst, igp, node, possible);
       break;
     }
     case ProtocolKind::kModified: {
@@ -78,7 +90,7 @@ NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
           good.push_back(candidate);
         }
       }
-      decision.best = bgp::choose_best(table, inst.igp(), node, good, inst.policy());
+      decision.best = bgp::choose_best(table, igp, node, good, inst.policy());
       break;
     }
   }

@@ -46,10 +46,23 @@ struct NodeDecision {
 NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
                     std::span<const bgp::Candidate> possible);
 
+/// Same decision against an explicit IGP epoch instead of the instance's
+/// frozen base igp().  Engines modeling IGP churn (link-cost/link-failure
+/// faults) pass their current epoch handle here so selection prices every
+/// candidate with the *current* distances.
+NodeDecision decide(const Instance& inst, const netsim::ShortestPaths& igp,
+                    ProtocolKind kind, NodeId node,
+                    std::span<const bgp::Candidate> possible);
+
 /// The Walton advertised set in isolation (exposed for tests): best route
 /// per neighboring AS among `possible`, filtered to those matching the
 /// overall best's LOCAL-PREF and AS-path length.
 std::vector<PathId> walton_advertised(const Instance& inst, NodeId node,
+                                      std::span<const bgp::Candidate> possible);
+
+/// Walton advertised set against an explicit IGP epoch.
+std::vector<PathId> walton_advertised(const Instance& inst,
+                                      const netsim::ShortestPaths& igp, NodeId node,
                                       std::span<const bgp::Candidate> possible);
 
 }  // namespace ibgp::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace ibgp::engine {
 
@@ -14,6 +15,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kRestart: return "restart";
     case FaultKind::kGracefulDown: return "graceful-down";
     case FaultKind::kStaleExpire: return "stale-expire";
+    case FaultKind::kLinkCostChange: return "link-cost";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
   }
   return "?";
 }
@@ -26,6 +30,8 @@ EventEngine::EventEngine(const core::Instance& inst, core::ProtocolKind protocol
       protocol_(protocol),
       delay_(delay ? std::move(delay)
                    : [](NodeId, NodeId, std::uint64_t) -> SimTime { return 1; }),
+      link_state_(inst.physical()),
+      igp_(inst.igp_handle()),
       nodes_(inst.node_count()),
       session_last_delivery_(inst.node_count() * inst.node_count(), 0),
       session_epoch_(inst.node_count() * inst.node_count(), 0),
@@ -75,7 +81,8 @@ void EventEngine::set_stale_timer(SimTime ticks) {
 }
 
 bool EventEngine::session_up(NodeId u, NodeId v) const {
-  return node_up_.at(u) && node_up_.at(v) && !session_admin_down_[sess(u, v)];
+  return node_up_.at(u) && node_up_.at(v) && !session_admin_down_[sess(u, v)] &&
+         igp_->reachable(u, v);
 }
 
 std::span<const PathId> EventEngine::advertised_to(NodeId from, NodeId to) const {
@@ -108,7 +115,8 @@ void EventEngine::withdraw_exit(PathId p, SimTime when) {
   queue_.push(event);
 }
 
-void EventEngine::push_fault(EventKind kind, NodeId a, NodeId b, SimTime when) {
+void EventEngine::push_fault(EventKind kind, NodeId a, NodeId b, SimTime when,
+                             Cost cost) {
   sealed_ = true;
   Event event;
   event.time = when;
@@ -116,6 +124,7 @@ void EventEngine::push_fault(EventKind kind, NodeId a, NodeId b, SimTime when) {
   event.kind = kind;
   event.from = a;
   event.to = b;
+  event.cost = cost;
   queue_.push(event);
 }
 
@@ -152,6 +161,35 @@ void EventEngine::schedule_graceful_down(NodeId v, SimTime when) {
     throw std::invalid_argument("EventEngine::schedule_graceful_down: no such node");
   }
   push_fault(EventKind::kGracefulDown, v, kNoNode, when);
+}
+
+std::size_t EventEngine::require_link(NodeId a, NodeId b, const char* what) const {
+  const auto link = inst_->physical().find_link(a, b);
+  if (!link) {
+    throw std::invalid_argument(std::string("EventEngine::") + what +
+                                ": no such physical link");
+  }
+  return *link;
+}
+
+void EventEngine::schedule_link_cost_change(NodeId a, NodeId b, Cost cost,
+                                            SimTime when) {
+  require_link(a, b, "schedule_link_cost_change");
+  if (cost <= 0 || cost >= kInfCost) {
+    throw std::invalid_argument(
+        "EventEngine::schedule_link_cost_change: cost must be a positive finite metric");
+  }
+  push_fault(EventKind::kLinkCostChange, a, b, when, cost);
+}
+
+void EventEngine::schedule_link_down(NodeId a, NodeId b, SimTime when) {
+  require_link(a, b, "schedule_link_down");
+  push_fault(EventKind::kLinkDown, a, b, when);
+}
+
+void EventEngine::schedule_link_up(NodeId a, NodeId b, SimTime when) {
+  require_link(a, b, "schedule_link_up");
+  push_fault(EventKind::kLinkUp, a, b, when);
 }
 
 std::size_t EventEngine::peer_index(NodeId u, NodeId peer) const {
@@ -266,7 +304,10 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
     }
   }
 
-  const auto decision = core::decide(*inst_, protocol_, u, candidates);
+  // Selection prices candidates with the *current* IGP epoch: after a link
+  // fault the same candidate set can pick a different exit purely because
+  // the distances moved.
+  const auto decision = core::decide(*inst_, *igp_, protocol_, u, candidates);
 
   const PathId old_best = node.best ? node.best->path : kNoPath;
   const PathId new_best = decision.best ? decision.best->path : kNoPath;
@@ -317,6 +358,11 @@ void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
       event.to = peer;
       event.time = node.mrai_ready[peer_index];
       event.seq = next_seq_++;
+      // Stamped with the session epoch so a flush scheduled before a session
+      // reset is voided instead of leaking a stale hold-down advertisement
+      // into the re-established session (whose resync already replayed the
+      // full table).
+      event.epoch = session_epoch_[sess(u, peer)];
       queue_.push(event);
     }
     return;
@@ -601,6 +647,61 @@ void EventEngine::apply_stale_expire(NodeId v, std::uint64_t generation, SimTime
   }
 }
 
+void EventEngine::apply_link_fault(EventKind kind, NodeId a, NodeId b, Cost cost,
+                                   SimTime now) {
+  const std::size_t link = *inst_->physical().find_link(a, b);  // validated at schedule
+  FaultKind record = FaultKind::kLinkDown;
+  bool changed = false;
+  switch (kind) {
+    case EventKind::kLinkCostChange:
+      record = FaultKind::kLinkCostChange;
+      changed = link_state_.set_cost(link, cost);
+      break;
+    case EventKind::kLinkDown:
+      record = FaultKind::kLinkDown;
+      changed = link_state_.set_down(link);
+      cost = kInfCost;
+      break;
+    case EventKind::kLinkUp:
+      record = FaultKind::kLinkUp;
+      changed = link_state_.set_up(link);
+      cost = link_state_.cost(link);
+      break;
+    default:
+      return;
+  }
+  // No effective change (down of a down link, change to the current cost,
+  // retargeting a down link's cost): well-defined no-op, nothing logged —
+  // mirrors the session-fault no-op discipline.
+  if (!changed) return;
+
+  fault_log_.push_back({now, record, a, b, cost});
+  const auto prev = igp_;
+  igp_ = inst_->igp_epoch(link_state_.effective());
+  ++igp_swaps_;
+  igp_log_.push_back({now, igp_->fingerprint(), igp_});
+
+  // Sessions that rode a now-dead IGP path go down exactly like session
+  // faults (TCP cannot cross a partition): in-flight messages void, both
+  // ends flush.  session_up() already reports them down under the new
+  // epoch; when reachability returns, the next link fault's reconsider
+  // sweep replays the full sync because both sides' advertised_out were
+  // cleared here.
+  for (const auto& edge : inst_->sessions().edges()) {
+    if (prev->reachable(edge.u, edge.v) && !igp_->reachable(edge.u, edge.v)) {
+      sever_session(edge.u, edge.v);
+    }
+  }
+
+  // Every distance may have moved: force re-evaluation of every up node's
+  // PossibleExits/BestRoute.  The net-diff send logic keeps the blast
+  // radius honest — only nodes whose selected or advertised set actually
+  // changed put UPDATEs on the wire.
+  for (NodeId v = 0; v < inst_->node_count(); ++v) {
+    if (node_up_[v]) reconsider(v, now);
+  }
+}
+
 EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   sealed_ = true;
   Result result;
@@ -650,6 +751,15 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
       case EventKind::kMraiFlush: {
         // event.from = the batching node, event.to = the peer.
         if (!node_up_[event.from]) break;  // state died with the crash
+        if (event.epoch != session_epoch_[sess(event.from, event.to)]) {
+          // Scheduled before a reset of this session: the hold-down state it
+          // would have flushed died with the old epoch (flush_endpoint
+          // cleared it), and the re-established session already replayed a
+          // full sync.  Firing it would leak a stale scheduled advertisement
+          // into the new session epoch.
+          ++deliveries_voided_;
+          break;
+        }
         const std::size_t peer_index = this->peer_index(event.from, event.to);
         nodes_[event.from].flush_scheduled[peer_index] = false;
         sync_peer(event.from, peer_index, event.time);
@@ -676,6 +786,11 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
       case EventKind::kStaleExpire:
         apply_stale_expire(event.from, event.epoch, event.time);
         break;
+      case EventKind::kLinkCostChange:
+      case EventKind::kLinkDown:
+      case EventKind::kLinkUp:
+        apply_link_fault(event.kind, event.from, event.to, event.cost, event.time);
+        break;
     }
   }
 
@@ -695,6 +810,9 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
         case EventKind::kRestart:
         case EventKind::kGracefulDown:
         case EventKind::kStaleExpire:
+        case EventKind::kLinkCostChange:
+        case EventKind::kLinkDown:
+        case EventKind::kLinkUp:
           if (result.faults_pending == 0) result.next_fault_time = event.time;
           ++result.faults_pending;
           break;
@@ -718,6 +836,7 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   result.stale_retained = stale_retained_;
   result.stale_swept_eor = stale_swept_eor_;
   result.stale_swept_expired = stale_swept_expired_;
+  result.igp_epoch_swaps = igp_swaps_;
   result.final_best.reserve(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) result.final_best.push_back(best_path(v));
   return result;

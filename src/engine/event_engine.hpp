@@ -83,9 +83,42 @@
 // The per-node FIB history (fib_log) plus the fault log let
 // analysis/continuity replay forwarding tick-by-tick and price blackhole,
 // stale-use, and loop windows — the quantitative cold-vs-graceful verdict.
+//
+// IGP topology churn (link-cost / link-failure faults).  The paper defines
+// a route as an IGP shortest path plus an exit path (Section 4), so the
+// underlay is a decision input, not scenery.  The engine therefore holds a
+// mutable LinkState over the instance's physical links and a *current IGP
+// epoch* — a shared_ptr<const ShortestPaths> swapped atomically (in virtual
+// time) by three fault events:
+//
+//   - link_cost_change(a, b, c): the administrative metric of link a—b
+//     becomes c (a change on a down link only retargets the later link-up);
+//   - link_down(a, b): the link fails (effective cost = infinity);
+//   - link_up(a, b): the link returns at its configured cost.
+//
+// Applying one of these recomputes shortest paths deterministically through
+// the instance's memoized SPF cache (Instance::igp_epoch — the same
+// link-state vector never runs Dijkstra twice, across engines and sweep
+// cells), then:
+//
+//   1. I-BGP sessions whose endpoints lost IGP reachability are severed via
+//      the existing session machinery (TCP cannot cross a partition):
+//      in-flight messages epoch-void, both ends flush, exactly as a session
+//      fault would.  session_up() is false while a session is IGP-severed;
+//      reachability returning triggers the normal full-resync replay.
+//   2. Every up node re-evaluates PossibleExits/BestRoute against the new
+//      distances (selection prices candidates with the current epoch), and
+//      the net-diff send logic re-advertises only where the selected or
+//      advertised set actually changed.
+//
+// The epoch history (igp_log) joins the FIB and fault logs so
+// analysis/continuity can replay forwarding against the IGP that was live
+// in each interval, and analysis/invariants can assert post-quiescence that
+// every selected route's metric matches the *current* graph.
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <span>
@@ -94,6 +127,7 @@
 #include "bgp/selection.hpp"
 #include "core/instance.hpp"
 #include "core/policy.hpp"
+#include "netsim/link_state.hpp"
 #include "util/types.hpp"
 
 namespace ibgp::engine {
@@ -113,6 +147,9 @@ enum class FaultKind : std::uint8_t {
   kRestart,
   kGracefulDown,
   kStaleExpire,
+  kLinkCostChange,
+  kLinkDown,
+  kLinkUp,
 };
 
 /// Display name ("session-down", ...).
@@ -218,6 +255,32 @@ class EventEngine {
   /// Throws std::invalid_argument if v is not a node.
   void schedule_graceful_down(NodeId v, SimTime when);
 
+  /// Schedules an IGP metric change on physical link a—b: its administrative
+  /// cost becomes `cost` at `when`, a new shortest-paths epoch is swapped in
+  /// (deterministically memoized in the instance's SPF cache), and every up
+  /// node re-evaluates its decision against the new distances.  Changing the
+  /// cost of a *down* link swaps no epoch — it only retargets the eventual
+  /// link-up.  A change to the current cost is a well-defined no-op.  Throws
+  /// std::invalid_argument if a—b is not a physical link or `cost` is not a
+  /// positive finite metric.
+  void schedule_link_cost_change(NodeId a, NodeId b, Cost cost, SimTime when);
+
+  /// Schedules a failure of physical link a—b at `when`: its effective cost
+  /// becomes infinite, a new epoch is swapped in, and any I-BGP session
+  /// whose endpoints lost IGP reachability is severed exactly as a session
+  /// fault would (in-flight messages voided, both ends flushed); such
+  /// sessions stay down (session_up() false) until reachability returns.
+  /// Downing an already-down link is a well-defined no-op.  Throws
+  /// std::invalid_argument if a—b is not a physical link.
+  void schedule_link_down(NodeId a, NodeId b, SimTime when);
+
+  /// Schedules repair of physical link a—b at `when`: it returns at its
+  /// configured cost (as adjusted by any cost changes, including ones made
+  /// while it was down).  Sessions that regain IGP reachability resume and
+  /// replay a full advertisement sync.  Raising an up link is a well-defined
+  /// no-op.  Throws std::invalid_argument if a—b is not a physical link.
+  void schedule_link_up(NodeId a, NodeId b, SimTime when);
+
   // --- execution --------------------------------------------------------------
 
   struct Result {
@@ -254,6 +317,7 @@ class EventEngine {
     std::size_t stale_retained = 0;     ///< Adj-RIB-In entries marked stale
     std::size_t stale_swept_eor = 0;    ///< stale entries swept by an EoR
     std::size_t stale_swept_expired = 0;  ///< stale entries cold-flushed by the timer
+    std::size_t igp_epoch_swaps = 0;  ///< link faults that installed a new IGP epoch
   };
 
   /// Processes events until the queue drains or `max_deliveries` is hit.
@@ -286,9 +350,24 @@ class EventEngine {
   /// kNoPath while cold-down.
   [[nodiscard]] PathId node_forwarding(NodeId v) const { return fib_.at(v); }
 
-  /// Whether session u—v currently carries messages: both endpoints up and
-  /// no administrative down in force.
+  /// Whether session u—v currently carries messages: both endpoints up, no
+  /// administrative down in force, and the endpoints IGP-reachable under
+  /// the current epoch (TCP cannot cross a partition).
   [[nodiscard]] bool session_up(NodeId u, NodeId v) const;
+
+  /// The IGP epoch currently in force (the base igp() of the instance until
+  /// the first effective link fault).
+  [[nodiscard]] const netsim::ShortestPaths& igp() const { return *igp_; }
+
+  /// Shared handle to the current epoch (epochs are immutable and memoized:
+  /// two engines — or a churn revert — reaching the same link-state vector
+  /// hold pointer-identical objects).
+  [[nodiscard]] std::shared_ptr<const netsim::ShortestPaths> igp_handle() const {
+    return igp_;
+  }
+
+  /// Current link state (configured costs, down flags, effective vector).
+  [[nodiscard]] const netsim::LinkState& link_state() const { return link_state_; }
 
   /// Whether path p's E-BGP origin is currently announcing it (independent
   /// of whether its exit point is up to hear it).
@@ -327,14 +406,28 @@ class EventEngine {
   [[nodiscard]] std::span<const FlapRecord> flap_log() const { return flap_log_; }
 
   /// One applied fault, in application order.  `a`,`b` are the session
-  /// endpoints for session faults; `a` the router for crash/restart.
+  /// endpoints for session faults, the link endpoints for link faults; `a`
+  /// the router for crash/restart.  `cost` is the effective cost a link
+  /// fault left the link at (kInfCost for link-down; 0 for non-link kinds).
   struct FaultRecord {
     SimTime time = 0;
     FaultKind kind = FaultKind::kSessionDown;
     NodeId a = kNoNode;
     NodeId b = kNoNode;
+    Cost cost = 0;
   };
   [[nodiscard]] std::span<const FaultRecord> fault_log() const { return fault_log_; }
+
+  /// One IGP epoch swap: the shortest paths in force from `time` until the
+  /// next record (the instance's base igp() is in force before the first).
+  /// Together with fib_log and fault_log this lets analysis/continuity
+  /// replay forwarding against the IGP that was live in each interval.
+  struct IgpRecord {
+    SimTime time = 0;
+    std::uint64_t fingerprint = 0;  ///< ShortestPaths::fingerprint() of the epoch
+    std::shared_ptr<const netsim::ShortestPaths> igp;
+  };
+  [[nodiscard]] std::span<const IgpRecord> igp_log() const { return igp_log_; }
 
   /// One forwarding-entry (FIB) change at a node.  Together with the fault
   /// log this is a complete piecewise-constant history of the forwarding
@@ -360,6 +453,9 @@ class EventEngine {
     kGracefulDown,
     kEndOfRib,     // from -> to marker closing a graceful-restart replay
     kStaleExpire,  // from = restarting router whose stale timer fired
+    kLinkCostChange,  // from—to = physical link endpoints, cost = new metric
+    kLinkDown,
+    kLinkUp,
   };
 
   struct Event {
@@ -370,10 +466,12 @@ class EventEngine {
     NodeId to = kNoNode;
     PathId path = kNoPath;
     bool announce = true;      // kUpdate: announce vs withdraw
-    std::uint64_t epoch = 0;   // kUpdate/kEndOfRib: voided if the session reset
-                               // since send; kStaleExpire: the graceful-restart
-                               // generation it guards (stale timers of an older
-                               // restart must not fire into a newer one)
+    std::uint64_t epoch = 0;   // kUpdate/kEndOfRib/kMraiFlush: voided if the
+                               // session reset since scheduling; kStaleExpire:
+                               // the graceful-restart generation it guards
+                               // (stale timers of an older restart must not
+                               // fire into a newer one)
+    Cost cost = 0;             // kLinkCostChange: the new metric
   };
 
   struct EventAfter {
@@ -417,7 +515,13 @@ class EventEngine {
   [[nodiscard]] std::size_t sess(NodeId from, NodeId to) const {
     return static_cast<std::size_t>(from) * inst_->node_count() + to;
   }
-  void push_fault(EventKind kind, NodeId a, NodeId b, SimTime when);
+  void push_fault(EventKind kind, NodeId a, NodeId b, SimTime when, Cost cost = 0);
+  /// Validates that a—b is a physical link and returns its index.
+  [[nodiscard]] std::size_t require_link(NodeId a, NodeId b, const char* what) const;
+  /// Applies a link fault: mutates link_state_ and, if the effective cost
+  /// vector changed, swaps in the memoized epoch, severs sessions that lost
+  /// IGP reachability, and re-evaluates every up node.
+  void apply_link_fault(EventKind kind, NodeId a, NodeId b, Cost cost, SimTime now);
   void record_best_loss(NodeId v, SimTime now);
   /// Voids in-flight messages on u—v (both directions) and flushes both
   /// endpoints' per-session state (Adj-RIB-In entries, advertised sets).
@@ -444,6 +548,8 @@ class EventEngine {
   const core::Instance* inst_;
   core::ProtocolKind protocol_;
   DelayFn delay_;
+  netsim::LinkState link_state_;  // mutable underlay state (costs + down flags)
+  std::shared_ptr<const netsim::ShortestPaths> igp_;  // current epoch
   SimTime mrai_ = 0;  // 0 = disabled
   SimTime stale_timer_ = 0;  // 0 = retain until EoR
   FaultInjector* injector_ = nullptr;  // non-owning
@@ -473,10 +579,12 @@ class EventEngine {
   std::size_t stale_retained_ = 0;
   std::size_t stale_swept_eor_ = 0;
   std::size_t stale_swept_expired_ = 0;
+  std::size_t igp_swaps_ = 0;
   std::vector<std::size_t> flips_by_node_;
   std::vector<FlapRecord> flap_log_;
   std::vector<FaultRecord> fault_log_;
   std::vector<FibRecord> fib_log_;
+  std::vector<IgpRecord> igp_log_;
 };
 
 }  // namespace ibgp::engine

@@ -14,10 +14,16 @@ std::uint64_t trace_hash(const engine::EventEngine& engine,
     fp.add(fault.time)
         .add(static_cast<std::uint64_t>(fault.kind))
         .add(fault.a)
-        .add(fault.b);
+        .add(fault.b)
+        .add(fault.cost);
   }
   for (const auto& fib : engine.fib_log()) {
     fp.add(fib.time).add(fib.node).add(fib.old_path).add(fib.new_path);
+  }
+  // The IGP epoch timeline: each swap's time and the epoch's own digest
+  // (distance + next-hop matrices), pinning the churned underlay history.
+  for (const auto& epoch : engine.igp_log()) {
+    fp.add(epoch.time).add(epoch.fingerprint);
   }
   fp.add_range(result.final_best);
   fp.add(result.updates_sent)

@@ -1,6 +1,7 @@
 #include "fault/script.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/hash.hpp"
@@ -26,6 +27,10 @@ FaultScript make_fault_script(const core::Instance& inst, const FaultScriptConfi
   }
   if (config.exit_flaps > 0 && inst.exits().empty()) {
     throw std::invalid_argument("make_fault_script: exit flaps need exit paths");
+  }
+  if ((config.link_cost_changes > 0 || config.link_downs > 0) &&
+      inst.physical().link_count() == 0) {
+    throw std::invalid_argument("make_fault_script: link churn needs physical links");
   }
 
   FaultScript script;
@@ -66,6 +71,46 @@ FaultScript make_fault_script(const core::Instance& inst, const FaultScriptConfi
     script.actions.push_back({down, Kind::kExitWithdraw, kNoNode, kNoNode, p});
     script.actions.push_back({down + gap, Kind::kExitInject, kNoNode, kNoNode, p});
   }
+  // IGP churn families are drawn AFTER every pre-existing family, so a
+  // config without churn knobs produces a byte-identical script (and trace)
+  // to older builds.  Metric jolts and link outages share one draw sequence
+  // — (link, start, duration, jitter) per event, the jitter draw consumed
+  // either way — mirroring the cold-vs-graceful pairing above.  Both kinds
+  // revert: the jolt returns to the configured cost, the outage ends in a
+  // link-up, so the script's churn is net-neutral on the cost vector.
+  const auto links = inst.physical().links();
+  for (std::size_t i = 0; i < config.link_cost_changes + config.link_downs; ++i) {
+    const auto& link = links[rng.pick_index(links)];
+    const engine::SimTime start = draw_time(rng, config.window_start, config.window_end);
+    const engine::SimTime outage =
+        draw_time(rng, config.min_link_outage, config.max_link_outage);
+    const double jitter = std::max(0.0, config.cost_jitter);
+    const Cost delta = std::max<Cost>(
+        1, static_cast<Cost>(std::llround(static_cast<double>(link.cost) * jitter)));
+    const Cost lo = link.cost > delta ? link.cost - delta : 1;
+    const Cost jolted = lo + static_cast<Cost>(rng.below(
+                                 static_cast<std::uint64_t>(link.cost + delta - lo) + 1));
+    if (i < config.link_cost_changes) {
+      script.actions.push_back(
+          {start, Kind::kLinkCostChange, link.a, link.b, kNoPath, jolted});
+      script.actions.push_back(
+          {start + outage, Kind::kLinkCostChange, link.a, link.b, kNoPath, link.cost});
+    } else {
+      script.actions.push_back({start, Kind::kLinkDown, link.a, link.b, kNoPath});
+      script.actions.push_back({start + outage, Kind::kLinkUp, link.a, link.b, kNoPath});
+    }
+  }
+  for (std::size_t i = 0; i < config.partitions; ++i) {
+    const NodeId victim = static_cast<NodeId>(rng.below(inst.node_count()));
+    const engine::SimTime start = draw_time(rng, config.window_start, config.window_end);
+    const engine::SimTime outage =
+        draw_time(rng, config.min_link_outage, config.max_link_outage);
+    for (const auto& link : links) {
+      if (link.a != victim && link.b != victim) continue;
+      script.actions.push_back({start, Kind::kLinkDown, link.a, link.b, kNoPath});
+      script.actions.push_back({start + outage, Kind::kLinkUp, link.a, link.b, kNoPath});
+    }
+  }
 
   std::stable_sort(script.actions.begin(), script.actions.end(),
                    [](const FaultAction& a, const FaultAction& b) { return a.time < b.time; });
@@ -96,6 +141,15 @@ void apply_script(const FaultScript& script, engine::EventEngine& engine) {
         break;
       case Kind::kExitInject:
         engine.inject_exit(action.path, action.time);
+        break;
+      case Kind::kLinkCostChange:
+        engine.schedule_link_cost_change(action.a, action.b, action.cost, action.time);
+        break;
+      case Kind::kLinkDown:
+        engine.schedule_link_down(action.a, action.b, action.time);
+        break;
+      case Kind::kLinkUp:
+        engine.schedule_link_up(action.a, action.b, action.time);
         break;
     }
   }

@@ -65,6 +65,30 @@ struct FaultScriptConfig {
   engine::SimTime min_reinject_gap = 5;
   engine::SimTime max_reinject_gap = 40;
 
+  /// IGP topology churn on uniformly chosen physical links.
+  /// `link_cost_changes` metric jolt/revert pairs and `link_downs`
+  /// outage/repair pairs share one RNG draw sequence (the same paired
+  /// discipline as crashes vs graceful_restarts): a config with (changes=N,
+  /// downs=0) and one with (changes=0, downs=N) hit the SAME links at the
+  /// SAME times for the SAME durations, differing only in severity —
+  /// metric jolt vs outright failure.  Every pair reverts to the original
+  /// state, so a churn-only campaign ends on the base cost vector.
+  std::size_t link_cost_changes = 0;
+  std::size_t link_downs = 0;
+  engine::SimTime min_link_outage = 20;
+  engine::SimTime max_link_outage = 80;
+  /// Relative metric perturbation for cost changes: the jolted cost is
+  /// drawn uniformly in [max(1, c-d), c+d], d = max(1, round(c * jitter)),
+  /// for base cost c.  The draw is consumed even for link_downs (paired
+  /// discipline).
+  double cost_jitter = 0.5;
+
+  /// Partition events: a uniformly chosen victim router has EVERY incident
+  /// link downed at once (isolating it from the IGP — sessions to it sever
+  /// exactly as a hard partition would), then repaired together after an
+  /// outage drawn from the link-outage range.
+  std::size_t partitions = 0;
+
   /// Per-message fault policy (see ScriptInjector).
   double loss_prob = 0.0;
   double dup_prob = 0.0;
@@ -84,12 +108,16 @@ struct FaultAction {
     kExitWithdraw,
     kExitInject,
     kGracefulDown,
+    kLinkCostChange,
+    kLinkDown,
+    kLinkUp,
   };
   engine::SimTime time = 0;
   Kind kind = Kind::kSessionDown;
-  NodeId a = kNoNode;  ///< session endpoint / crashed router
-  NodeId b = kNoNode;  ///< other session endpoint
+  NodeId a = kNoNode;  ///< session endpoint / crashed router / link endpoint
+  NodeId b = kNoNode;  ///< other session or link endpoint
   PathId path = kNoPath;  ///< exit-flap actions
+  Cost cost = 0;  ///< kLinkCostChange: the metric to set
 };
 
 /// A fully materialized campaign: timed actions plus the message policy

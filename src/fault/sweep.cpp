@@ -74,20 +74,28 @@ util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult
     row.emplace_back("messages_dropped", campaign.run.messages_dropped);
     row.emplace_back("messages_duplicated", campaign.run.messages_duplicated);
     row.emplace_back("stale_retained", campaign.run.stale_retained);
+    row.emplace_back("igp_epoch_swaps", campaign.run.igp_epoch_swaps);
     row.emplace_back("blackhole_ticks", campaign.continuity.blackhole_ticks);
     row.emplace_back("stale_ticks", campaign.continuity.stale_ticks);
     row.emplace_back("loop_ticks", campaign.continuity.loop_ticks);
+    row.emplace_back("deflection_ticks", campaign.continuity.deflection_ticks);
     row.emplace_back("max_blackhole_window", campaign.continuity.max_blackhole_window);
+    row.emplace_back("max_deflection_window", campaign.continuity.max_deflection_window);
     rows.emplace_back(std::move(row));
   }
 
   Object doc;
-  doc.emplace_back("schema", "ibgp-sweep-v1");
+  doc.emplace_back("schema", "ibgp-sweep-v2");
   doc.emplace_back("cell_count", result.cells.size());
   doc.emplace_back("fingerprint", hex64(result.fingerprint));
   if (include_timing) {
-    doc.emplace_back("jobs", result.jobs);
-    doc.emplace_back("wall_seconds", result.wall_seconds);
+    // Everything run-dependent lives under one "volatile" key so committed
+    // BENCH_*.json regenerations diff fingerprint-only: strip this object
+    // and two equal-fingerprint documents are byte-identical.
+    Object volatile_fields;
+    volatile_fields.emplace_back("jobs", result.jobs);
+    volatile_fields.emplace_back("wall_seconds", result.wall_seconds);
+    doc.emplace_back("volatile", std::move(volatile_fields));
   }
   doc.emplace_back("cells", std::move(rows));
   return Value(std::move(doc));

@@ -62,8 +62,10 @@ SweepResult run_sweep(std::span<const SweepCell> cells, std::size_t jobs = 1);
 /// The fingerprint fold alone, for callers comparing serial vs parallel.
 std::uint64_t sweep_fingerprint(std::span<const CampaignResult> cells);
 
-/// Stable JSON document for a finished sweep ("ibgp-sweep-v1" schema).
-/// With include_timing false the wall-clock/jobs fields are omitted and two
+/// Stable JSON document for a finished sweep ("ibgp-sweep-v2" schema).
+/// Run-dependent outputs (jobs, wall-clock) are grouped under a single
+/// "volatile" sub-object so regenerated documents diff fingerprint-only;
+/// with include_timing false the sub-object is omitted entirely and two
 /// equal-fingerprint sweeps dump byte-identical text.
 util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult& result,
                              bool include_timing = true);

@@ -63,6 +63,17 @@ Cost PhysicalGraph::link_cost(NodeId a, NodeId b) const {
   return kInfCost;
 }
 
+std::optional<std::size_t> PhysicalGraph::find_link(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].a == lo && links_[i].b == hi) return i;
+  }
+  return std::nullopt;
+}
+
 bool PhysicalGraph::connected() const {
   if (adjacency_.empty()) return true;
   std::vector<bool> seen(adjacency_.size(), false);

@@ -4,6 +4,7 @@
 // graph; route metrics are IGP shortest-path costs computed over it.
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -52,6 +53,11 @@ class PhysicalGraph {
 
   /// Cost of the direct link a—b, or kInfCost if absent.
   [[nodiscard]] Cost link_cost(NodeId a, NodeId b) const;
+
+  /// Index into links() of the undirected link a—b (either endpoint order),
+  /// or nullopt if absent.  LinkState and the churn faults address links by
+  /// this index.
+  [[nodiscard]] std::optional<std::size_t> find_link(NodeId a, NodeId b) const;
 
   [[nodiscard]] bool has_link(NodeId a, NodeId b) const {
     return link_cost(a, b) != kInfCost;

@@ -3,6 +3,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace ibgp::netsim {
 
 ShortestPaths::ShortestPaths(const PhysicalGraph& graph)
@@ -43,6 +45,10 @@ ShortestPaths::ShortestPaths(const PhysicalGraph& graph)
       next_[index(u, v)] = best;
     }
   }
+
+  util::Fingerprint fp;
+  fp.add(n_).add_range(dist_).add_range(next_);
+  fingerprint_ = fp.value();
 }
 
 NodeId ShortestPaths::next_hop(NodeId u, NodeId v) const {

@@ -9,6 +9,7 @@
 // consistent choice) and is exactly what the forwarding-plane analysis of
 // Section 7/8 (routing loops, Fig 14) requires.
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -45,6 +46,12 @@ class ShortestPaths {
   /// Number of hops on the selected path, or nullopt if unreachable.
   [[nodiscard]] std::optional<std::size_t> hop_count(NodeId u, NodeId v) const;
 
+  /// Order-dependent 64-bit digest of the full distance + next-hop
+  /// matrices, precomputed at construction.  Two epochs with equal
+  /// fingerprints route identically (up to hash collision); trace hashes
+  /// use it to pin an engine's IGP-epoch timeline.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   [[nodiscard]] std::size_t index(NodeId u, NodeId v) const {
     return static_cast<std::size_t>(u) * n_ + v;
@@ -53,6 +60,7 @@ class ShortestPaths {
   std::size_t n_;
   std::vector<Cost> dist_;      // row-major n x n
   std::vector<NodeId> next_;    // row-major n x n; kNoNode when unreachable
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace ibgp::netsim

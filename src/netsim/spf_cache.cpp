@@ -1,0 +1,38 @@
+#include "netsim/spf_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ibgp::netsim {
+
+SpfCache::SpfCache(const PhysicalGraph& base) : base_(base) {}
+
+std::shared_ptr<const ShortestPaths> SpfCache::get(std::span<const Cost> effective) {
+  if (effective.size() != base_.link_count()) {
+    throw std::invalid_argument("SpfCache: effective cost vector size mismatch");
+  }
+  std::vector<Cost> key(effective.begin(), effective.end());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  // Materialize the churned graph: base topology with the effective costs,
+  // down links (kInfCost) omitted entirely.  Dijkstra then reports whatever
+  // became unreachable as kInfCost distances.
+  PhysicalGraph churned(base_.node_count());
+  const auto links = base_.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (key[i] != kInfCost) churned.add_link(links[i].a, links[i].b, key[i]);
+  }
+  auto spf = std::make_shared<const ShortestPaths>(churned);
+  cache_.emplace(std::move(key), spf);
+  return spf;
+}
+
+std::size_t SpfCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace ibgp::netsim

@@ -1,0 +1,51 @@
+#pragma once
+// Memoized deterministic SPF recomputation for IGP churn.
+//
+// Every IGP epoch is a pure function of the effective link-cost vector
+// (LinkState::effective()), so recomputation is cached on exactly that key.
+// The cache is shared wherever the owning Instance is shared — including
+// across the worker threads of a parallel fault sweep, where many cells
+// visit the same churned states — so lookups are mutex-serialized.  The
+// mapping is key -> value for a *pure* value, which keeps sweep results
+// byte-identical regardless of which thread first computed an epoch; only
+// hit/miss counters are schedule-dependent, and they are deliberately not
+// part of any per-cell result or trace hash.
+//
+// Epochs are handed out as shared_ptr<const ShortestPaths>: an engine holds
+// its current epoch alive independently of the cache and of other engines,
+// and reverting to previously seen costs returns the *identical* object
+// (pointer equality), making "link_up restored the original IGP" checkable.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "netsim/physical_graph.hpp"
+#include "netsim/shortest_paths.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::netsim {
+
+class SpfCache {
+ public:
+  /// Copies the base graph (topology + node count); effective cost vectors
+  /// passed to get() must be index-aligned with base.links().
+  explicit SpfCache(const PhysicalGraph& base);
+
+  /// The all-pairs shortest paths for the given effective link costs
+  /// (kInfCost = link down), computing and memoizing on first sight.
+  /// Throws std::invalid_argument on a size mismatch with the base graph.
+  std::shared_ptr<const ShortestPaths> get(std::span<const Cost> effective);
+
+  /// Distinct epochs materialized so far (>= 1 once the base was queried).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  PhysicalGraph base_;
+  mutable std::mutex mutex_;
+  std::map<std::vector<Cost>, std::shared_ptr<const ShortestPaths>> cache_;
+};
+
+}  // namespace ibgp::netsim
