@@ -132,7 +132,15 @@ void report() {
                  "forwarding deflects where reflection hides the move (Fig 12)");
 
   const auto figures = topo::all_figures();
-  const auto cells = make_grid(figures, kSeeds, kBudget);
+  auto cells = make_grid(figures, kSeeds, kBudget);
+
+  bench::ObsSession obs;
+  obs.open();
+  for (const auto& [name, inst] : figures) {
+    if (inst.name() == "fig1a" || inst.name() == "fig3") obs.attach_spf(inst);
+  }
+  obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/true);
+
   const auto sweep = fault::run_sweep(cells, bench::config().jobs);
   std::fprintf(stderr, "sweep: %zu cells in %.2fs on %zu jobs\n", cells.size(),
                sweep.wall_seconds, sweep.jobs);
@@ -168,15 +176,20 @@ void report() {
               " traced against the epoch live in each interval; clean counts runs the\n"
               " churn-aware invariants — incl. the IGP-metric currency check — passed)\n");
 
+  std::printf("\ndecision provenance (whole sweep):\n");
+  obs.print_decision_summary();
+
   if (!bench::config().json_path.empty()) {
     util::json::Object doc;
     doc.emplace_back("schema", "ibgp-bench-v1");
     doc.emplace_back("bench", "bench_churn");
     doc.emplace_back("experiment", "E16");
     doc.emplace_back("mode", "full");
+    doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
     doc.emplace_back("sweep", fault::sweep_json(cells, sweep));
     bench::write_json(util::json::Value(std::move(doc)));
   }
+  obs.finish();
 }
 
 // Reduced deterministic sweep for CI: runs serially and in parallel, fails
@@ -186,10 +199,19 @@ void report() {
 // byte-diff covers the SPF cache shared across worker threads.
 int smoke() {
   const auto figures = topo::all_figures();
-  const auto cells = make_grid(figures, /*seeds=*/3, /*budget=*/100000);
+  auto cells = make_grid(figures, /*seeds=*/3, /*budget=*/100000);
 
   const std::size_t jobs = bench::config().jobs == 0 ? 4 : bench::config().jobs;
+  // Trace -> serial pass (stable JSONL interleaving); metrics -> parallel
+  // pass (the printed summary is the cross---jobs determinism check).
+  bench::ObsSession obs;
+  obs.open();
+  for (const auto& [name, inst] : figures) {
+    if (inst.name() == "fig1a" || inst.name() == "fig3") obs.attach_spf(inst);
+  }
+  obs.wire(cells, /*with_metrics=*/false, /*with_trace=*/true);
   const auto serial = fault::run_sweep(cells, 1);
+  obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/false);
   const auto parallel = fault::run_sweep(cells, jobs);
 
   std::printf("bench_churn smoke: %zu cells, fingerprint=%016" PRIx64 "\n",
@@ -201,6 +223,7 @@ int smoke() {
                 cells[i].seed, serial.cells[i].trace_hash,
                 serial.cells[i].run.igp_epoch_swaps);
   }
+  obs.print_decision_summary();
   const double speedup =
       parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds : 0;
   std::fprintf(stderr, "serial %.3fs, parallel %.3fs on %zu jobs (%.2fx)\n",
@@ -224,8 +247,10 @@ int smoke() {
                                    serial.wall_seconds, parallel.wall_seconds,
                                    parallel.jobs, speedup));
   doc.emplace_back("fingerprint_match", ok);
+  doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
   doc.emplace_back("sweep", fault::sweep_json(cells, parallel));
   if (!bench::write_json(util::json::Value(std::move(doc)))) return 1;
+  obs.finish();
   return ok ? 0 : 1;
 }
 

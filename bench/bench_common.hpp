@@ -19,6 +19,9 @@
 #include "core/policy.hpp"
 #include "engine/activation.hpp"
 #include "engine/oscillation.hpp"
+#include "fault/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -29,9 +32,16 @@ namespace ibgp::bench {
 ///   --jobs N       worker threads for sweep fan-out (0 = hardware)
 ///   --json PATH    write the machine-readable result file (BENCH_*.json)
 ///   --smoke        reduced deterministic sweep (CI-sized), where supported
+///   --metrics PATH write the ibgp-metrics-v1 registry snapshot (sweep
+///                  benches; deterministic section byte-stable across --jobs)
+///   --trace PATH   write the ibgp-trace-v1 JSONL event stream (sweep
+///                  benches; attached to the serial pass in --smoke so the
+///                  stream is a single interleaving)
 struct BenchConfig {
   std::size_t jobs = 0;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool smoke = false;
   bool json_written = false;  ///< a report already produced its document
 };
@@ -61,6 +71,10 @@ inline void strip_common_flags(int& argc, char** argv) {
       config().jobs = static_cast<std::size_t>(std::strtoull(jobs, nullptr, 10));
     } else if (const char* path = value_of("--json")) {
       config().json_path = path;
+    } else if (const char* path = value_of("--metrics")) {
+      config().metrics_path = path;
+    } else if (const char* path = value_of("--trace")) {
+      config().trace_path = path;
     } else {
       argv[out++] = argv[i];
     }
@@ -99,6 +113,92 @@ inline util::json::Value smoke_volatile_json(double serial_wall_seconds,
   fields.emplace_back("speedup", speedup);
   return util::json::Value(std::move(fields));
 }
+
+/// Observability session for the sweep benches: one MetricsRegistry plus
+/// one TraceSink shared by a report's cells.
+///
+/// Usage (see bench_faults.cpp):
+///   ObsSession obs;  obs.open();           // fixes metric order up front
+///   obs.attach_spf(inst);                  // volatile spf.* counters
+///   obs.wire(cells, /*metrics=*/false, /*trace=*/true);   // serial pass
+///   obs.wire(cells, /*metrics=*/true,  /*trace=*/false);  // parallel pass
+///   obs.print_decision_summary();          // fingerprint + per-rule rows
+///   obs.finish(instances);                 // write --metrics file, close
+///
+/// In --smoke, the trace rides the *serial* pass (one interleaving, stable
+/// JSONL) while the registry rides the *parallel* pass — so the printed
+/// deterministic fingerprint doubles as the cross---jobs byte-identity
+/// check the CI smoke diff enforces.
+struct ObsSession {
+  obs::MetricsRegistry registry;
+  obs::TraceSink trace;
+  std::vector<const core::Instance*> attached;  ///< SPF mirrors to detach
+
+  /// Pre-registers every sweep/campaign/engine metric (fixing snapshot
+  /// order before any fan-out) and opens the trace file when --trace was
+  /// given.
+  void open() {
+    fault::register_sweep_metrics(registry);
+    if (!config().trace_path.empty()) trace.open_file(config().trace_path);
+  }
+
+  /// Mirrors the instance's shared SPF cache counters into the registry
+  /// (volatile); finish() detaches.  The instance must outlive finish().
+  void attach_spf(const core::Instance& inst) {
+    inst.spf_cache().attach_metrics(&registry);
+    attached.push_back(&inst);
+  }
+
+  /// The deterministic-metrics fingerprint as the usual 16-hex-digit text.
+  [[nodiscard]] std::string fingerprint_hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(registry.fingerprint()));
+    return std::string(buf);
+  }
+
+  /// Points every cell's campaign options at this session's registry and/or
+  /// trace sink (or detaches with false/false).
+  void wire(std::vector<fault::SweepCell>& cells, bool with_metrics, bool with_trace) {
+    for (auto& cell : cells) {
+      cell.options.metrics = with_metrics ? &registry : nullptr;
+      cell.options.trace = with_trace ? &trace : nullptr;
+    }
+  }
+
+  /// Prints the deterministic-metrics fingerprint and the per-rule decision
+  /// breakdown to stdout.  Every value here is deterministic (counter adds
+  /// commute), so the CI smoke diff across --jobs 1/8 covers these lines.
+  void print_decision_summary() const {
+    std::printf("  metrics fingerprint=%016llx\n",
+                static_cast<unsigned long long>(registry.fingerprint()));
+    std::printf("  decisions=%llu empty=%llu mrai_deferrals=%llu\n",
+                static_cast<unsigned long long>(registry.counter_value("engine.decisions")),
+                static_cast<unsigned long long>(registry.counter_value("engine.decisions_empty")),
+                static_cast<unsigned long long>(registry.counter_value("engine.mrai_deferrals")));
+    for (std::size_t r = 0; r < bgp::kSelectionRuleCount; ++r) {
+      const std::string name(bgp::selection_rule_name(static_cast<bgp::SelectionRule>(r)));
+      const auto count = registry.counter_value("engine.decided." + name);
+      std::printf("    decided-by %-18s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
+  /// Writes the --metrics snapshot (no-op without the flag), detaches every
+  /// attach_spf() mirror, and closes the trace stream.
+  void finish() {
+    if (!config().metrics_path.empty()) {
+      if (!util::json::write_file(config().metrics_path, registry.json())) {
+        std::fprintf(stderr, "failed to write %s\n", config().metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "wrote %s\n", config().metrics_path.c_str());
+      }
+    }
+    for (const auto* inst : attached) inst->spf_cache().attach_metrics(nullptr);
+    attached.clear();
+    trace.close();
+  }
+};
 
 /// Fallback --json document for benches without a richer schema: name and
 /// report wall-clock only, so every binary still emits a trajectory point.

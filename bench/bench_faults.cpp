@@ -113,6 +113,13 @@ void report() {
     }
   }
 
+  bench::ObsSession obs;
+  obs.open();
+  for (const auto& [name, inst] : figures) {
+    if (inst.name() == "fig1a" || inst.name() == "fig3") obs.attach_spf(inst);
+  }
+  obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/true);
+
   const auto sweep = fault::run_sweep(cells, bench::config().jobs);
   std::fprintf(stderr, "sweep: %zu cells in %.2fs on %zu jobs\n", cells.size(),
                sweep.wall_seconds, sweep.jobs);
@@ -146,15 +153,20 @@ void report() {
               " over reconverged runs; clean = invariant checker found no stale routes,\n"
               " RIB desync, or forwarding loops after quiescence)\n");
 
+  std::printf("\ndecision provenance (whole sweep):\n");
+  obs.print_decision_summary();
+
   if (!bench::config().json_path.empty()) {
     util::json::Object doc;
     doc.emplace_back("schema", "ibgp-bench-v1");
     doc.emplace_back("bench", "bench_faults");
     doc.emplace_back("experiment", "E13");
     doc.emplace_back("mode", "full");
+    doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
     doc.emplace_back("sweep", fault::sweep_json(cells, sweep));
     bench::write_json(util::json::Value(std::move(doc)));
   }
+  obs.finish();
 }
 
 // Reduced deterministic sweep for CI: runs serially and in parallel, fails
@@ -194,7 +206,16 @@ int smoke() {
   }
 
   const std::size_t jobs = bench::config().jobs == 0 ? 4 : bench::config().jobs;
+  // Trace rides the serial pass (one interleaving -> stable JSONL); the
+  // registry rides the parallel pass, so the decision summary printed below
+  // doubles as the cross---jobs counter-determinism check (the CI smoke
+  // diff compares this stdout across --jobs 1 and --jobs 8).
+  bench::ObsSession obs;
+  obs.open();
+  obs.attach_spf(inst);
+  obs.wire(cells, /*with_metrics=*/false, /*with_trace=*/true);
   const auto serial = fault::run_sweep(cells, 1);
+  obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/false);
   const auto parallel = fault::run_sweep(cells, jobs);
 
   std::printf("bench_faults smoke: %zu cells, fingerprint=%016" PRIx64 "\n",
@@ -204,6 +225,7 @@ int smoke() {
                 cells[i].group.c_str(), core::protocol_name(cells[i].protocol),
                 cells[i].seed, serial.cells[i].trace_hash);
   }
+  obs.print_decision_summary();
   const double speedup =
       parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds : 0;
   std::fprintf(stderr, "serial %.3fs, parallel %.3fs on %zu jobs (%.2fx)\n",
@@ -227,8 +249,10 @@ int smoke() {
                                    serial.wall_seconds, parallel.wall_seconds,
                                    parallel.jobs, speedup));
   doc.emplace_back("fingerprint_match", ok);
+  doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
   doc.emplace_back("sweep", fault::sweep_json(cells, parallel));
   if (!bench::write_json(util::json::Value(std::move(doc)))) return 1;
+  obs.finish();
   return ok ? 0 : 1;
 }
 

@@ -134,6 +134,13 @@ void report() {
     }
   }
 
+  bench::ObsSession obs;
+  obs.open();
+  for (const auto& [name, inst] : figures) {
+    if (inst.name() == "fig1a" || inst.name() == "fig3") obs.attach_spf(inst);
+  }
+  obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/true);
+
   const auto sweep = fault::run_sweep(cells, bench::config().jobs);
   std::fprintf(stderr, "sweep: %zu cells in %.2fs on %zu jobs\n", cells.size(),
                sweep.wall_seconds, sweep.jobs);
@@ -182,15 +189,20 @@ void report() {
               " contiguous per-source blackhole window; stale = source-ticks carried\n"
               " by retained-stale forwarding state — the price of continuity)\n");
 
+  std::printf("\ndecision provenance (whole sweep):\n");
+  obs.print_decision_summary();
+
   if (!bench::config().json_path.empty()) {
     util::json::Object doc;
     doc.emplace_back("schema", "ibgp-bench-v1");
     doc.emplace_back("bench", "bench_gr");
     doc.emplace_back("experiment", "E14");
     doc.emplace_back("mode", "full");
+    doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
     doc.emplace_back("sweep", fault::sweep_json(cells, sweep));
     bench::write_json(util::json::Value(std::move(doc)));
   }
+  obs.finish();
 }
 
 // Reduced paired sweep, run twice (serial, then --jobs N parallel; default
@@ -209,7 +221,14 @@ int smoke() {
   }
 
   const std::size_t jobs = bench::config().jobs == 0 ? 4 : bench::config().jobs;
+  // Trace -> serial pass (stable JSONL interleaving); metrics -> parallel
+  // pass (the printed summary is the cross---jobs determinism check).
+  bench::ObsSession obs;
+  obs.open();
+  obs.attach_spf(inst);
+  obs.wire(cells, /*with_metrics=*/false, /*with_trace=*/true);
   const auto serial = fault::run_sweep(cells, 1);
+  obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/false);
   const auto parallel = fault::run_sweep(cells, jobs);
 
   std::printf("bench_gr smoke: %zu paired cells, fingerprint=%016" PRIx64 "\n",
@@ -223,6 +242,7 @@ int smoke() {
                 serial.cells[i].continuity.blackhole_ticks,
                 serial.cells[i].continuity.stale_ticks);
   }
+  obs.print_decision_summary();
   const double speedup =
       parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds : 0;
   std::fprintf(stderr, "serial %.3fs, parallel %.3fs on %zu jobs (%.2fx)\n",
@@ -246,8 +266,10 @@ int smoke() {
                                    serial.wall_seconds, parallel.wall_seconds,
                                    parallel.jobs, speedup));
   doc.emplace_back("fingerprint_match", ok);
+  doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
   doc.emplace_back("sweep", fault::sweep_json(cells, parallel));
   if (!bench::write_json(util::json::Value(std::move(doc)))) return 1;
+  obs.finish();
   return ok ? 0 : 1;
 }
 

@@ -3,22 +3,28 @@
 //
 //   $ ./event_trace --figure fig3 --scenario churn
 //   $ ./event_trace --figure fig1a --protocol standard --max-deliveries 60
+//   $ ./event_trace --figure fig3 --trace-json /tmp/fig3.jsonl   # ibgp-trace-v1
 
 #include <cstdio>
 #include <string>
 
 #include "engine/event_engine.hpp"
+#include "obs/trace.hpp"
 #include "topo/figures.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibgp;
 
+  util::init_log_level_from_env();  // IBGP_LOG_LEVEL, case-insensitive
   util::Flags flags("event_trace", "chronological best-route trace (Table 1 shape)");
   flags.add_string("figure", "fig3", "figure instance");
   flags.add_string("protocol", "standard", "standard|walton|modified");
   flags.add_string("scenario", "all-at-once", "all-at-once|staggered|churn");
   flags.add_int("max-deliveries", 4000, "event budget");
+  flags.add_string("trace-json", "", "write the ibgp-trace-v1 event stream here");
+  flags.add_string("log-level", "", "trace|debug|info|warn|error|off (any case)");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),
                  flags.help_text().c_str());
@@ -43,7 +49,20 @@ int main(int argc, char** argv) {
   if (flags.get_string("protocol") == "walton") kind = core::ProtocolKind::kWalton;
   if (flags.get_string("protocol") == "modified") kind = core::ProtocolKind::kModified;
 
+  if (!flags.get_string("log-level").empty()) {
+    util::Logger::instance().set_level(util::parse_log_level(flags.get_string("log-level")));
+  }
+
   engine::EventEngine engine(inst, kind);
+  obs::TraceSink trace;
+  if (!flags.get_string("trace-json").empty()) {
+    const std::string path(flags.get_string("trace-json"));
+    if (!trace.open_file(path)) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    engine.set_trace(&trace);
+  }
   const std::string scenario(flags.get_string("scenario"));
   if (scenario == "staggered") {
     for (PathId p = 0; p < inst.exits().size(); ++p) engine.inject_exit(p, 40 * p);

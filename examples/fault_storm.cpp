@@ -16,12 +16,15 @@
 #include "analysis/invariants.hpp"
 #include "fault/campaign.hpp"
 #include "fault/script.hpp"
+#include "obs/trace.hpp"
 #include "topo/figures.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibgp;
 
+  util::init_log_level_from_env();  // IBGP_LOG_LEVEL, case-insensitive
   util::Flags flags("fault_storm", "seeded fault campaign with invariant checking");
   flags.add_string("figure", "fig3", "figure instance (fig1a|fig1b|fig2|fig3|fig13|fig14)");
   flags.add_string("protocol", "modified", "standard|walton|modified");
@@ -36,6 +39,8 @@ int main(int argc, char** argv) {
   flags.add_int("window", 400, "fault window end (ticks)");
   flags.add_int("max-deliveries", 200000, "event budget");
   flags.add_bool("trace", false, "print the full best-route flap trace");
+  flags.add_string("trace-json", "", "write the ibgp-trace-v1 event stream here");
+  flags.add_string("log-level", "", "trace|debug|info|warn|error|off (any case)");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),
                  flags.help_text().c_str());
@@ -84,8 +89,21 @@ int main(int argc, char** argv) {
   std::printf("scripted faults: %zu (loss %.0f%%, dup %.0f%%)\n", script.actions.size(),
               100 * script.loss_prob, 100 * script.dup_prob);
 
+  if (!flags.get_string("log-level").empty()) {
+    util::Logger::instance().set_level(util::parse_log_level(flags.get_string("log-level")));
+  }
+
   // Replay the campaign with direct engine access so the logs are visible.
   engine::EventEngine engine(inst, protocol);
+  obs::TraceSink trace_sink;
+  if (!flags.get_string("trace-json").empty()) {
+    const std::string path(flags.get_string("trace-json"));
+    if (!trace_sink.open_file(path)) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    engine.set_trace(&trace_sink);
+  }
   if (script.stale_timer > 0) engine.set_stale_timer(script.stale_timer);
   fault::ScriptInjector injector(script);
   engine.set_fault_injector(&injector);

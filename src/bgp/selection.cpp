@@ -44,28 +44,13 @@ void med_eliminate(const ExitTable& table, std::vector<RouteView>& views, MedMod
   });
 }
 
-/// Rules 4-6 in the paper's default order: prefer E-BGP outright, then
-/// minimum metric within the surviving class, then lowest learnedFrom.
-void narrow_prefer_ebgp_first(std::vector<RouteView>& views) {
+/// Rule 4: when any E-BGP route survives, I-BGP routes are out.
+void keep_ebgp(std::vector<RouteView>& views) {
   const bool any_ebgp =
       std::any_of(views.begin(), views.end(), [](const RouteView& v) { return v.is_ebgp; });
   if (any_ebgp) {
     std::erase_if(views, [](const RouteView& v) { return !v.is_ebgp; });
   }
-  keep_min(views, [](const RouteView& v) { return v.metric; });
-  keep_min(views, [](const RouteView& v) { return v.learned_from; });
-}
-
-/// RFC-1771-style order: minimum metric across all routes first, then prefer
-/// E-BGP among the ties, then lowest learnedFrom.
-void narrow_igp_cost_first(std::vector<RouteView>& views) {
-  keep_min(views, [](const RouteView& v) { return v.metric; });
-  const bool any_ebgp =
-      std::any_of(views.begin(), views.end(), [](const RouteView& v) { return v.is_ebgp; });
-  if (any_ebgp) {
-    std::erase_if(views, [](const RouteView& v) { return !v.is_ebgp; });
-  }
-  keep_min(views, [](const RouteView& v) { return v.learned_from; });
 }
 
 std::vector<PathId> ids_of(const std::vector<RouteView>& views) {
@@ -144,30 +129,59 @@ std::vector<RouteView> usable_views(const ExitTable& table, const netsim::Shorte
 
 std::optional<RouteView> finish(const ExitTable& table, std::vector<RouteView> views,
                                 const SelectionPolicy& policy,
-                                SelectionExplanation* explanation) {
+                                SelectionExplanation* explanation,
+                                SelectionProvenance* provenance) {
   auto record = [&](const char* stage) {
     if (explanation != nullptr) explanation->stages.emplace_back(stage, ids_of(views));
+  };
+  if (provenance != nullptr) provenance->usable = views.size();
+  // Charges `before - views.size()` eliminations to `rule`; the last rule
+  // that narrows the set is the decisive one.
+  auto charge = [&](SelectionRule rule, std::size_t before) {
+    if (provenance == nullptr || views.size() >= before) return;
+    provenance->eliminated[rule_index(rule)] +=
+        static_cast<std::uint32_t>(before - views.size());
+    provenance->decisive = rule;
   };
   record("input (usable)");
 
   // Rule 1.
+  std::size_t before = views.size();
   keep_max(views, [&](const RouteView& v) { return table[v.path].local_pref; });
+  charge(SelectionRule::kLocalPref, before);
   record("rule 1: max LOCAL-PREF");
 
   // Rule 2.
+  before = views.size();
   keep_min(views, [&](const RouteView& v) { return table[v.path].as_path_length; });
+  charge(SelectionRule::kAsPathLength, before);
   record("rule 2: min AS-path length");
 
   // Rule 3.
+  before = views.size();
   med_eliminate(table, views, policy.med);
+  charge(SelectionRule::kMed, before);
   record("rule 3: per-AS MED elimination");
 
-  // Rules 4-6.
+  // Rules 4-6 (rules 4 and 5 swap under the RFC ordering; footnote 4).
   if (policy.order == RuleOrder::kPreferEbgpFirst) {
-    narrow_prefer_ebgp_first(views);
+    before = views.size();
+    keep_ebgp(views);
+    charge(SelectionRule::kEbgpOverIbgp, before);
+    before = views.size();
+    keep_min(views, [](const RouteView& v) { return v.metric; });
+    charge(SelectionRule::kIgpCost, before);
   } else {
-    narrow_igp_cost_first(views);
+    before = views.size();
+    keep_min(views, [](const RouteView& v) { return v.metric; });
+    charge(SelectionRule::kIgpCost, before);
+    before = views.size();
+    keep_ebgp(views);
+    charge(SelectionRule::kEbgpOverIbgp, before);
   }
+  before = views.size();
+  keep_min(views, [](const RouteView& v) { return v.learned_from; });
+  charge(SelectionRule::kBgpIdTieBreak, before);
   record("rules 4-6: E-BGP/IGP-cost/BGP-id");
 
   if (views.empty()) return std::nullopt;
@@ -177,15 +191,44 @@ std::optional<RouteView> finish(const ExitTable& table, std::vector<RouteView> v
       std::min_element(views.begin(), views.end(), [](const RouteView& a, const RouteView& b) {
         return a.path < b.path;
       });
+  if (provenance != nullptr) {
+    if (views.size() > 1) {
+      provenance->eliminated[rule_index(SelectionRule::kPathIdTieBreak)] +=
+          static_cast<std::uint32_t>(views.size() - 1);
+      provenance->decisive = SelectionRule::kPathIdTieBreak;
+    }
+    provenance->selected = true;
+  }
   return *best;
 }
 
 }  // namespace
 
+std::string_view selection_rule_name(SelectionRule rule) {
+  switch (rule) {
+    case SelectionRule::kSoleCandidate: return "sole-candidate";
+    case SelectionRule::kLocalPref: return "local-pref";
+    case SelectionRule::kAsPathLength: return "as-path-length";
+    case SelectionRule::kMed: return "med";
+    case SelectionRule::kEbgpOverIbgp: return "ebgp-over-ibgp";
+    case SelectionRule::kIgpCost: return "igp-cost";
+    case SelectionRule::kBgpIdTieBreak: return "bgp-id-tie-break";
+    case SelectionRule::kPathIdTieBreak: return "path-id-tie-break";
+  }
+  return "?";
+}
+
 std::optional<RouteView> choose_best(const ExitTable& table, const netsim::ShortestPaths& igp,
                                      NodeId u, std::span<const Candidate> candidates,
-                                     const SelectionPolicy& policy) {
-  return finish(table, usable_views(table, igp, u, candidates), policy, nullptr);
+                                     const SelectionPolicy& policy,
+                                     SelectionProvenance* provenance) {
+  if (provenance != nullptr) {
+    *provenance = SelectionProvenance{};
+    provenance->candidates = candidates.size();
+  }
+  auto views = usable_views(table, igp, u, candidates);
+  if (provenance != nullptr) provenance->unreachable = candidates.size() - views.size();
+  return finish(table, std::move(views), policy, nullptr, provenance);
 }
 
 SelectionExplanation explain_selection(const ExitTable& table,
@@ -194,7 +237,7 @@ SelectionExplanation explain_selection(const ExitTable& table,
                                        const SelectionPolicy& policy) {
   SelectionExplanation explanation;
   explanation.best = finish(table, usable_views(table, igp, u, candidates), policy,
-                            &explanation);
+                            &explanation, nullptr);
   return explanation;
 }
 

@@ -24,9 +24,12 @@
 // evaluating node, so every router computes the same survivor set from the
 // same inputs (Lemma 7.4).
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bgp/exit_table.hpp"
@@ -90,13 +93,60 @@ std::optional<RouteView> make_route_view(const ExitTable& table,
                                          const netsim::ShortestPaths& igp, NodeId u,
                                          const Candidate& candidate);
 
+/// The selection steps of Choose_best, for decision provenance.  Values are
+/// stable indices into SelectionProvenance::eliminated and the observability
+/// layer's per-rule counters.
+enum class SelectionRule : std::uint8_t {
+  kSoleCandidate = 0,  ///< one usable route; no rule had to discriminate
+  kLocalPref = 1,      ///< rule 1: highest LOCAL-PREF
+  kAsPathLength = 2,   ///< rule 2: shortest AS-PATH
+  kMed = 3,            ///< rule 3: per-neighbor-AS MED elimination
+  kEbgpOverIbgp = 4,   ///< rule 4: E-BGP routes beat I-BGP routes
+  kIgpCost = 5,        ///< rule 5: minimum IGP metric
+  kBgpIdTieBreak = 6,  ///< rule 6: lowest learnedFrom BGP identifier
+  kPathIdTieBreak = 7, ///< beyond the paper: duplicate-announcement fallback
+};
+inline constexpr std::size_t kSelectionRuleCount = 8;
+
+/// Stable kebab-case name ("local-pref", "igp-cost", ...), used for metric
+/// names and ibgp-trace-v1 records.
+std::string_view selection_rule_name(SelectionRule rule);
+
+constexpr std::size_t rule_index(SelectionRule rule) {
+  return static_cast<std::size_t>(rule);
+}
+
+/// Provenance of one Choose_best invocation: which rule eliminated whom and
+/// which rule was decisive (the last one that actually narrowed the set —
+/// kSoleCandidate when the usable set was already a singleton).
+///
+/// Invariant (tested): when a route was selected,
+///   usable == 1 + sum(eliminated)  and  usable == candidates - unreachable.
+struct SelectionProvenance {
+  std::size_t candidates = 0;    ///< input routes offered to the procedure
+  std::size_t unreachable = 0;   ///< dropped before rule 1 (exit unreachable)
+  std::size_t usable = 0;        ///< survivors entering rule 1
+  std::array<std::uint32_t, kSelectionRuleCount> eliminated{};
+  SelectionRule decisive = SelectionRule::kSoleCandidate;
+  bool selected = false;         ///< false: empty usable set, no decision
+
+  [[nodiscard]] std::uint64_t eliminated_total() const {
+    std::uint64_t total = 0;
+    for (const std::uint32_t count : eliminated) total += count;
+    return total;
+  }
+};
+
 /// Full Choose_best (Fig 6) at node u over `candidates`.
 /// Deterministic: ties after rule 6 (identical learnedFrom — possible only
 /// for duplicate announcements) fall back to the lowest PathId.
 /// Returns nullopt when no candidate is usable (empty set or unreachable).
+/// When `provenance` is non-null it is overwritten with this invocation's
+/// elimination record.
 std::optional<RouteView> choose_best(const ExitTable& table, const netsim::ShortestPaths& igp,
                                      NodeId u, std::span<const Candidate> candidates,
-                                     const SelectionPolicy& policy = {});
+                                     const SelectionPolicy& policy = {},
+                                     SelectionProvenance* provenance = nullptr);
 
 /// Step-by-step record of one selection, for explanation tools and tests.
 struct SelectionExplanation {

@@ -75,6 +75,11 @@ class Instance {
   /// Distinct IGP epochs materialized so far across all holders.
   [[nodiscard]] std::size_t igp_epoch_count() const { return spf_cache_->size(); }
 
+  /// The shared SPF cache itself, for observability hookups (hit/miss
+  /// counters via SpfCache::attach_metrics).  Shared by every copy of this
+  /// instance; mutating attachments affects all holders.
+  [[nodiscard]] netsim::SpfCache& spf_cache() const { return *spf_cache_; }
+
   [[nodiscard]] BgpId bgp_id(NodeId v) const { return bgp_ids_.at(v); }
 
   /// Human-readable node label ("RR1", "c2", ...); defaults to "n<v>".

@@ -53,24 +53,28 @@ std::vector<PathId> walton_advertised(const Instance& inst,
 }
 
 NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
-                    std::span<const bgp::Candidate> possible) {
-  return decide(inst, inst.igp(), kind, node, possible);
+                    std::span<const bgp::Candidate> possible,
+                    bgp::SelectionProvenance* provenance) {
+  return decide(inst, inst.igp(), kind, node, possible, provenance);
 }
 
 NodeDecision decide(const Instance& inst, const netsim::ShortestPaths& igp,
                     ProtocolKind kind, NodeId node,
-                    std::span<const bgp::Candidate> possible) {
+                    std::span<const bgp::Candidate> possible,
+                    bgp::SelectionProvenance* provenance) {
   NodeDecision decision;
   const auto& table = inst.exits();
 
   switch (kind) {
     case ProtocolKind::kStandard: {
-      decision.best = bgp::choose_best(table, igp, node, possible, inst.policy());
+      decision.best =
+          bgp::choose_best(table, igp, node, possible, inst.policy(), provenance);
       if (decision.best) decision.advertised.push_back(decision.best->path);
       break;
     }
     case ProtocolKind::kWalton: {
-      decision.best = bgp::choose_best(table, igp, node, possible, inst.policy());
+      decision.best =
+          bgp::choose_best(table, igp, node, possible, inst.policy(), provenance);
       decision.advertised = walton_advertised(inst, igp, node, possible);
       break;
     }
@@ -90,7 +94,7 @@ NodeDecision decide(const Instance& inst, const netsim::ShortestPaths& igp,
           good.push_back(candidate);
         }
       }
-      decision.best = bgp::choose_best(table, igp, node, good, inst.policy());
+      decision.best = bgp::choose_best(table, igp, node, good, inst.policy(), provenance);
       break;
     }
   }

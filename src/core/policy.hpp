@@ -43,8 +43,15 @@ struct NodeDecision {
 /// `possible` is PossibleExits(node) with the learnedFrom attribution the
 /// engine tracked for each path.  For kModified the best route is chosen
 /// from GoodExits, exactly as Section 6 prescribes.
+///
+/// When `provenance` is non-null it receives the elimination record of the
+/// Choose_best invocation that produced `best`.  For kModified that is the
+/// call over the GoodExits survivors — rules 1-3 then rarely decide, which
+/// is the point of the fix and exactly what the per-rule breakdown should
+/// show (see EXPERIMENTS.md E17).
 NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
-                    std::span<const bgp::Candidate> possible);
+                    std::span<const bgp::Candidate> possible,
+                    bgp::SelectionProvenance* provenance = nullptr);
 
 /// Same decision against an explicit IGP epoch instead of the instance's
 /// frozen base igp().  Engines modeling IGP churn (link-cost/link-failure
@@ -52,7 +59,8 @@ NodeDecision decide(const Instance& inst, ProtocolKind kind, NodeId node,
 /// candidate with the *current* distances.
 NodeDecision decide(const Instance& inst, const netsim::ShortestPaths& igp,
                     ProtocolKind kind, NodeId node,
-                    std::span<const bgp::Candidate> possible);
+                    std::span<const bgp::Candidate> possible,
+                    bgp::SelectionProvenance* provenance = nullptr);
 
 /// The Walton advertised set in isolation (exposed for tests): best route
 /// per neighboring AS among `possible`, filtered to those matching the

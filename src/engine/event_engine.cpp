@@ -42,6 +42,7 @@ EventEngine::EventEngine(const core::Instance& inst, core::ProtocolKind protocol
       fib_(inst.node_count(), kNoPath),
       fib_frozen_(inst.node_count(), false),
       ebgp_live_(inst.exits().size(), false),
+      decisions_by_node_(inst.node_count()),
       flips_by_node_(inst.node_count(), 0) {
   const std::size_t paths = inst.exits().size();
   for (NodeId v = 0; v < nodes_.size(); ++v) {
@@ -78,6 +79,108 @@ void EventEngine::set_stale_timer(SimTime ticks) {
         "EventEngine::set_stale_timer: must be called before any event is scheduled");
   }
   stale_timer_ = ticks;
+}
+
+namespace {
+
+std::string rule_metric_name(std::size_t rule) {
+  return "engine.decided." +
+         std::string(bgp::selection_rule_name(static_cast<bgp::SelectionRule>(rule)));
+}
+
+}  // namespace
+
+void register_event_engine_metrics(obs::MetricsRegistry& registry) {
+  registry.counter("engine.deliveries");
+  registry.counter("engine.updates_sent");
+  registry.counter("engine.deliveries_voided");
+  registry.counter("engine.messages_dropped");
+  registry.counter("engine.messages_duplicated");
+  registry.counter("engine.best_flips");
+  registry.counter("engine.mrai_deferrals");
+  registry.counter("engine.faults_applied");
+  registry.counter("engine.eor_markers_sent");
+  registry.counter("engine.stale_retained");
+  registry.counter("engine.stale_swept_eor");
+  registry.counter("engine.stale_swept_expired");
+  registry.counter("engine.igp_epoch_swaps");
+  registry.counter("engine.decisions");
+  registry.counter("engine.decisions_empty");
+  for (std::size_t rule = 0; rule < bgp::kSelectionRuleCount; ++rule) {
+    registry.counter(rule_metric_name(rule));
+  }
+  registry.gauge("engine.queue_depth_max");  // schedule-dependent: volatile
+}
+
+void EventEngine::set_metrics(obs::MetricsRegistry* registry) {
+  if (sealed_) {
+    throw std::logic_error(
+        "EventEngine::set_metrics: must be called before any event is scheduled");
+  }
+  metrics_ = registry;
+  handles_ = MetricHandles{};
+  if (registry == nullptr) return;
+  register_event_engine_metrics(*registry);
+  handles_.deliveries = &registry->counter("engine.deliveries");
+  handles_.updates_sent = &registry->counter("engine.updates_sent");
+  handles_.deliveries_voided = &registry->counter("engine.deliveries_voided");
+  handles_.messages_dropped = &registry->counter("engine.messages_dropped");
+  handles_.messages_duplicated = &registry->counter("engine.messages_duplicated");
+  handles_.best_flips = &registry->counter("engine.best_flips");
+  handles_.mrai_deferrals = &registry->counter("engine.mrai_deferrals");
+  handles_.faults_applied = &registry->counter("engine.faults_applied");
+  handles_.eor_markers_sent = &registry->counter("engine.eor_markers_sent");
+  handles_.stale_retained = &registry->counter("engine.stale_retained");
+  handles_.stale_swept_eor = &registry->counter("engine.stale_swept_eor");
+  handles_.stale_swept_expired = &registry->counter("engine.stale_swept_expired");
+  handles_.igp_epoch_swaps = &registry->counter("engine.igp_epoch_swaps");
+  handles_.decisions = &registry->counter("engine.decisions");
+  handles_.decisions_empty = &registry->counter("engine.decisions_empty");
+  for (std::size_t rule = 0; rule < bgp::kSelectionRuleCount; ++rule) {
+    handles_.decided[rule] = &registry->counter(rule_metric_name(rule));
+  }
+  handles_.queue_depth_max = &registry->gauge("engine.queue_depth_max");
+}
+
+void EventEngine::set_trace(obs::TraceSink* trace) {
+  if (sealed_) {
+    throw std::logic_error(
+        "EventEngine::set_trace: must be called before any event is scheduled");
+  }
+  trace_ = trace;
+  if (tracing()) emit_trace_preamble();
+}
+
+void EventEngine::emit_trace_preamble() {
+  // meta + node/path directory records so trace consumers (trace_inspect)
+  // can label ids without the instance at hand.
+  {
+    util::json::Object fields;
+    fields.emplace_back("instance", inst_->name());
+    fields.emplace_back("protocol", core::protocol_name(protocol_));
+    fields.emplace_back("nodes", static_cast<std::uint64_t>(inst_->node_count()));
+    fields.emplace_back("paths", static_cast<std::uint64_t>(inst_->exits().size()));
+    trace_->emit(0, "meta", std::move(fields));
+  }
+  for (NodeId v = 0; v < inst_->node_count(); ++v) {
+    util::json::Object fields;
+    fields.emplace_back("id", v);
+    fields.emplace_back("name", inst_->node_name(v));
+    fields.emplace_back("bgp_id", inst_->bgp_id(v));
+    fields.emplace_back("client", inst_->clusters().is_client(v));
+    trace_->emit(0, "node", std::move(fields));
+  }
+  for (PathId p = 0; p < inst_->exits().size(); ++p) {
+    const auto& path = inst_->exits()[p];
+    util::json::Object fields;
+    fields.emplace_back("id", p);
+    fields.emplace_back("name", path.name);
+    fields.emplace_back("exit_point", path.exit_point);
+    fields.emplace_back("next_as", path.next_as);
+    fields.emplace_back("local_pref", path.local_pref);
+    fields.emplace_back("med", path.med);
+    trace_->emit(0, "path", std::move(fields));
+  }
 }
 
 bool EventEngine::session_up(NodeId u, NodeId v) const {
@@ -307,7 +410,16 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
   // Selection prices candidates with the *current* IGP epoch: after a link
   // fault the same candidate set can pick a different exit purely because
   // the distances moved.
-  const auto decision = core::decide(*inst_, *igp_, protocol_, u, candidates);
+  bgp::SelectionProvenance provenance;
+  const auto decision =
+      core::decide(*inst_, *igp_, protocol_, u, candidates, &provenance);
+  if (provenance.selected) {
+    ++decisions_total_;
+    ++decisions_by_rule_[rule_index(provenance.decisive)];
+    ++decisions_by_node_[u][rule_index(provenance.decisive)];
+  } else {
+    ++decisions_empty_;
+  }
 
   const PathId old_best = node.best ? node.best->path : kNoPath;
   const PathId new_best = decision.best ? decision.best->path : kNoPath;
@@ -315,6 +427,17 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
     ++best_flips_;
     ++flips_by_node_[u];
     flap_log_.push_back({now, u, old_best, new_best});
+  }
+  if (tracing()) {
+    util::json::Object fields;
+    fields.emplace_back("node", u);
+    fields.emplace_back("best", new_best == kNoPath ? std::int64_t{-1}
+                                                    : std::int64_t{new_best});
+    fields.emplace_back("rule", bgp::selection_rule_name(provenance.decisive));
+    fields.emplace_back("candidates",
+                        static_cast<std::uint64_t>(provenance.candidates));
+    fields.emplace_back("flip", old_best != new_best);
+    trace_->emit(now, "decision", std::move(fields));
   }
   node.best = decision.best;
   // reconsider only runs on control-plane-up nodes, so the FIB tracks the
@@ -350,6 +473,7 @@ void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
   if (!session_up(u, peer)) return;  // nothing flows on a downed session
   if (mrai_ > 0 && now < node.mrai_ready[peer_index]) {
     // Inside the hold-down window: batch the change into one deferred flush.
+    ++mrai_deferrals_;
     if (!node.flush_scheduled[peer_index]) {
       node.flush_scheduled[peer_index] = true;
       Event event;
@@ -385,6 +509,20 @@ void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
   }
   current = target;
   if (sent && mrai_ > 0) node.mrai_ready[peer_index] = now + mrai_;
+}
+
+void EventEngine::record_fault(const FaultRecord& record) {
+  fault_log_.push_back(record);
+  if (tracing()) {
+    util::json::Object fields;
+    fields.emplace_back("kind", fault_kind_name(record.kind));
+    fields.emplace_back("a", record.a == kNoNode ? std::int64_t{-1}
+                                                 : std::int64_t{record.a});
+    fields.emplace_back("b", record.b == kNoNode ? std::int64_t{-1}
+                                                 : std::int64_t{record.b});
+    fields.emplace_back("cost", record.cost);
+    trace_->emit(record.time, "fault", std::move(fields));
+  }
 }
 
 void EventEngine::record_best_loss(NodeId v, SimTime now) {
@@ -497,7 +635,7 @@ void EventEngine::apply_session_down(NodeId u, NodeId v, SimTime now) {
   if (session_admin_down_[sess(u, v)]) return;  // already down
   session_admin_down_[sess(u, v)] = true;
   session_admin_down_[sess(v, u)] = true;
-  fault_log_.push_back({now, FaultKind::kSessionDown, u, v});
+  record_fault({now, FaultKind::kSessionDown, u, v});
   sever_session(u, v);
   if (node_up_[u]) reconsider(u, now);
   if (node_up_[v]) reconsider(v, now);
@@ -507,7 +645,7 @@ void EventEngine::apply_session_up(NodeId u, NodeId v, SimTime now) {
   if (!session_admin_down_[sess(u, v)]) return;  // already up
   session_admin_down_[sess(u, v)] = false;
   session_admin_down_[sess(v, u)] = false;
-  fault_log_.push_back({now, FaultKind::kSessionUp, u, v});
+  record_fault({now, FaultKind::kSessionUp, u, v});
   // Initial-table exchange: each side re-advertises its full desired set
   // (advertised_out toward the peer is empty since the down flush).
   if (session_up(u, v)) {
@@ -524,14 +662,14 @@ void EventEngine::apply_crash(NodeId v, SimTime now) {
     // entry dies with the data plane.
     graceful_down_[v] = false;
     fib_frozen_[v] = false;
-    fault_log_.push_back({now, FaultKind::kCrash, v, kNoNode});
+    record_fault({now, FaultKind::kCrash, v, kNoNode});
     set_fib(v, kNoPath, now);
     for (const NodeId w : inst_->sessions().peers(v)) {
       if (sweep_stale_from(w, v) > 0 && node_up_[w]) reconsider(w, now);
     }
     return;
   }
-  fault_log_.push_back({now, FaultKind::kCrash, v, kNoNode});
+  record_fault({now, FaultKind::kCrash, v, kNoNode});
   node_up_[v] = false;
   const auto peers = inst_->sessions().peers(v);
   for (const NodeId w : peers) sever_session(v, w);
@@ -558,7 +696,7 @@ void EventEngine::apply_restart(NodeId v, SimTime now) {
   if (node_up_[v]) return;  // already up
   const bool was_graceful = graceful_down_[v];
   graceful_down_[v] = false;
-  fault_log_.push_back({now, FaultKind::kRestart, v, kNoNode});
+  record_fault({now, FaultKind::kRestart, v, kNoNode});
   node_up_[v] = true;
   // The external neighbors never stopped announcing: re-learn every E-BGP
   // route of ours that is still live.
@@ -582,7 +720,7 @@ void EventEngine::apply_restart(NodeId v, SimTime now) {
 
 void EventEngine::apply_graceful_down(NodeId v, SimTime now) {
   if (!node_up_[v]) return;  // already down (cold or graceful)
-  fault_log_.push_back({now, FaultKind::kGracefulDown, v, kNoNode});
+  record_fault({now, FaultKind::kGracefulDown, v, kNoNode});
   node_up_[v] = false;
   graceful_down_[v] = true;
   ++gr_generation_[v];
@@ -608,6 +746,13 @@ void EventEngine::apply_graceful_down(NodeId v, SimTime now) {
 }
 
 void EventEngine::apply_end_of_rib(NodeId v, NodeId w, std::uint64_t epoch, SimTime now) {
+  if (tracing()) {
+    util::json::Object fields;
+    fields.emplace_back("from", v);
+    fields.emplace_back("to", w);
+    fields.emplace_back("voided", epoch != session_epoch_[sess(v, w)]);
+    trace_->emit(now, "eor", std::move(fields));
+  }
   if (epoch != session_epoch_[sess(v, w)]) {
     // The session reset after the marker was sent: it died in flight.
     ++deliveries_voided_;
@@ -643,7 +788,7 @@ void EventEngine::apply_stale_expire(NodeId v, std::uint64_t generation, SimTime
     // Logged only when it actually degraded to a cold flush — a timer that
     // fires after a completed recovery is a silent no-op.
     stale_swept_expired_ += swept_total;
-    fault_log_.push_back({now, FaultKind::kStaleExpire, v, kNoNode});
+    record_fault({now, FaultKind::kStaleExpire, v, kNoNode});
   }
 }
 
@@ -675,11 +820,17 @@ void EventEngine::apply_link_fault(EventKind kind, NodeId a, NodeId b, Cost cost
   // mirrors the session-fault no-op discipline.
   if (!changed) return;
 
-  fault_log_.push_back({now, record, a, b, cost});
+  record_fault({now, record, a, b, cost});
   const auto prev = igp_;
   igp_ = inst_->igp_epoch(link_state_.effective());
   ++igp_swaps_;
   igp_log_.push_back({now, igp_->fingerprint(), igp_});
+  if (tracing()) {
+    util::json::Object fields;
+    fields.emplace_back("fingerprint", igp_->fingerprint());
+    fields.emplace_back("swaps", static_cast<std::uint64_t>(igp_swaps_));
+    trace_->emit(now, "igp-epoch", std::move(fields));
+  }
 
   // Sessions that rode a now-dead IGP path go down exactly like session
   // faults (TCP cannot cross a partition): in-flight messages void, both
@@ -706,6 +857,7 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   sealed_ = true;
   Result result;
   while (!queue_.empty() && result.deliveries < max_deliveries) {
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     const Event event = queue_.top();
     queue_.pop();
     ++result.deliveries;
@@ -714,6 +866,12 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
     switch (event.kind) {
       case EventKind::kEbgpAnnounce:
         ebgp_live_[event.path] = true;
+        if (tracing()) {
+          util::json::Object fields;
+          fields.emplace_back("path", event.path);
+          fields.emplace_back("node", event.to);
+          trace_->emit(event.time, "ebgp-announce", std::move(fields));
+        }
         if (node_up_[event.to]) {
           nodes_[event.to].own[event.path] = true;
           reconsider(event.to, event.time);
@@ -721,13 +879,30 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
         break;
       case EventKind::kEbgpWithdraw:
         ebgp_live_[event.path] = false;
+        if (tracing()) {
+          util::json::Object fields;
+          fields.emplace_back("path", event.path);
+          fields.emplace_back("node", event.to);
+          trace_->emit(event.time, "ebgp-withdraw", std::move(fields));
+        }
         if (node_up_[event.to]) {
           nodes_[event.to].own[event.path] = false;
           reconsider(event.to, event.time);
         }
         break;
       case EventKind::kUpdate: {
-        if (event.epoch != session_epoch_[sess(event.from, event.to)]) {
+        const bool voided =
+            event.epoch != session_epoch_[sess(event.from, event.to)];
+        if (tracing()) {
+          util::json::Object fields;
+          fields.emplace_back("from", event.from);
+          fields.emplace_back("to", event.to);
+          fields.emplace_back("path", event.path);
+          fields.emplace_back("announce", event.announce);
+          trace_->emit(event.time, voided ? "update-voided" : "update",
+                       std::move(fields));
+        }
+        if (voided) {
           // Sent before a reset of this session: the message died with it.
           ++deliveries_voided_;
           break;
@@ -837,9 +1012,47 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   result.stale_swept_eor = stale_swept_eor_;
   result.stale_swept_expired = stale_swept_expired_;
   result.igp_epoch_swaps = igp_swaps_;
+  result.decisions_total = decisions_total_;
+  result.decisions_empty = decisions_empty_;
+  result.mrai_deferrals = mrai_deferrals_;
+  result.decisions_by_rule = decisions_by_rule_;
+  result.decisions_by_node = decisions_by_node_;
   result.final_best.reserve(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) result.final_best.push_back(best_path(v));
+  flush_metrics(result);
   return result;
+}
+
+void EventEngine::flush_metrics(const Result& result) {
+  if (metrics_ == nullptr) return;
+  // Engine counters are cumulative across run() calls; push only the delta
+  // since the previous flush so resumed runs never double-count.
+  const auto push = [](obs::Counter* counter, std::uint64_t current,
+                       std::uint64_t& pushed) {
+    counter->add(current - pushed);
+    pushed = current;
+  };
+  handles_.deliveries->add(result.deliveries);  // per-run, not cumulative
+  push(handles_.updates_sent, updates_sent_, flushed_.updates_sent);
+  push(handles_.deliveries_voided, deliveries_voided_, flushed_.deliveries_voided);
+  push(handles_.messages_dropped, messages_dropped_, flushed_.messages_dropped);
+  push(handles_.messages_duplicated, messages_duplicated_,
+       flushed_.messages_duplicated);
+  push(handles_.best_flips, best_flips_, flushed_.best_flips);
+  push(handles_.mrai_deferrals, mrai_deferrals_, flushed_.mrai_deferrals);
+  push(handles_.faults_applied, fault_log_.size(), flushed_.faults_applied);
+  push(handles_.eor_markers_sent, eor_sent_, flushed_.eor_markers_sent);
+  push(handles_.stale_retained, stale_retained_, flushed_.stale_retained);
+  push(handles_.stale_swept_eor, stale_swept_eor_, flushed_.stale_swept_eor);
+  push(handles_.stale_swept_expired, stale_swept_expired_,
+       flushed_.stale_swept_expired);
+  push(handles_.igp_epoch_swaps, igp_swaps_, flushed_.igp_epoch_swaps);
+  push(handles_.decisions, decisions_total_, flushed_.decisions);
+  push(handles_.decisions_empty, decisions_empty_, flushed_.decisions_empty);
+  for (std::size_t rule = 0; rule < bgp::kSelectionRuleCount; ++rule) {
+    push(handles_.decided[rule], decisions_by_rule_[rule], flushed_.decided[rule]);
+  }
+  handles_.queue_depth_max->record_max(static_cast<std::int64_t>(max_queue_depth_));
 }
 
 }  // namespace ibgp::engine

@@ -124,10 +124,14 @@
 #include <span>
 #include <vector>
 
+#include <array>
+
 #include "bgp/selection.hpp"
 #include "core/instance.hpp"
 #include "core/policy.hpp"
 #include "netsim/link_state.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/types.hpp"
 
 namespace ibgp::engine {
@@ -195,6 +199,26 @@ class EventEngine {
   /// clear).  Same precondition as set_mrai: before any event is scheduled,
   /// so every message of the run is classified under one policy.
   void set_fault_injector(FaultInjector* injector);
+
+  /// Attaches a metrics registry (non-owning; nullptr detaches).  The
+  /// engine pushes its deterministic counters (deliveries, updates,
+  /// per-rule decisions, MRAI deferrals, epoch swaps, ...) into the
+  /// registry at the end of each run() — counter increments commute, so a
+  /// registry shared across sweep workers stays byte-identical across
+  /// --jobs (see obs/metrics.hpp).  Metric names are pre-registered via
+  /// register_event_engine_metrics(); attach before fan-out to keep
+  /// snapshot ordering deterministic.  Same precondition as set_mrai: must
+  /// be called before any event is scheduled.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a trace sink (non-owning; nullptr detaches).  When the sink
+  /// is enabled the engine emits ibgp-trace-v1 records for deliveries,
+  /// E-BGP announce/withdraw, selection decisions (with the decisive rule),
+  /// fault applications, IGP epoch swaps, and End-of-RIB markers — plus a
+  /// meta/node/path preamble so downstream tools can label ids.  Disabled
+  /// or absent sinks cost one branch per site.  Same precondition as
+  /// set_mrai: must be called before any event is scheduled.
+  void set_trace(obs::TraceSink* trace);
 
   /// Bounds stale-path retention per graceful restart: `ticks` after a
   /// graceful down, any entry from the restarting router that is still
@@ -318,6 +342,16 @@ class EventEngine {
     std::size_t stale_swept_eor = 0;    ///< stale entries swept by an EoR
     std::size_t stale_swept_expired = 0;  ///< stale entries cold-flushed by the timer
     std::size_t igp_epoch_swaps = 0;  ///< link faults that installed a new IGP epoch
+    // --- decision provenance (bgp::SelectionProvenance, aggregated) ---------
+    /// Total reconsider() selections that produced a best route.  Equals the
+    /// sum of decisions_by_rule (tested in test_obs).
+    std::uint64_t decisions_total = 0;
+    std::uint64_t decisions_empty = 0;  ///< selections with no usable route
+    std::uint64_t mrai_deferrals = 0;   ///< peer syncs batched by the MRAI hold-down
+    /// decisions_by_rule[rule_index(r)] = selections where r was decisive.
+    std::array<std::uint64_t, bgp::kSelectionRuleCount> decisions_by_rule{};
+    /// Per-node decisive-rule histogram, indexed by NodeId.
+    std::vector<std::array<std::uint64_t, bgp::kSelectionRuleCount>> decisions_by_node;
   };
 
   /// Processes events until the queue drains or `max_deliveries` is hit.
@@ -537,6 +571,13 @@ class EventEngine {
   /// Drops every still-stale entry from v at peer w; returns entries swept.
   std::size_t sweep_stale_from(NodeId w, NodeId v);
   void send_end_of_rib(NodeId v, NodeId w, SimTime now);
+  /// Appends to the fault log and mirrors the record into the trace.
+  void record_fault(const FaultRecord& record);
+  [[nodiscard]] bool tracing() const { return trace_ != nullptr && trace_->enabled(); }
+  /// Pushes the counters accumulated since the last flush into metrics_
+  /// (deltas, so repeated run() calls never double-count).
+  void flush_metrics(const Result& result);
+  void emit_trace_preamble();
   void apply_session_down(NodeId u, NodeId v, SimTime now);
   void apply_session_up(NodeId u, NodeId v, SimTime now);
   void apply_crash(NodeId v, SimTime now);
@@ -580,11 +621,62 @@ class EventEngine {
   std::size_t stale_swept_eor_ = 0;
   std::size_t stale_swept_expired_ = 0;
   std::size_t igp_swaps_ = 0;
+  std::uint64_t decisions_total_ = 0;
+  std::uint64_t decisions_empty_ = 0;
+  std::uint64_t mrai_deferrals_ = 0;
+  std::array<std::uint64_t, bgp::kSelectionRuleCount> decisions_by_rule_{};
+  std::vector<std::array<std::uint64_t, bgp::kSelectionRuleCount>> decisions_by_node_;
+  std::size_t max_queue_depth_ = 0;  // volatile-metric input, not in any hash
+  // Observability attachments (non-owning) and cached metric handles.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  struct MetricHandles {
+    obs::Counter* deliveries = nullptr;
+    obs::Counter* updates_sent = nullptr;
+    obs::Counter* deliveries_voided = nullptr;
+    obs::Counter* messages_dropped = nullptr;
+    obs::Counter* messages_duplicated = nullptr;
+    obs::Counter* best_flips = nullptr;
+    obs::Counter* mrai_deferrals = nullptr;
+    obs::Counter* faults_applied = nullptr;
+    obs::Counter* eor_markers_sent = nullptr;
+    obs::Counter* stale_retained = nullptr;
+    obs::Counter* stale_swept_eor = nullptr;
+    obs::Counter* stale_swept_expired = nullptr;
+    obs::Counter* igp_epoch_swaps = nullptr;
+    obs::Counter* decisions = nullptr;
+    obs::Counter* decisions_empty = nullptr;
+    std::array<obs::Counter*, bgp::kSelectionRuleCount> decided{};
+    obs::Gauge* queue_depth_max = nullptr;
+  } handles_;
+  /// Counter values already pushed into metrics_ (flush-delta state).
+  struct Flushed {
+    std::uint64_t updates_sent = 0;
+    std::uint64_t deliveries_voided = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t messages_duplicated = 0;
+    std::uint64_t best_flips = 0;
+    std::uint64_t mrai_deferrals = 0;
+    std::uint64_t faults_applied = 0;
+    std::uint64_t eor_markers_sent = 0;
+    std::uint64_t stale_retained = 0;
+    std::uint64_t stale_swept_eor = 0;
+    std::uint64_t stale_swept_expired = 0;
+    std::uint64_t igp_epoch_swaps = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t decisions_empty = 0;
+    std::array<std::uint64_t, bgp::kSelectionRuleCount> decided{};
+  } flushed_;
   std::vector<std::size_t> flips_by_node_;
   std::vector<FlapRecord> flap_log_;
   std::vector<FaultRecord> fault_log_;
   std::vector<FibRecord> fib_log_;
   std::vector<IgpRecord> igp_log_;
 };
+
+/// Registers every metric EventEngine::flush_metrics touches, so a registry
+/// shared across sweep workers acquires its (insertion-ordered) layout
+/// deterministically on the main thread before fan-out.  Idempotent.
+void register_event_engine_metrics(obs::MetricsRegistry& registry);
 
 }  // namespace ibgp::engine

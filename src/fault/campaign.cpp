@@ -4,6 +4,19 @@
 
 namespace ibgp::fault {
 
+namespace {
+
+// Settle-time histogram buckets (virtual ticks from last applied fault to
+// quiescence).  Log-ish spacing: most healthy campaigns settle within a few
+// hundred ticks; the overflow bucket catches pathological stragglers.
+constexpr std::int64_t kSettleBounds[] = {10, 30, 100, 300, 1000, 3000, 10000};
+
+std::vector<std::int64_t> settle_bounds() {
+  return std::vector<std::int64_t>(std::begin(kSettleBounds), std::end(kSettleBounds));
+}
+
+}  // namespace
+
 std::uint64_t trace_hash(const engine::EventEngine& engine,
                          const engine::EventEngine::Result& result) {
   util::Fingerprint fp;
@@ -35,7 +48,27 @@ std::uint64_t trace_hash(const engine::EventEngine& engine,
       .add(result.stale_swept_eor)
       .add(result.stale_swept_expired)
       .add(result.end_time);
+  // Decision provenance is part of the observable history: which rule
+  // decided every Choose_best, per node.  Folding it in means the `same
+  // seed -> same trace` guarantee now also covers the provenance counters
+  // the metrics registry exports.
+  fp.add(result.decisions_total).add(result.decisions_empty).add(result.mrai_deferrals);
+  fp.add_range(result.decisions_by_rule);
+  for (const auto& per_node : result.decisions_by_node) fp.add_range(per_node);
   return fp.value();
+}
+
+void register_campaign_metrics(obs::MetricsRegistry& registry) {
+  registry.counter("campaign.runs");
+  registry.counter("campaign.reconverged");
+  registry.counter("campaign.truncated");
+  registry.counter("campaign.unclean");
+  registry.counter("campaign.blackhole_ticks");
+  registry.counter("campaign.stale_ticks");
+  registry.counter("campaign.loop_ticks");
+  registry.counter("campaign.deflection_ticks");
+  registry.histogram("campaign.settle_time", settle_bounds());
+  engine::register_event_engine_metrics(registry);
 }
 
 CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind protocol,
@@ -43,6 +76,8 @@ CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind proto
   engine::EventEngine engine(inst, protocol, options.delay);
   if (options.mrai > 0) engine.set_mrai(options.mrai);
   if (script.stale_timer > 0) engine.set_stale_timer(script.stale_timer);
+  if (options.metrics != nullptr) engine.set_metrics(options.metrics);
+  if (options.trace != nullptr) engine.set_trace(options.trace);
   ScriptInjector injector(script);
   engine.set_fault_injector(&injector);
   engine.inject_all_exits(0);
@@ -60,6 +95,38 @@ CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind proto
     campaign.settle_time = campaign.run.end_time > campaign.last_fault_time
                                ? campaign.run.end_time - campaign.last_fault_time
                                : 0;
+  }
+
+  if (options.metrics != nullptr) {
+    auto& reg = *options.metrics;
+    reg.counter("campaign.runs").increment();
+    if (campaign.reconverged()) reg.counter("campaign.reconverged").increment();
+    if (campaign.truncated()) reg.counter("campaign.truncated").increment();
+    if (!campaign.invariants.clean()) reg.counter("campaign.unclean").increment();
+    reg.counter("campaign.blackhole_ticks").add(campaign.continuity.blackhole_ticks);
+    reg.counter("campaign.stale_ticks").add(campaign.continuity.stale_ticks);
+    reg.counter("campaign.loop_ticks").add(campaign.continuity.loop_ticks);
+    reg.counter("campaign.deflection_ticks").add(campaign.continuity.deflection_ticks);
+    if (campaign.settle_time) {
+      reg.histogram("campaign.settle_time", settle_bounds())
+          .observe(static_cast<std::int64_t>(*campaign.settle_time));
+    }
+  }
+
+  if (options.trace != nullptr && options.trace->enabled()) {
+    util::json::Object fields;
+    fields.emplace_back("instance", inst.name());
+    fields.emplace_back("protocol", core::protocol_name(protocol));
+    fields.emplace_back("seed", script.seed);
+    fields.emplace_back("trace_hash", campaign.trace_hash);
+    fields.emplace_back("reconverged", campaign.reconverged());
+    fields.emplace_back("clean", campaign.invariants.clean());
+    options.trace->emit(campaign.run.end_time, "campaign", std::move(fields));
+    // Flight-recorder semantics: an unclean verdict is exactly the moment
+    // the retained tail of the event stream is worth keeping.
+    if (options.trace->ring_mode() && !campaign.invariants.clean()) {
+      options.trace->dump_ring();
+    }
   }
   return campaign;
 }

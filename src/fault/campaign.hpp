@@ -20,6 +20,8 @@
 #include "core/policy.hpp"
 #include "engine/event_engine.hpp"
 #include "fault/script.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ibgp::fault {
 
@@ -27,6 +29,15 @@ struct CampaignOptions {
   std::size_t max_deliveries = 1'000'000;
   engine::EventEngine::DelayFn delay = {};  ///< forwarded to the engine
   engine::SimTime mrai = 0;
+  /// Optional observability hookups, both non-owning and nullable.  The
+  /// registry receives the engine's deterministic counters plus the
+  /// campaign.* aggregates (pre-register via register_campaign_metrics so
+  /// snapshot order is fixed before any parallel fan-out).  The trace sink
+  /// receives the engine's ibgp-trace-v1 stream plus campaign verdict
+  /// records; in ring mode, an unclean invariant verdict dumps the ring
+  /// (flight-recorder semantics).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 struct CampaignResult {
@@ -61,9 +72,17 @@ CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind proto
                             const FaultScript& script, const CampaignOptions& options = {});
 
 /// Fingerprint of an engine's observable history (flap log, fault log,
-/// final best routes, message-fate counters).  Exposed so callers driving
-/// the engine manually can make the same determinism claim.
+/// final best routes, message-fate counters, decision-provenance tallies).
+/// Exposed so callers driving the engine manually can make the same
+/// determinism claim.
 std::uint64_t trace_hash(const engine::EventEngine& engine,
                          const engine::EventEngine::Result& result);
+
+/// Pre-registers every deterministic metric a campaign can touch —
+/// campaign.* aggregates, the settle-time histogram and the full
+/// engine.* family — so the registry's insertion order (and therefore its
+/// snapshots and fingerprint) is fixed before cells fan out across worker
+/// threads.  Idempotent.
+void register_campaign_metrics(obs::MetricsRegistry& registry);
 
 }  // namespace ibgp::fault

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bgp/selection.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
 
@@ -16,6 +17,13 @@ std::string hex64(std::uint64_t value) {
   return std::string(buf);
 }
 
+// Per-cell wall-clock buckets (microseconds).  Volatile by construction —
+// timing is schedule- and machine-dependent — so the histogram never feeds
+// a fingerprint; it exists for spotting pathological cells in sweeps.
+const std::vector<std::int64_t> kCellWallBoundsUs = {100,    300,    1'000,   3'000,
+                                                     10'000, 30'000, 100'000, 300'000,
+                                                     1'000'000};
+
 }  // namespace
 
 SweepResult run_sweep(std::span<const SweepCell> cells, std::size_t jobs) {
@@ -26,8 +34,24 @@ SweepResult run_sweep(std::span<const SweepCell> cells, std::size_t jobs) {
   const auto start = std::chrono::steady_clock::now();
   util::parallel_for(cells.size(), result.jobs, [&](std::size_t i) {
     const SweepCell& cell = cells[i];
+    if (cell.options.trace != nullptr && cell.options.trace->enabled()) {
+      util::json::Object fields;
+      fields.emplace_back("index", i);
+      fields.emplace_back("group", cell.group);
+      fields.emplace_back("protocol", core::protocol_name(cell.protocol));
+      fields.emplace_back("seed", cell.seed);
+      cell.options.trace->emit(0, "cell", std::move(fields));
+    }
+    const auto cell_start = std::chrono::steady_clock::now();
     result.cells[i] =
         run_campaign(*cell.instance, cell.protocol, cell.script, cell.options);
+    if (cell.options.metrics != nullptr) {
+      const auto cell_elapsed = std::chrono::steady_clock::now() - cell_start;
+      cell.options.metrics
+          ->histogram("sweep.cell_wall_us", kCellWallBoundsUs, obs::MetricClass::kVolatile)
+          .observe(static_cast<std::int64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(cell_elapsed).count()));
+    }
   });
   const auto elapsed = std::chrono::steady_clock::now() - start;
   result.wall_seconds = std::chrono::duration<double>(elapsed).count();
@@ -39,6 +63,11 @@ std::uint64_t sweep_fingerprint(std::span<const CampaignResult> cells) {
   util::Fingerprint fp;
   for (const auto& cell : cells) fp.add(cell.trace_hash);
   return fp.value();
+}
+
+void register_sweep_metrics(obs::MetricsRegistry& registry) {
+  registry.histogram("sweep.cell_wall_us", kCellWallBoundsUs, obs::MetricClass::kVolatile);
+  register_campaign_metrics(registry);
 }
 
 util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult& result,
@@ -75,6 +104,20 @@ util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult
     row.emplace_back("messages_duplicated", campaign.run.messages_duplicated);
     row.emplace_back("stale_retained", campaign.run.stale_retained);
     row.emplace_back("igp_epoch_swaps", campaign.run.igp_epoch_swaps);
+    row.emplace_back("decisions", campaign.run.decisions_total);
+    row.emplace_back("decisions_empty", campaign.run.decisions_empty);
+    row.emplace_back("mrai_deferrals", campaign.run.mrai_deferrals);
+    {
+      // Per-rule provenance breakdown, every rule present in enum order so
+      // the document shape is independent of which rules fired.
+      Object decided_by;
+      for (std::size_t r = 0; r < bgp::kSelectionRuleCount; ++r) {
+        decided_by.emplace_back(
+            bgp::selection_rule_name(static_cast<bgp::SelectionRule>(r)),
+            campaign.run.decisions_by_rule[r]);
+      }
+      row.emplace_back("decided_by", std::move(decided_by));
+    }
     row.emplace_back("blackhole_ticks", campaign.continuity.blackhole_ticks);
     row.emplace_back("stale_ticks", campaign.continuity.stale_ticks);
     row.emplace_back("loop_ticks", campaign.continuity.loop_ticks);
@@ -85,7 +128,7 @@ util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult
   }
 
   Object doc;
-  doc.emplace_back("schema", "ibgp-sweep-v2");
+  doc.emplace_back("schema", "ibgp-sweep-v3");
   doc.emplace_back("cell_count", result.cells.size());
   doc.emplace_back("fingerprint", hex64(result.fingerprint));
   if (include_timing) {

@@ -62,7 +62,15 @@ SweepResult run_sweep(std::span<const SweepCell> cells, std::size_t jobs = 1);
 /// The fingerprint fold alone, for callers comparing serial vs parallel.
 std::uint64_t sweep_fingerprint(std::span<const CampaignResult> cells);
 
-/// Stable JSON document for a finished sweep ("ibgp-sweep-v2" schema).
+/// Pre-registers every metric a sweep can touch — the volatile per-cell
+/// wall-clock histogram plus the whole campaign/engine family (via
+/// register_campaign_metrics) — fixing snapshot order before the worker
+/// fan-out.  Idempotent.
+void register_sweep_metrics(obs::MetricsRegistry& registry);
+
+/// Stable JSON document for a finished sweep ("ibgp-sweep-v3" schema —
+/// v3 added per-cell decision provenance: `decisions`, `decisions_empty`,
+/// `mrai_deferrals` and the per-rule `decided_by` breakdown).
 /// Run-dependent outputs (jobs, wall-clock) are grouped under a single
 /// "volatile" sub-object so regenerated documents diff fingerprint-only;
 /// with include_timing false the sub-object is omitted entirely and two

@@ -15,7 +15,15 @@ std::shared_ptr<const ShortestPaths> SpfCache::get(std::span<const Cost> effecti
 
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    if (hits_ != nullptr) hits_->increment();
+    return it->second;
+  }
+  ++stats_.misses;
+  ++stats_.inserts;
+  if (misses_ != nullptr) misses_->increment();
+  if (inserts_ != nullptr) inserts_->increment();
 
   // Materialize the churned graph: base topology with the effective costs,
   // down links (kInfCost) omitted entirely.  Dijkstra then reports whatever
@@ -33,6 +41,22 @@ std::shared_ptr<const ShortestPaths> SpfCache::get(std::span<const Cost> effecti
 std::size_t SpfCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.size();
+}
+
+SpfCacheStats SpfCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SpfCache::attach_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    hits_ = misses_ = inserts_ = nullptr;
+    return;
+  }
+  hits_ = &registry->counter("spf.hits", obs::MetricClass::kVolatile);
+  misses_ = &registry->counter("spf.misses", obs::MetricClass::kVolatile);
+  inserts_ = &registry->counter("spf.inserts", obs::MetricClass::kVolatile);
 }
 
 }  // namespace ibgp::netsim

@@ -16,6 +16,7 @@
 // and reverting to previously seen costs returns the *identical* object
 // (pointer equality), making "link_up restored the original IGP" checkable.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,9 +25,19 @@
 
 #include "netsim/physical_graph.hpp"
 #include "netsim/shortest_paths.hpp"
+#include "obs/metrics.hpp"
 #include "util/types.hpp"
 
 namespace ibgp::netsim {
+
+/// Lookup statistics.  Schedule-dependent when the cache is shared across
+/// sweep workers (whichever thread sees a key first takes the miss), hence
+/// exported as *volatile* metrics only — never folded into trace hashes.
+struct SpfCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;  ///< == misses: every miss materializes an epoch
+};
 
 class SpfCache {
  public:
@@ -42,10 +53,25 @@ class SpfCache {
   /// Distinct epochs materialized so far (>= 1 once the base was queried).
   [[nodiscard]] std::size_t size() const;
 
+  /// Lookup counters since construction.  The base epoch is computed when
+  /// the owning Instance primes the cache, so it costs exactly one miss at
+  /// construction time and every later base-vector lookup is a hit (tested
+  /// in test_obs).
+  [[nodiscard]] SpfCacheStats stats() const;
+
+  /// Mirrors the counters into `registry` as the volatile metrics
+  /// "spf.hits" / "spf.misses" / "spf.inserts", from now on.  Pass nullptr
+  /// to detach.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
  private:
   PhysicalGraph base_;
   mutable std::mutex mutex_;
   std::map<std::vector<Cost>, std::shared_ptr<const ShortestPaths>> cache_;
+  SpfCacheStats stats_;  // guarded by mutex_
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* inserts_ = nullptr;
 };
 
 }  // namespace ibgp::netsim

@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace ibgp::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::logic_error("histogram needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i - 1] >= bounds_[i]) {
+      throw std::logic_error("histogram bounds must be strictly increasing");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(std::int64_t sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, MetricClass metric_class) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = find(name)) {
+    if (entry->kind != Kind::kCounter || entry->metric_class != metric_class) {
+      throw std::logic_error("metric re-registered with a different kind/class: " +
+                             std::string(name));
+    }
+    return *entry->counter;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = Kind::kCounter;
+  entry->metric_class = metric_class;
+  entry->counter = std::unique_ptr<Counter>(new Counter());
+  Counter& out = *entry->counter;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = find(name)) {
+    if (entry->kind != Kind::kGauge) {
+      throw std::logic_error("metric re-registered with a different kind: " +
+                             std::string(name));
+    }
+    return *entry->gauge;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = Kind::kGauge;
+  entry->metric_class = MetricClass::kVolatile;
+  entry->gauge = std::unique_ptr<Gauge>(new Gauge());
+  Gauge& out = *entry->gauge;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::int64_t> bounds,
+                                      MetricClass metric_class) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = find(name)) {
+    if (entry->kind != Kind::kHistogram || entry->metric_class != metric_class ||
+        entry->histogram->bounds() != bounds) {
+      throw std::logic_error("metric re-registered with different kind/class/bounds: " +
+                             std::string(name));
+    }
+    return *entry->histogram;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = Kind::kHistogram;
+  entry->metric_class = metric_class;
+  entry->histogram = std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  Histogram& out = *entry->histogram;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find(name);
+  if (entry == nullptr || entry->kind != Kind::kCounter) return 0;
+  return entry->counter->value();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        entry->counter->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kGauge:
+        entry->gauge->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram: {
+        Histogram& h = *entry->histogram;
+        for (std::size_t i = 0; i <= h.bounds_.size(); ++i) {
+          h.counts_[i].store(0, std::memory_order_relaxed);
+        }
+        h.total_.store(0, std::memory_order_relaxed);
+        h.sum_.store(0, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+util::json::Value histogram_json(const Histogram& histogram) {
+  util::json::Array le;
+  for (const std::int64_t bound : histogram.bounds()) le.emplace_back(bound);
+  util::json::Array counts;
+  for (const std::uint64_t count : histogram.counts()) counts.emplace_back(count);
+  util::json::Object out;
+  out.emplace_back("le", std::move(le));
+  out.emplace_back("counts", std::move(counts));
+  out.emplace_back("total", histogram.total());
+  out.emplace_back("sum", histogram.sum());
+  return util::json::Value(std::move(out));
+}
+
+}  // namespace
+
+util::json::Object MetricsRegistry::deterministic_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::json::Object out;
+  for (const auto& entry : entries_) {
+    if (entry->metric_class != MetricClass::kDeterministic) continue;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out.emplace_back(entry->name, entry->counter->value());
+        break;
+      case Kind::kHistogram:
+        out.emplace_back(entry->name, histogram_json(*entry->histogram));
+        break;
+      case Kind::kGauge:
+        break;  // gauges are always volatile
+    }
+  }
+  return out;
+}
+
+util::json::Object MetricsRegistry::volatile_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::json::Object out;
+  for (const auto& entry : entries_) {
+    if (entry->metric_class != MetricClass::kVolatile) continue;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out.emplace_back(entry->name, entry->counter->value());
+        break;
+      case Kind::kGauge:
+        out.emplace_back(entry->name, entry->gauge->value());
+        break;
+      case Kind::kHistogram:
+        out.emplace_back(entry->name, histogram_json(*entry->histogram));
+        break;
+    }
+  }
+  return out;
+}
+
+util::json::Value MetricsRegistry::json() const {
+  util::json::Object doc;
+  doc.emplace_back("schema", "ibgp-metrics-v1");
+  doc.emplace_back("deterministic", deterministic_json());
+  doc.emplace_back("volatile", volatile_json());
+  return util::json::Value(std::move(doc));
+}
+
+std::uint64_t MetricsRegistry::fingerprint() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::Fingerprint fp;
+  for (const auto& entry : entries_) {
+    if (entry->metric_class != MetricClass::kDeterministic) continue;
+    fp.add(entry->name);
+    fp.add(static_cast<std::uint64_t>(entry->kind));
+    switch (entry->kind) {
+      case Kind::kCounter:
+        fp.add(entry->counter->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        for (const std::int64_t bound : h.bounds()) {
+          fp.add(static_cast<std::uint64_t>(bound));
+        }
+        for (const std::uint64_t count : h.counts()) fp.add(count);
+        fp.add(h.total());
+        fp.add(static_cast<std::uint64_t>(h.sum()));
+        break;
+      }
+      case Kind::kGauge:
+        break;
+    }
+  }
+  return fp.value();
+}
+
+}  // namespace ibgp::obs

@@ -1,0 +1,162 @@
+#pragma once
+// Thread-safe metrics registry with deterministic snapshots.
+//
+// Counters, gauges, and fixed-bucket histograms, split along the repo's
+// determinism contract (README "Running sweeps in parallel"):
+//
+//  * kDeterministic metrics accumulate only schedule-independent facts —
+//    message counts, per-rule decision counts, MRAI deferrals, IGP epoch
+//    swaps.  Increments commute, so a registry shared across sweep worker
+//    threads yields byte-identical snapshots for --jobs 1 and --jobs N, and
+//    fingerprint() folds them into the sweep determinism checks.
+//  * kVolatile metrics hold schedule- and wall-clock-dependent values —
+//    timings, SPF-cache hit/miss, queue depths.  They are reported under the
+//    "volatile" JSON sub-object (the existing convention for wall-seconds
+//    and speedup in BENCH_*.json) and never enter a fingerprint.
+//
+// Snapshot determinism also requires deterministic *ordering*: snapshots
+// walk metrics in registration order, so register every metric from the
+// main thread before fanning out (see register_campaign_metrics /
+// register_event_engine_metrics).  Lookups of already-registered names are
+// safe from any thread; value updates are lock-free atomics.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ibgp::obs {
+
+enum class MetricClass : std::uint8_t {
+  kDeterministic,  ///< schedule-independent; folded into fingerprints
+  kVolatile,       ///< timing / schedule dependent; "volatile" JSON only
+};
+
+/// Monotone counter.  add() is a relaxed atomic increment: counter updates
+/// commute, which is exactly why deterministic counters stay deterministic
+/// under parallel sweeps.
+class Counter {
+ public:
+  void add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins scalar with a monotone-max helper.  Gauges are
+/// inherently schedule-dependent, so the registry only accepts them as
+/// kVolatile.
+class Gauge {
+ public:
+  void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void record_max(std::int64_t value) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !value_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over int64 samples.  Bucket i counts samples
+/// <= bounds[i] (upper-inclusive, "le" semantics); one extra overflow bucket
+/// counts everything above the last bound.  Bounds are fixed at
+/// registration, so bucket increments commute like counter increments.
+class Histogram {
+ public:
+  void observe(std::int64_t sample);
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Bucket counts, bounds().size() + 1 entries (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t total() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<std::int64_t> bounds);
+  std::vector<std::int64_t> bounds_;  // strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Named metric registry.  Registration (counter()/gauge()/histogram()) is
+/// mutex-guarded and idempotent — repeating a name returns the existing
+/// metric, and re-registering under a different kind/class/bounds throws
+/// std::logic_error.  Returned references stay valid for the registry's
+/// lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name,
+                   MetricClass metric_class = MetricClass::kDeterministic);
+  Gauge& gauge(std::string_view name);  // always kVolatile
+  Histogram& histogram(std::string_view name, std::vector<std::int64_t> bounds,
+                       MetricClass metric_class = MetricClass::kDeterministic);
+
+  /// Value of a registered counter, or 0 when absent.  Never registers.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Zeroes every metric value; names, order, and bounds are retained.
+  void reset();
+
+  /// Snapshot of the deterministic metrics in registration order.
+  /// Counters render as integers, histograms as {"le", "counts", "total",
+  /// "sum"} objects.  Byte-identical across --jobs when only deterministic
+  /// facts were recorded (see file comment).
+  [[nodiscard]] util::json::Object deterministic_json() const;
+
+  /// Snapshot of the volatile metrics in registration order (counters,
+  /// gauges, and volatile histograms).
+  [[nodiscard]] util::json::Object volatile_json() const;
+
+  /// Full "ibgp-metrics-v1" document: schema tag + both snapshots.
+  [[nodiscard]] util::json::Value json() const;
+
+  /// Order-sensitive hash over the deterministic metrics (names, kinds,
+  /// bounds, values) — foldable into sweep fingerprints.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind;
+    MetricClass metric_class;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* find(std::string_view name);
+  const Entry* find(std::string_view name) const;
+
+  mutable std::mutex mutex_;  // guards entries_ layout; values are atomics
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace ibgp::obs

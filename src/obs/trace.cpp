@@ -1,0 +1,275 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+namespace ibgp::obs {
+
+TraceSink::~TraceSink() { close(); }
+
+std::string TraceSink::header_line() {
+  util::json::Object header;
+  header.emplace_back("schema", "ibgp-trace-v1");
+  return util::json::Value(std::move(header)).dump_compact();
+}
+
+bool TraceSink::open_file(const std::string& path) {
+  close();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  file_ = file;
+  writer_ = [this](std::string_view line) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+  };
+  seq_ = 0;
+  enabled_ = true;
+  write_line(header_line());
+  return true;
+}
+
+void TraceSink::open_writer(TraceWriter writer) {
+  close();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  writer_ = std::move(writer);
+  seq_ = 0;
+  enabled_ = true;
+  write_line(header_line());
+}
+
+void TraceSink::open_ring(std::size_t capacity, TraceWriter dump_writer) {
+  close();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  writer_ = std::move(dump_writer);
+  ring_capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(ring_capacity_);
+  ring_next_ = 0;
+  ring_dropped_ = 0;
+  seq_ = 0;
+  enabled_ = true;
+}
+
+void TraceSink::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = false;
+  writer_ = nullptr;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  ring_capacity_ = 0;
+  ring_.clear();
+  ring_next_ = 0;
+}
+
+void TraceSink::write_line(const std::string& line) {
+  if (ring_capacity_ > 0) {
+    if (ring_.size() < ring_capacity_) {
+      ring_.push_back(line);
+    } else {
+      ring_[ring_next_] = line;
+      ring_next_ = (ring_next_ + 1) % ring_capacity_;
+      ++ring_dropped_;
+    }
+    return;
+  }
+  if (writer_) writer_(line);
+}
+
+void TraceSink::emit(std::uint64_t time, std::string_view event,
+                     util::json::Object fields) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  util::json::Object record;
+  record.reserve(fields.size() + 3);
+  record.emplace_back("ev", event);
+  record.emplace_back("seq", seq_++);
+  record.emplace_back("t", time);
+  for (auto& field : fields) record.push_back(std::move(field));
+  write_line(util::json::Value(std::move(record)).dump_compact());
+}
+
+void TraceSink::dump_ring() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_capacity_ == 0 || !writer_) return;
+  writer_(header_line());
+  util::json::Object marker;
+  marker.emplace_back("ev", "ring-dump");
+  marker.emplace_back("retained", static_cast<std::uint64_t>(ring_.size()));
+  marker.emplace_back("dropped", ring_dropped_);
+  writer_(util::json::Value(std::move(marker)).dump_compact());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    writer_(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+}
+
+const TraceRecord::Field* TraceRecord::find(std::string_view key) const {
+  for (const auto& field : fields) {
+    if (field.key == key) return &field;
+  }
+  return nullptr;
+}
+
+std::string_view TraceRecord::str(std::string_view key, std::string_view fallback) const {
+  const Field* field = find(key);
+  return field != nullptr && field->kind == Field::Kind::kString ? field->string_value
+                                                                 : fallback;
+}
+
+std::int64_t TraceRecord::num(std::string_view key, std::int64_t fallback) const {
+  const Field* field = find(key);
+  if (field == nullptr) return fallback;
+  if (field->kind == Field::Kind::kInt) return field->int_value;
+  if (field->kind == Field::Kind::kBool) return field->bool_value ? 1 : 0;
+  return fallback;
+}
+
+namespace {
+
+// Tiny scanner for flat ibgp-trace-v1 records; see trace.hpp.
+struct Scanner {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_space() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skip_space();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned code = 0;
+            const auto [ptr, ec] = std::from_chars(text.data() + pos,
+                                                   text.data() + pos + 4, code, 16);
+            if (ec != std::errc{} || ptr != text.data() + pos + 4) return false;
+            pos += 4;
+            // Flat records only escape control characters (util/json::escape),
+            // so a one-byte append is faithful for the streams we produce.
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+
+  bool parse_value(TraceRecord::Field& field) {
+    skip_space();
+    if (pos >= text.size()) return false;
+    const char c = text[pos];
+    if (c == '"') {
+      field.kind = TraceRecord::Field::Kind::kString;
+      return parse_string(field.string_value);
+    }
+    if (c == '{' || c == '[') return false;  // flat records only
+    if (literal("true")) {
+      field.kind = TraceRecord::Field::Kind::kBool;
+      field.bool_value = true;
+      return true;
+    }
+    if (literal("false")) {
+      field.kind = TraceRecord::Field::Kind::kBool;
+      field.bool_value = false;
+      return true;
+    }
+    if (literal("null")) {
+      field.kind = TraceRecord::Field::Kind::kNull;
+      return true;
+    }
+    std::size_t end = pos;
+    bool is_double = false;
+    while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+           std::isspace(static_cast<unsigned char>(text[end])) == 0) {
+      if (text[end] == '.' || text[end] == 'e' || text[end] == 'E') is_double = true;
+      ++end;
+    }
+    const std::string_view token = text.substr(pos, end - pos);
+    if (token.empty()) return false;
+    if (is_double) {
+      field.kind = TraceRecord::Field::Kind::kDouble;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), field.double_value);
+      if (ec != std::errc{} || ptr != token.data() + token.size()) return false;
+    } else {
+      field.kind = TraceRecord::Field::Kind::kInt;
+      // Large unsigned values (fingerprints) overflow int64; reparse as
+      // uint64 and wrap — accessors only compare these for equality.
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), field.int_value);
+      if (ec == std::errc::result_out_of_range && token.front() != '-') {
+        std::uint64_t wide = 0;
+        const auto [wptr, wec] =
+            std::from_chars(token.data(), token.data() + token.size(), wide);
+        if (wec != std::errc{} || wptr != token.data() + token.size()) return false;
+        field.int_value = static_cast<std::int64_t>(wide);
+      } else if (ec != std::errc{} || ptr != token.data() + token.size()) {
+        return false;
+      }
+    }
+    pos = end;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<TraceRecord> parse_trace_line(std::string_view line) {
+  Scanner scanner{line};
+  if (!scanner.consume('{')) return std::nullopt;
+  TraceRecord record;
+  scanner.skip_space();
+  if (scanner.consume('}')) return record;
+  while (true) {
+    TraceRecord::Field field;
+    if (!scanner.parse_string(field.key)) return std::nullopt;
+    if (!scanner.consume(':')) return std::nullopt;
+    if (!scanner.parse_value(field)) return std::nullopt;
+    record.fields.push_back(std::move(field));
+    if (scanner.consume(',')) continue;
+    if (scanner.consume('}')) break;
+    return std::nullopt;
+  }
+  return record;
+}
+
+}  // namespace ibgp::obs

@@ -1,0 +1,125 @@
+#pragma once
+// Structured event tracing: the `ibgp-trace-v1` JSONL stream.
+//
+// A TraceSink serializes simulation events — activations, advertisements,
+// withdrawals, selection decisions with provenance, fault events, IGP epoch
+// swaps, GR phases — as one flat JSON object per line.  The first line is a
+// header record `{"schema": "ibgp-trace-v1", ...}`; every subsequent record
+// carries `"ev"` (event name), `"seq"` (emission sequence number), `"t"`
+// (virtual time), plus event-specific scalar fields.  Records are flat by
+// construction (scalar values only — no nested arrays/objects), which keeps
+// the bundled TraceReader a ~hundred-line scanner instead of a JSON parser
+// (util/json is deliberately write-only).
+//
+// Zero overhead when disabled: instrumentation sites guard on `enabled()`,
+// a single bool load, and never build the field object on the cold path.
+//
+// Ring-buffer mode (open_ring) retains only the last N records in memory;
+// the campaign runner calls dump_ring() when the invariant checker flags a
+// violation, producing a "flight recorder" tail of the events leading up to
+// the failure without paying for full-stream I/O on healthy runs.
+//
+// Thread safety: emit() serializes whole lines under a mutex, so a sink may
+// be shared across sweep workers — but interleaving across cells is then
+// schedule-dependent, so deterministic trace diffs should use --jobs 1
+// (bench smokes attach the trace to their serial pass only).
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ibgp::obs {
+
+/// Whole-line writer; the trace equivalent of util/log's sink. The line has
+/// no trailing newline.
+using TraceWriter = std::function<void(std::string_view line)>;
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Streams records to `path` (truncates). Returns false if the file
+  /// cannot be opened.
+  bool open_file(const std::string& path);
+
+  /// Streams records through `writer` (tests, custom transports).
+  void open_writer(TraceWriter writer);
+
+  /// Flight-recorder mode: keep the last `capacity` records in memory and
+  /// write them through `dump_writer` only when dump_ring() is called.
+  void open_ring(std::size_t capacity, TraceWriter dump_writer);
+
+  /// Flushes and closes; the sink reads as disabled afterwards.
+  void close();
+
+  /// Single cheap guard for instrumentation sites: build fields and call
+  /// emit() only when this returns true.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool ring_mode() const { return ring_capacity_ > 0; }
+
+  /// Serializes one record: {"ev": event, "seq": N, "t": time, ...fields}.
+  /// Fields must hold scalar values only (see file comment).
+  void emit(std::uint64_t time, std::string_view event, util::json::Object fields);
+
+  /// Writes the header plus the retained ring records through the dump
+  /// writer, oldest first, preceded by a "ring-dump" record carrying the
+  /// number of records discarded before the window.  No-op outside ring
+  /// mode.
+  void dump_ring();
+
+  [[nodiscard]] std::uint64_t events_emitted() const { return seq_; }
+  /// Records discarded by the ring so far (0 outside ring mode).
+  [[nodiscard]] std::uint64_t ring_dropped() const { return ring_dropped_; }
+
+  /// The header line every ibgp-trace-v1 stream starts with.
+  static std::string header_line();
+
+ private:
+  void write_line(const std::string& line);
+
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  TraceWriter writer_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t seq_ = 0;
+  // Ring state (flight-recorder mode).
+  std::size_t ring_capacity_ = 0;
+  std::size_t ring_next_ = 0;
+  std::uint64_t ring_dropped_ = 0;
+  std::vector<std::string> ring_;
+};
+
+/// One parsed trace record: the flat key/value pairs of a line.
+struct TraceRecord {
+  struct Field {
+    std::string key;
+    enum class Kind : std::uint8_t { kString, kInt, kDouble, kBool, kNull } kind;
+    std::string string_value;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+  std::vector<Field> fields;
+
+  [[nodiscard]] const Field* find(std::string_view key) const;
+  /// Convenience accessors returning fallback when absent or mistyped.
+  [[nodiscard]] std::string_view str(std::string_view key,
+                                     std::string_view fallback = {}) const;
+  [[nodiscard]] std::int64_t num(std::string_view key, std::int64_t fallback = 0) const;
+};
+
+/// Parses one flat-JSON trace line.  Returns nullopt on malformed input or
+/// nested values (ibgp-trace-v1 records are flat by contract).
+std::optional<TraceRecord> parse_trace_line(std::string_view line);
+
+}  // namespace ibgp::obs

@@ -99,10 +99,51 @@ void Value::write(std::string& out, int indent) const {
   }
 }
 
+void Value::write_compact(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: append_number(out, double_); break;
+    case Kind::kString: out += escape(string_); break;
+    case Kind::kArray: {
+      out += '[';
+      if (array_) {
+        for (std::size_t i = 0; i < array_->size(); ++i) {
+          if (i > 0) out += ", ";
+          (*array_)[i].write_compact(out);
+        }
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      if (object_) {
+        for (std::size_t i = 0; i < object_->size(); ++i) {
+          if (i > 0) out += ", ";
+          out += escape((*object_)[i].first);
+          out += ": ";
+          (*object_)[i].second.write_compact(out);
+        }
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
 std::string Value::dump() const {
   std::string out;
   write(out, 0);
   out += '\n';
+  return out;
+}
+
+std::string Value::dump_compact() const {
+  std::string out;
+  write_compact(out);
   return out;
 }
 

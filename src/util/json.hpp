@@ -44,12 +44,17 @@ class Value {
   /// top level, so dumps are stable `diff` targets.
   [[nodiscard]] std::string dump() const;
 
+  /// Single-line serialization (no indentation, no trailing newline) for
+  /// line-oriented formats such as the ibgp-trace-v1 JSONL stream.
+  [[nodiscard]] std::string dump_compact() const;
+
  private:
   enum class Kind : std::uint8_t {
     kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject,
   };
 
   void write(std::string& out, int indent) const;
+  void write_compact(std::string& out) const;
 
   Kind kind_;
   bool bool_ = false;

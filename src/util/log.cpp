@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ibgp::util {
 
@@ -34,28 +36,53 @@ LogLevel parse_log_level(std::string_view text) {
   return LogLevel::kInfo;
 }
 
+LineSink stderr_line_sink() {
+  return [](std::string_view line) {
+    std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()), line.data());
+  };
+}
+
+LogLevel init_log_level_from_env() {
+  Logger& logger = Logger::instance();
+  if (const char* env = std::getenv("IBGP_LOG_LEVEL");
+      env != nullptr && *env != '\0') {
+    logger.set_level(parse_log_level(env));
+  }
+  return logger.level();
+}
+
+namespace {
+
+/// Formats "[LEVEL] message" and hands the whole line to `out` — the one
+/// place log records become text.
+Logger::Sink line_sink_adapter(LineSink out) {
+  return [out = std::move(out)](LogLevel level, std::string_view message) {
+    std::string line;
+    line.reserve(message.size() + 8);
+    line += '[';
+    line += log_level_name(level);
+    line += "] ";
+    line += message;
+    out(line);
+  };
+}
+
+}  // namespace
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
-Logger::Logger() {
-  sink_ = [](LogLevel level, std::string_view message) {
-    std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level).data(),
-                 static_cast<int>(message.size()), message.data());
-  };
-}
+Logger::Logger() { sink_ = line_sink_adapter(stderr_line_sink()); }
 
 void Logger::set_sink(Sink sink) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (sink) {
-    sink_ = std::move(sink);
-  } else {
-    sink_ = [](LogLevel level, std::string_view message) {
-      std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level).data(),
-                   static_cast<int>(message.size()), message.data());
-    };
-  }
+  sink_ = sink ? std::move(sink) : line_sink_adapter(stderr_line_sink());
+}
+
+void Logger::set_line_sink(LineSink sink) {
+  set_sink(line_sink_adapter(sink ? std::move(sink) : stderr_line_sink()));
 }
 
 void Logger::write(LogLevel level, std::string_view message) {

@@ -36,9 +36,24 @@ enum class LogLevel : int {
 /// Returns the fixed-width display name of a level ("TRACE", "DEBUG", ...).
 std::string_view log_level_name(LogLevel level);
 
-/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
-/// Returns kInfo for unrecognized input.
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive, so
+/// `info` and `INFO` are interchangeable in env vars and flags).  Returns
+/// kInfo for unrecognized input.
 LogLevel parse_log_level(std::string_view text);
+
+/// Whole-line output sink: the single write path shared by the logger and
+/// the observability layer (obs::TraceWriter has the same shape).  Lines
+/// arrive without a trailing newline.
+using LineSink = std::function<void(std::string_view line)>;
+
+/// The default LineSink: one line to stderr.
+LineSink stderr_line_sink();
+
+/// Applies IBGP_LOG_LEVEL from the environment (case-insensitive level
+/// names via parse_log_level); leaves the level untouched when the variable
+/// is unset or empty.  Returns the level in force afterwards.  Call from
+/// main() before fanning out workers.
+LogLevel init_log_level_from_env();
 
 class Logger {
  public:
@@ -52,9 +67,14 @@ class Logger {
   [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
 
-  /// Replaces the output sink (default: stderr).  Pass nullptr to restore
-  /// the default sink.
+  /// Replaces the output sink (default: formatted lines through
+  /// stderr_line_sink()).  Pass nullptr to restore the default sink.
   void set_sink(Sink sink);
+
+  /// Routes formatted "[LEVEL] message" lines through a LineSink — the
+  /// single write path shared with the rest of the toolkit.  Pass nullptr
+  /// to restore the default stderr_line_sink().
+  void set_line_sink(LineSink sink);
 
   void write(LogLevel level, std::string_view message);
 

@@ -1,0 +1,539 @@
+// Observability layer: the metrics registry's deterministic/volatile split,
+// ibgp-trace-v1 emission and parsing, decision provenance, and the contract
+// the whole subsystem exists to keep — instrumented counters byte-identical
+// across --jobs 1 and --jobs N on a mixed churn+flap+GR sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/selection.hpp"
+#include "engine/event_engine.hpp"
+#include "fault/campaign.hpp"
+#include "fault/script.hpp"
+#include "fault/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "topo/figures.hpp"
+#include "util/log.hpp"
+
+namespace ibgp {
+namespace {
+
+using obs::MetricClass;
+using obs::MetricsRegistry;
+using obs::TraceSink;
+
+// --- registry semantics ------------------------------------------------------
+
+TEST(Metrics, CounterBasicsAndLookup) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("engine.things");
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(reg.counter_value("engine.things"), 42u);
+  // counter_value never registers: the name stays absent.
+  EXPECT_EQ(reg.counter_value("engine.absent"), 0u);
+  EXPECT_EQ(&reg.counter("engine.things"), &c) << "re-registration returns the same metric";
+}
+
+TEST(Metrics, ConflictingReRegistrationThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1, 2}), std::logic_error);
+  EXPECT_THROW(reg.counter("x", MetricClass::kVolatile), std::logic_error)
+      << "same kind, different class";
+  reg.histogram("h", {1, 2, 3});
+  EXPECT_THROW(reg.histogram("h", {1, 2}), std::logic_error) << "different bounds";
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("h", {10, 20});
+  // Upper-inclusive "le" semantics: bucket 0 counts <= 10, bucket 1 counts
+  // (10, 20], bucket 2 (overflow) everything above.
+  h.observe(-5);
+  h.observe(10);
+  h.observe(11);
+  h.observe(20);
+  h.observe(21);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.sum(), -5 + 10 + 11 + 20 + 21);
+}
+
+TEST(Metrics, HistogramBoundsMustStrictlyIncrease) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {10, 10}), std::logic_error);
+  EXPECT_THROW(reg.histogram("bad2", {20, 10}), std::logic_error);
+  EXPECT_THROW(reg.histogram("empty", {}), std::logic_error);
+}
+
+TEST(Metrics, GaugeRecordMax) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("depth");
+  g.record_max(7);
+  g.record_max(3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2);
+}
+
+TEST(Metrics, DeterministicVolatileSplit) {
+  MetricsRegistry reg;
+  reg.counter("det").add(1);
+  reg.counter("vol", MetricClass::kVolatile).add(2);
+  reg.gauge("g").set(3);
+  const std::string det = util::json::Value(reg.deterministic_json()).dump();
+  const std::string vol = util::json::Value(reg.volatile_json()).dump();
+  EXPECT_NE(det.find("\"det\""), std::string::npos);
+  EXPECT_EQ(det.find("\"vol\""), std::string::npos);
+  EXPECT_EQ(det.find("\"g\""), std::string::npos) << "gauges are always volatile";
+  EXPECT_NE(vol.find("\"vol\""), std::string::npos);
+  EXPECT_NE(vol.find("\"g\""), std::string::npos);
+  const std::string doc = util::json::Value(reg.json()).dump();
+  EXPECT_NE(doc.find("ibgp-metrics-v1"), std::string::npos);
+}
+
+TEST(Metrics, FingerprintCoversDeterministicValuesOnly) {
+  MetricsRegistry a, b;
+  a.counter("c");
+  b.counter("c");
+  a.gauge("g").set(5);
+  b.gauge("g").set(99);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint()) << "volatile values must not fold in";
+  a.counter("c").increment();
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Metrics, ResetZeroesValuesKeepsStructure) {
+  MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.histogram("h", {10}).observe(3);
+  const auto before = util::json::Value(reg.deterministic_json()).dump();
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("c"), 0u);
+  EXPECT_EQ(reg.histogram("h", {10}).total(), 0u) << "bounds survive reset";
+  reg.counter("c").add(5);
+  reg.histogram("h", {10}).observe(3);
+  EXPECT_EQ(util::json::Value(reg.deterministic_json()).dump(), before)
+      << "same recordings after reset reproduce the same snapshot";
+}
+
+TEST(Metrics, ConcurrentCounterAddsAreLossless) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("c");
+  constexpr int kThreads = 8, kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+// --- trace sink & reader -----------------------------------------------------
+
+TEST(Trace, WriterRoundTrip) {
+  TraceSink sink;
+  std::vector<std::string> lines;
+  sink.open_writer([&](std::string_view line) { lines.emplace_back(line); });
+  ASSERT_TRUE(sink.enabled());
+
+  util::json::Object fields;
+  fields.emplace_back("node", 3);
+  fields.emplace_back("rule", "igp-cost");
+  fields.emplace_back("flip", true);
+  sink.emit(17, "decision", std::move(fields));
+  sink.close();
+  EXPECT_FALSE(sink.enabled());
+
+  ASSERT_EQ(lines.size(), 2u) << "header + one record";
+  const auto header = obs::parse_trace_line(lines[0]);
+  ASSERT_TRUE(header);
+  EXPECT_EQ(header->str("schema"), "ibgp-trace-v1");
+
+  const auto record = obs::parse_trace_line(lines[1]);
+  ASSERT_TRUE(record);
+  EXPECT_EQ(record->str("ev"), "decision");
+  EXPECT_EQ(record->num("seq"), 0);
+  EXPECT_EQ(record->num("t"), 17);
+  EXPECT_EQ(record->num("node"), 3);
+  EXPECT_EQ(record->str("rule"), "igp-cost");
+  const auto* flip = record->find("flip");
+  ASSERT_NE(flip, nullptr);
+  EXPECT_EQ(flip->kind, obs::TraceRecord::Field::Kind::kBool);
+  EXPECT_TRUE(flip->bool_value);
+}
+
+TEST(Trace, DisabledSinkEmitsNothing) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.enabled());
+  EXPECT_EQ(sink.events_emitted(), 0u);
+}
+
+TEST(Trace, ParseRejectsMalformedAndNested) {
+  EXPECT_FALSE(obs::parse_trace_line("not json"));
+  EXPECT_FALSE(obs::parse_trace_line("{\"unterminated\": "));
+  EXPECT_FALSE(obs::parse_trace_line("{\"nested\": {\"a\": 1}}"))
+      << "ibgp-trace-v1 records are flat by contract";
+  EXPECT_FALSE(obs::parse_trace_line("{\"arr\": [1, 2]}"));
+  const auto ok = obs::parse_trace_line("{\"a\": 1, \"b\": -2.5, \"c\": null}");
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(ok->num("a"), 1);
+  const auto* b = ok->find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->kind, obs::TraceRecord::Field::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(b->double_value, -2.5);
+  const auto* c = ok->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, obs::TraceRecord::Field::Kind::kNull);
+}
+
+TEST(Trace, RingRetainsTailAndCountsDrops) {
+  TraceSink sink;
+  std::vector<std::string> dumped;
+  sink.open_ring(3, [&](std::string_view line) { dumped.emplace_back(line); });
+  ASSERT_TRUE(sink.enabled());
+  ASSERT_TRUE(sink.ring_mode());
+  for (int i = 0; i < 5; ++i) {
+    util::json::Object fields;
+    fields.emplace_back("i", i);
+    sink.emit(static_cast<std::uint64_t>(i), "tick", std::move(fields));
+  }
+  EXPECT_TRUE(dumped.empty()) << "ring mode writes nothing until dump_ring()";
+  EXPECT_EQ(sink.ring_dropped(), 2u);
+  sink.dump_ring();
+  // header + ring-dump marker + the 3 retained records, oldest first.
+  ASSERT_EQ(dumped.size(), 5u);
+  const auto marker = obs::parse_trace_line(dumped[1]);
+  ASSERT_TRUE(marker);
+  EXPECT_EQ(marker->str("ev"), "ring-dump");
+  EXPECT_EQ(marker->num("retained"), 3);
+  EXPECT_EQ(marker->num("dropped"), 2);
+  for (int i = 0; i < 3; ++i) {
+    const auto rec = obs::parse_trace_line(dumped[static_cast<std::size_t>(i) + 2]);
+    ASSERT_TRUE(rec);
+    EXPECT_EQ(rec->num("i"), i + 2) << "oldest retained record first";
+  }
+}
+
+// --- selection provenance ----------------------------------------------------
+
+struct SelectionFixture {
+  netsim::PhysicalGraph graph;
+  bgp::ExitTable table;
+  std::unique_ptr<netsim::ShortestPaths> igp;
+
+  SelectionFixture() : graph(4) {
+    graph.add_link(0, 1, 1);
+    graph.add_link(1, 2, 1);
+    graph.add_link(2, 3, 1);
+  }
+
+  PathId add(NodeId exit_point, AsId as, Med med, LocalPref lp = 100,
+             std::uint32_t len = 3) {
+    bgp::ExitPath path;
+    path.exit_point = exit_point;
+    path.next_as = as;
+    path.med = med;
+    path.local_pref = lp;
+    path.as_path_length = len;
+    path.ebgp_peer = static_cast<BgpId>(500 + table.size());
+    return table.add(std::move(path));
+  }
+
+  std::optional<bgp::RouteView> best(NodeId at, std::vector<bgp::Candidate> candidates,
+                                     bgp::SelectionProvenance* provenance) {
+    if (!igp) igp = std::make_unique<netsim::ShortestPaths>(graph);
+    return bgp::choose_best(table, *igp, at, candidates, {}, provenance);
+  }
+};
+
+TEST(Provenance, SoleCandidateIsItsOwnRule) {
+  SelectionFixture f;
+  const auto only = f.add(1, 1, 0);
+  bgp::SelectionProvenance prov;
+  const auto best = f.best(0, {{only, 10}}, &prov);
+  ASSERT_TRUE(best);
+  EXPECT_TRUE(prov.selected);
+  EXPECT_EQ(prov.decisive, bgp::SelectionRule::kSoleCandidate);
+  EXPECT_EQ(prov.candidates, 1u);
+  EXPECT_EQ(prov.usable, 1u);
+  EXPECT_EQ(prov.eliminated_total(), 0u);
+}
+
+TEST(Provenance, DecisiveRuleAndEliminationCounts) {
+  SelectionFixture f;
+  const auto lo = f.add(1, 1, 0, 90);
+  const auto hi = f.add(3, 2, 0, 200);
+  bgp::SelectionProvenance prov;
+  const auto best = f.best(0, {{lo, 10}, {hi, 11}}, &prov);
+  ASSERT_TRUE(best);
+  EXPECT_EQ(best->path, hi);
+  EXPECT_EQ(prov.decisive, bgp::SelectionRule::kLocalPref);
+  EXPECT_EQ(prov.eliminated[bgp::rule_index(bgp::SelectionRule::kLocalPref)], 1u);
+  EXPECT_EQ(prov.usable, 1u + prov.eliminated_total()) << "the provenance invariant";
+}
+
+TEST(Provenance, IgpCostDecidesEqualAttributeRoutes) {
+  SelectionFixture f;
+  const auto near = f.add(1, 1, 0);
+  const auto far = f.add(3, 2, 0);
+  bgp::SelectionProvenance prov;
+  const auto best = f.best(0, {{near, 10}, {far, 11}}, &prov);
+  ASSERT_TRUE(best);
+  EXPECT_EQ(best->path, near);
+  EXPECT_EQ(prov.decisive, bgp::SelectionRule::kIgpCost);
+}
+
+TEST(Provenance, BgpIdBreaksExactTies) {
+  SelectionFixture f;
+  // Same exit point seen via two peers: identical attributes and metric,
+  // only learnedFrom differs.
+  const auto p = f.add(2, 1, 0);
+  bgp::SelectionProvenance prov;
+  const auto best = f.best(0, {{p, 20}, {p, 10}}, &prov);
+  ASSERT_TRUE(best);
+  EXPECT_EQ(best->learned_from, 10u);
+  EXPECT_EQ(prov.decisive, bgp::SelectionRule::kBgpIdTieBreak);
+}
+
+TEST(Provenance, UnreachableAndEmptySetsAreAccounted) {
+  SelectionFixture f;
+  const auto p = f.add(3, 1, 0);
+  f.graph = netsim::PhysicalGraph(4);  // no links: node 3 unreachable from 0
+  bgp::SelectionProvenance prov;
+  const auto best = f.best(0, {{p, 10}}, &prov);
+  EXPECT_FALSE(best);
+  EXPECT_FALSE(prov.selected);
+  EXPECT_EQ(prov.candidates, 1u);
+  EXPECT_EQ(prov.unreachable, 1u);
+  EXPECT_EQ(prov.usable, 0u);
+}
+
+// --- engine-level provenance -------------------------------------------------
+
+TEST(EngineProvenance, ByRuleAndByNodeSumToTotal) {
+  const auto inst = topo::fig3();
+  engine::EventEngine engine(inst, core::ProtocolKind::kStandard);
+  engine.inject_all_exits(0);
+  const auto result = engine.run(50000);
+
+  EXPECT_GT(result.decisions_total, 0u);
+  std::uint64_t by_rule = 0;
+  for (const auto count : result.decisions_by_rule) by_rule += count;
+  EXPECT_EQ(by_rule, result.decisions_total);
+
+  ASSERT_EQ(result.decisions_by_node.size(), inst.node_count());
+  std::array<std::uint64_t, bgp::kSelectionRuleCount> by_node_total{};
+  std::uint64_t all_nodes = 0;
+  for (const auto& node : result.decisions_by_node) {
+    for (std::size_t r = 0; r < node.size(); ++r) {
+      by_node_total[r] += node[r];
+      all_nodes += node[r];
+    }
+  }
+  EXPECT_EQ(all_nodes, result.decisions_total);
+  EXPECT_EQ(by_node_total, result.decisions_by_rule);
+}
+
+TEST(EngineProvenance, MetricsMatchResultAndFlushOnceAcrossRuns) {
+  const auto inst = topo::fig3();
+  MetricsRegistry reg;
+  fault::register_campaign_metrics(reg);
+
+  fault::FaultScriptConfig config;
+  config.seed = 3;
+  config.session_flaps = 2;
+  const auto script = fault::make_fault_script(inst, config);
+  fault::CampaignOptions options;
+  options.metrics = &reg;
+  options.max_deliveries = 100000;
+
+  const auto first = fault::run_campaign(inst, core::ProtocolKind::kModified, script, options);
+  EXPECT_EQ(reg.counter_value("engine.decisions"), first.run.decisions_total);
+  EXPECT_EQ(reg.counter_value("campaign.runs"), 1u);
+
+  const auto second = fault::run_campaign(inst, core::ProtocolKind::kModified, script, options);
+  EXPECT_EQ(second.trace_hash, first.trace_hash) << "same seed, same campaign";
+  EXPECT_EQ(reg.counter_value("engine.decisions"),
+            first.run.decisions_total + second.run.decisions_total)
+      << "delta flushing: cumulative engine counters must not double-count";
+  EXPECT_EQ(reg.counter_value("campaign.runs"), 2u);
+
+  std::uint64_t decided = 0;
+  for (std::size_t r = 0; r < bgp::kSelectionRuleCount; ++r) {
+    const std::string name(bgp::selection_rule_name(static_cast<bgp::SelectionRule>(r)));
+    decided += reg.counter_value("engine.decided." + name);
+  }
+  EXPECT_EQ(decided, reg.counter_value("engine.decisions"))
+      << "provenance counters sum to total decisions";
+}
+
+// --- the headline contract: serial vs parallel byte-identity -----------------
+
+std::vector<fault::SweepCell> mixed_sweep_cells(const core::Instance& inst,
+                                                MetricsRegistry* registry) {
+  // Mixed churn + flap + GR grid: every fault family that feeds counters.
+  std::vector<fault::SweepCell> cells;
+  for (const auto protocol : {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+                              core::ProtocolKind::kModified}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      fault::FaultScriptConfig config;
+      config.seed = seed;
+      config.session_flaps = 2;
+      config.graceful_restarts = 1;
+      config.stale_timer = 200;
+      config.link_cost_changes = 2;
+      config.loss_prob = 0.05;
+      fault::SweepCell cell;
+      cell.instance = &inst;
+      cell.protocol = protocol;
+      cell.script = fault::make_fault_script(inst, config);
+      cell.options.max_deliveries = 60000;
+      cell.options.metrics = registry;
+      cell.group = "mixed";
+      cell.seed = seed;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+TEST(Determinism, MetricSnapshotsByteIdenticalAcrossJobs) {
+  const auto inst = topo::fig3();
+
+  MetricsRegistry serial_reg;
+  fault::register_sweep_metrics(serial_reg);
+  const auto serial_cells = mixed_sweep_cells(inst, &serial_reg);
+  const auto serial = fault::run_sweep(serial_cells, 1);
+
+  MetricsRegistry parallel_reg;
+  fault::register_sweep_metrics(parallel_reg);
+  const auto parallel_cells = mixed_sweep_cells(inst, &parallel_reg);
+  const auto parallel = fault::run_sweep(parallel_cells, 4);
+
+  EXPECT_EQ(serial.fingerprint, parallel.fingerprint);
+  EXPECT_EQ(serial_reg.fingerprint(), parallel_reg.fingerprint());
+  EXPECT_EQ(util::json::Value(serial_reg.deterministic_json()).dump(),
+            util::json::Value(parallel_reg.deterministic_json()).dump())
+      << "deterministic snapshot must be byte-identical across --jobs";
+}
+
+// --- flight recorder: ring dump on invariant violation -----------------------
+
+TEST(FlightRecorder, RingDumpsOnInvariantViolation) {
+  // The known unclean recipe (see test_faults UnrepairedLoss...): 30%
+  // unrepaired loss desynchronizes a RIB on at least one of these seeds.
+  const auto inst = topo::fig1a();
+  TraceSink sink;
+  std::vector<std::string> dumped;
+  sink.open_ring(64, [&](std::string_view line) { dumped.emplace_back(line); });
+
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !violated; ++seed) {
+    fault::FaultScriptConfig config;
+    config.seed = seed;
+    config.loss_prob = 0.3;
+    config.loss_detect_delay = 0;  // no repair
+    const auto script = fault::make_fault_script(inst, config);
+    fault::CampaignOptions options;
+    options.trace = &sink;
+    const auto campaign =
+        fault::run_campaign(inst, core::ProtocolKind::kModified, script, options);
+    if (campaign.reconverged() && !campaign.invariants.clean()) violated = true;
+  }
+  ASSERT_TRUE(violated) << "recipe no longer triggers a violation";
+  ASSERT_GE(dumped.size(), 3u) << "header + ring-dump marker + retained tail";
+  const auto header = obs::parse_trace_line(dumped[0]);
+  ASSERT_TRUE(header);
+  EXPECT_EQ(header->str("schema"), "ibgp-trace-v1");
+  const auto marker = obs::parse_trace_line(dumped[1]);
+  ASSERT_TRUE(marker);
+  EXPECT_EQ(marker->str("ev"), "ring-dump");
+  EXPECT_LE(marker->num("retained"), 64);
+  for (std::size_t i = 2; i < dumped.size(); ++i) {
+    EXPECT_TRUE(obs::parse_trace_line(dumped[i])) << "ring line " << i << " unparseable";
+  }
+}
+
+// --- SPF cache counters ------------------------------------------------------
+
+TEST(SpfCacheMetrics, BaseEpochNeverCountsAsAMiss) {
+  const auto inst = topo::fig1a();
+  // Instance construction primes the cache with the base epoch: exactly one
+  // miss (and its insert) happened before anyone could observe the cache.
+  const auto at_start = inst.spf_cache().stats();
+  EXPECT_EQ(at_start.misses, 1u);
+  EXPECT_EQ(at_start.inserts, at_start.misses);
+
+  MetricsRegistry reg;
+  inst.spf_cache().attach_metrics(&reg);
+
+  std::vector<Cost> base_costs;
+  for (const auto& link : inst.physical().links()) base_costs.push_back(link.cost);
+
+  const auto handle = inst.igp_epoch(base_costs);
+  EXPECT_EQ(handle.get(), inst.igp_handle().get())
+      << "base costs must resolve to the identical primed epoch";
+  const auto after = inst.spf_cache().stats();
+  EXPECT_EQ(after.misses, at_start.misses) << "base-epoch lookup must hit";
+  EXPECT_EQ(after.hits, at_start.hits + 1);
+  EXPECT_EQ(reg.counter_value("spf.hits"), 1u) << "mirror counts from attach time";
+  EXPECT_EQ(reg.counter_value("spf.misses"), 0u);
+
+  // A genuinely new cost vector is a miss + insert, mirrored too.
+  std::vector<Cost> churned = base_costs;
+  churned.front() += 7;
+  (void)inst.igp_epoch(churned);
+  EXPECT_EQ(inst.spf_cache().stats().misses, at_start.misses + 1);
+  EXPECT_EQ(reg.counter_value("spf.misses"), 1u);
+  EXPECT_EQ(reg.counter_value("spf.inserts"), 1u);
+  inst.spf_cache().attach_metrics(nullptr);
+}
+
+// --- log level env & single write path ---------------------------------------
+
+TEST(Log, EnvLevelParsingIsCaseInsensitive) {
+  const auto saved = util::Logger::instance().level();
+  ::setenv("IBGP_LOG_LEVEL", "info", 1);
+  EXPECT_EQ(util::init_log_level_from_env(), util::LogLevel::kInfo);
+  ::setenv("IBGP_LOG_LEVEL", "DEBUG", 1);
+  EXPECT_EQ(util::init_log_level_from_env(), util::LogLevel::kDebug);
+  ::setenv("IBGP_LOG_LEVEL", "Warn", 1);
+  EXPECT_EQ(util::init_log_level_from_env(), util::LogLevel::kWarn);
+  ::unsetenv("IBGP_LOG_LEVEL");
+  EXPECT_EQ(util::init_log_level_from_env(), util::LogLevel::kWarn)
+      << "unset leaves the level untouched";
+  util::Logger::instance().set_level(saved);
+}
+
+TEST(Log, LineSinkIsTheSingleWritePath) {
+  const auto saved = util::Logger::instance().level();
+  std::vector<std::string> lines;
+  util::Logger::instance().set_line_sink(
+      [&](std::string_view line) { lines.emplace_back(line); });
+  util::Logger::instance().set_level(util::LogLevel::kInfo);
+  IBGP_INFO() << "hello " << 42;
+  IBGP_DEBUG() << "suppressed";
+  util::Logger::instance().set_line_sink(nullptr);
+  util::Logger::instance().set_level(saved);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[INFO] hello 42");
+}
+
+}  // namespace
+}  // namespace ibgp
