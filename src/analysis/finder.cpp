@@ -43,6 +43,7 @@ FinderResult find_counterexample(const topo::RandomConfig& config,
     if (criteria.med_induced) {
       bgp::SelectionPolicy no_med = inst.policy();
       no_med.med = bgp::MedMode::kIgnore;
+      no_med.med_overrides.clear();  // "MEDs ignored" must ignore the mixes too
       const auto without_med = classify(inst.with_policy(no_med), criteria.protocol,
                                         criteria.max_steps);
       if (!without_med.converges_always_tested()) continue;

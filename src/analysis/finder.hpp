@@ -35,6 +35,22 @@ struct ConvergenceSignature {
     return round_robin == engine::RunStatus::kConverged &&
            synchronous == engine::RunStatus::kConverged;
   }
+
+  /// At least one schedule ran out of step budget before reaching either
+  /// verdict.  Distinct from a proven cycle: a truncated run says nothing —
+  /// consumers (the explorer, the finder, the corpus gate) must treat it as
+  /// indeterminate, never as evidence of oscillation.  oscillates() can
+  /// still be true alongside truncated() when the *other* schedule proved a
+  /// cycle.
+  [[nodiscard]] bool truncated() const {
+    return round_robin == engine::RunStatus::kStepLimit ||
+           synchronous == engine::RunStatus::kStepLimit;
+  }
+
+  /// Neither schedule produced a verdict at all: pure budget exhaustion.
+  [[nodiscard]] bool indeterminate() const {
+    return !oscillates() && truncated();
+  }
 };
 
 /// Runs round-robin and fully synchronous schedules with cycle detection.

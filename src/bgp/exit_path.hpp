@@ -48,6 +48,16 @@ struct ExitPath {
   /// learnedFrom value at the exit point and the final-tie-break input there.
   BgpId ebgp_peer = 0;
 
+  /// Community tags as a bitmask (tag i = bit i, up to 32 tags).  The
+  /// selection rules never read communities directly; they exist to be
+  /// matched by ingress route-maps (bgp/route_map.hpp), which is exactly
+  /// how operators wire community-driven LOCAL-PREF policies in practice.
+  std::uint32_t communities = 0;
+
+  [[nodiscard]] bool has_community(std::uint32_t tag) const {
+    return tag < 32 && (communities & (1u << tag)) != 0;
+  }
+
   friend bool operator==(const ExitPath&, const ExitPath&) = default;
 };
 

@@ -1,0 +1,40 @@
+#include "bgp/route_map.hpp"
+
+#include <sstream>
+
+namespace ibgp::bgp {
+
+ExitPath RouteMap::apply(ExitPath path) const {
+  for (const RouteMapClause& clause : clauses) {
+    if (!clause.matches(path)) continue;
+    if (clause.set_local_pref) path.local_pref = *clause.set_local_pref;
+    if (clause.set_med) path.med = *clause.set_med;
+    path.communities |= clause.add_communities;
+    break;  // first match wins
+  }
+  return path;
+}
+
+std::string to_string(const RouteMapClause& clause) {
+  std::ostringstream oss;
+  oss << '[';
+  bool any = false;
+  if (clause.match_as) {
+    oss << "as=" << *clause.match_as;
+    any = true;
+  }
+  if (clause.match_communities != 0) {
+    if (any) oss << ' ';
+    oss << "comm=" << clause.match_communities;
+    any = true;
+  }
+  if (!any) oss << '*';
+  oss << "] ->";
+  if (clause.set_local_pref) oss << " lp=" << *clause.set_local_pref;
+  if (clause.set_med) oss << " med=" << *clause.set_med;
+  if (clause.add_communities != 0) oss << " +comm=" << clause.add_communities;
+  if (clause.is_noop()) oss << " (noop)";
+  return oss.str();
+}
+
+}  // namespace ibgp::bgp

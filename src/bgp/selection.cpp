@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 
 namespace ibgp::bgp {
 
@@ -26,21 +27,39 @@ void keep_max(std::vector<RouteView>& views, Key key) {
   std::erase_if(views, [&](const RouteView& view) { return key(view) != best; });
 }
 
-/// Rule 3: per-neighbor-AS MED elimination over route views.
-void med_eliminate(const ExitTable& table, std::vector<RouteView>& views, MedMode mode) {
-  if (mode == MedMode::kIgnore || views.empty()) return;
-  // Minimum MED per group; kAlwaysCompare treats everything as one group.
-  std::map<AsId, Med> group_min;
-  for (const auto& view : views) {
-    const ExitPath& path = table[view.path];
-    const AsId group = (mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
-    const auto it = group_min.find(group);
-    if (it == group_min.end() || path.med < it->second) group_min[group] = path.med;
+/// The MED elimination group of a route through `as` under `policy`:
+/// nullopt = exempt (kIgnore); a shared sentinel group for every
+/// kAlwaysCompare AS; the AS itself under kPerNeighborAs.  The sentinel is
+/// outside the AsId range so mixes can never collide with a per-AS group.
+constexpr std::uint64_t kSharedMedGroup = std::uint64_t{1} << 32;
+
+std::optional<std::uint64_t> med_group(const SelectionPolicy& policy, AsId as) {
+  switch (policy.med_mode_for(as)) {
+    case MedMode::kIgnore: return std::nullopt;
+    case MedMode::kAlwaysCompare: return kSharedMedGroup;
+    case MedMode::kPerNeighborAs: return as;
   }
-  std::erase_if(views, [&](const RouteView& view) {
-    const ExitPath& path = table[view.path];
-    const AsId group = (mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
-    return path.med != group_min.at(group);
+  return as;
+}
+
+/// Rule 3 over an arbitrary range: computes per-group minimum MEDs with
+/// `as_of`/`med_of` accessors, then erases non-minimal members.  Exempt
+/// (kIgnore) members never participate and are never erased.
+template <typename Seq, typename AsOf, typename MedOf>
+void med_eliminate_range(Seq& items, const SelectionPolicy& policy, AsOf as_of,
+                         MedOf med_of) {
+  if (items.empty()) return;
+  std::map<std::uint64_t, Med> group_min;
+  for (const auto& item : items) {
+    const auto group = med_group(policy, as_of(item));
+    if (!group) continue;
+    const auto it = group_min.find(*group);
+    if (it == group_min.end() || med_of(item) < it->second) group_min[*group] = med_of(item);
+  }
+  std::erase_if(items, [&](const auto& item) {
+    const auto group = med_group(policy, as_of(item));
+    if (!group) return false;
+    return med_of(item) != group_min.at(*group);
   });
 }
 
@@ -65,7 +84,7 @@ std::vector<PathId> ids_of(const std::vector<RouteView>& views) {
 }  // namespace
 
 std::vector<PathId> choose_survivors(const ExitTable& table, std::span<const PathId> paths,
-                                     MedMode med_mode) {
+                                     const SelectionPolicy& policy) {
   if (paths.empty()) return {};
 
   // Rule 1: highest LOCAL-PREF.
@@ -81,25 +100,21 @@ std::vector<PathId> choose_survivors(const ExitTable& table, std::span<const Pat
   for (const PathId id : alive) best_len = std::min(best_len, table[id].as_path_length);
   std::erase_if(alive, [&](PathId id) { return table[id].as_path_length != best_len; });
 
-  // Rule 3: per-neighbor-AS MED elimination.
-  if (med_mode != MedMode::kIgnore) {
-    std::map<AsId, Med> group_min;
-    for (const PathId id : alive) {
-      const ExitPath& path = table[id];
-      const AsId group = (med_mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
-      const auto it = group_min.find(group);
-      if (it == group_min.end() || path.med < it->second) group_min[group] = path.med;
-    }
-    std::erase_if(alive, [&](PathId id) {
-      const ExitPath& path = table[id];
-      const AsId group = (med_mode == MedMode::kAlwaysCompare) ? AsId{0} : path.next_as;
-      return path.med != group_min.at(group);
-    });
-  }
+  // Rule 3: MED elimination under the (possibly mixed) regime.
+  med_eliminate_range(
+      alive, policy, [&](PathId id) { return table[id].next_as; },
+      [&](PathId id) { return table[id].med; });
 
   std::sort(alive.begin(), alive.end());
   alive.erase(std::unique(alive.begin(), alive.end()), alive.end());
   return alive;
+}
+
+std::vector<PathId> choose_survivors(const ExitTable& table, std::span<const PathId> paths,
+                                     MedMode med_mode) {
+  SelectionPolicy policy;
+  policy.med = med_mode;
+  return choose_survivors(table, paths, policy);
 }
 
 std::optional<RouteView> make_route_view(const ExitTable& table,
@@ -127,6 +142,13 @@ std::vector<RouteView> usable_views(const ExitTable& table, const netsim::Shorte
   return views;
 }
 
+// The rule cascade, specialized at compile time on whether a provenance
+// record is attached.  choose_best runs on every reconsideration of every
+// node of every cell of a sweep; when no sink is attached (Walton's per-AS
+// sub-selections, fixed-point search, stable-configuration enumeration) the
+// kProvenance=false instantiation carries zero counting code instead of a
+// provenance branch per rule.
+template <bool kProvenance>
 std::optional<RouteView> finish(const ExitTable& table, std::vector<RouteView> views,
                                 const SelectionPolicy& policy,
                                 SelectionExplanation* explanation,
@@ -134,14 +156,16 @@ std::optional<RouteView> finish(const ExitTable& table, std::vector<RouteView> v
   auto record = [&](const char* stage) {
     if (explanation != nullptr) explanation->stages.emplace_back(stage, ids_of(views));
   };
-  if (provenance != nullptr) provenance->usable = views.size();
+  if constexpr (kProvenance) provenance->usable = views.size();
   // Charges `before - views.size()` eliminations to `rule`; the last rule
   // that narrows the set is the decisive one.
-  auto charge = [&](SelectionRule rule, std::size_t before) {
-    if (provenance == nullptr || views.size() >= before) return;
-    provenance->eliminated[rule_index(rule)] +=
-        static_cast<std::uint32_t>(before - views.size());
-    provenance->decisive = rule;
+  auto charge = [&]([[maybe_unused]] SelectionRule rule, [[maybe_unused]] std::size_t before) {
+    if constexpr (kProvenance) {
+      if (views.size() >= before) return;
+      provenance->eliminated[rule_index(rule)] +=
+          static_cast<std::uint32_t>(before - views.size());
+      provenance->decisive = rule;
+    }
   };
   record("input (usable)");
 
@@ -159,7 +183,9 @@ std::optional<RouteView> finish(const ExitTable& table, std::vector<RouteView> v
 
   // Rule 3.
   before = views.size();
-  med_eliminate(table, views, policy.med);
+  med_eliminate_range(
+      views, policy, [&](const RouteView& v) { return table[v.path].next_as; },
+      [&](const RouteView& v) { return table[v.path].med; });
   charge(SelectionRule::kMed, before);
   record("rule 3: per-AS MED elimination");
 
@@ -191,7 +217,7 @@ std::optional<RouteView> finish(const ExitTable& table, std::vector<RouteView> v
       std::min_element(views.begin(), views.end(), [](const RouteView& a, const RouteView& b) {
         return a.path < b.path;
       });
-  if (provenance != nullptr) {
+  if constexpr (kProvenance) {
     if (views.size() > 1) {
       provenance->eliminated[rule_index(SelectionRule::kPathIdTieBreak)] +=
           static_cast<std::uint32_t>(views.size() - 1);
@@ -225,10 +251,12 @@ std::optional<RouteView> choose_best(const ExitTable& table, const netsim::Short
   if (provenance != nullptr) {
     *provenance = SelectionProvenance{};
     provenance->candidates = candidates.size();
+    auto views = usable_views(table, igp, u, candidates);
+    provenance->unreachable = candidates.size() - views.size();
+    return finish<true>(table, std::move(views), policy, nullptr, provenance);
   }
-  auto views = usable_views(table, igp, u, candidates);
-  if (provenance != nullptr) provenance->unreachable = candidates.size() - views.size();
-  return finish(table, std::move(views), policy, nullptr, provenance);
+  return finish<false>(table, usable_views(table, igp, u, candidates), policy, nullptr,
+                       nullptr);
 }
 
 SelectionExplanation explain_selection(const ExitTable& table,
@@ -236,8 +264,8 @@ SelectionExplanation explain_selection(const ExitTable& table,
                                        std::span<const Candidate> candidates,
                                        const SelectionPolicy& policy) {
   SelectionExplanation explanation;
-  explanation.best = finish(table, usable_views(table, igp, u, candidates), policy,
-                            &explanation, nullptr);
+  explanation.best = finish<false>(table, usable_views(table, igp, u, candidates), policy,
+                                   &explanation, nullptr);
   return explanation;
 }
 

@@ -55,9 +55,36 @@ enum class MedMode {
   kIgnore,         ///< MEDs disabled entirely
 };
 
+/// Per-neighbor-AS deviation from the global MED regime.  Real networks mix
+/// regimes ("always-compare towards provider X, ignore MEDs from peer Y"),
+/// and Godfrey's *BGP Stability is Precarious* predicts such mixes are
+/// fertile ground for divergence — the adversarial explorer searches them.
+struct MedOverride {
+  AsId as = 0;
+  MedMode mode = MedMode::kPerNeighborAs;
+
+  friend bool operator==(const MedOverride&, const MedOverride&) = default;
+};
+
 struct SelectionPolicy {
   RuleOrder order = RuleOrder::kPreferEbgpFirst;
   MedMode med = MedMode::kPerNeighborAs;
+
+  /// Per-AS exceptions to `med` (first matching entry wins).  Semantics of
+  /// the resulting groups in rule 3: every AS whose effective mode is
+  /// kAlwaysCompare shares ONE elimination group; kPerNeighborAs ASes each
+  /// form their own group; kIgnore ASes are exempt from MED elimination
+  /// entirely.  All of this is a pure function of path attributes, so
+  /// Choose^B stays node-independent under any mix.
+  std::vector<MedOverride> med_overrides;
+
+  /// The effective MED regime for routes through `as`.
+  [[nodiscard]] MedMode med_mode_for(AsId as) const {
+    for (const MedOverride& entry : med_overrides) {
+      if (entry.as == as) return entry.mode;
+    }
+    return med;
+  }
 
   friend bool operator==(const SelectionPolicy&, const SelectionPolicy&) = default;
 };
@@ -83,7 +110,12 @@ struct Candidate {
 };
 
 /// Rules 1-3 (Choose^B, Fig 10) over bare exit paths.  Node-independent.
-/// Returns surviving ids in ascending order.
+/// Returns surviving ids in ascending order.  The policy's MED regime
+/// (including per-AS overrides) governs rule 3; `order` is irrelevant here.
+std::vector<PathId> choose_survivors(const ExitTable& table, std::span<const PathId> paths,
+                                     const SelectionPolicy& policy);
+
+/// Convenience overload for the classic single-regime case.
 std::vector<PathId> choose_survivors(const ExitTable& table, std::span<const PathId> paths,
                                      MedMode med_mode = MedMode::kPerNeighborAs);
 

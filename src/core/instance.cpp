@@ -9,13 +9,15 @@ namespace ibgp::core {
 Instance::Instance(std::string name, netsim::PhysicalGraph physical,
                    netsim::ClusterLayout clusters, netsim::SessionGraph sessions,
                    bgp::ExitTable exits, bgp::SelectionPolicy policy,
-                   std::vector<BgpId> bgp_ids, std::vector<std::string> node_names)
+                   std::vector<BgpId> bgp_ids, std::vector<std::string> node_names,
+                   std::vector<bgp::RouteMap> ingress_maps)
     : name_(std::move(name)),
       physical_(std::move(physical)),
       clusters_(std::move(clusters)),
       sessions_(std::move(sessions)),
       exits_(std::move(exits)),
-      policy_(policy),
+      ingress_maps_(std::move(ingress_maps)),
+      policy_(std::move(policy)),
       bgp_ids_(std::move(bgp_ids)),
       node_names_(std::move(node_names)) {
   const auto report = netsim::validate(physical_, clusters_, sessions_);
@@ -32,6 +34,23 @@ Instance::Instance(std::string name, netsim::PhysicalGraph physical,
                                   " names non-existent node " +
                                   std::to_string(path.exit_point));
     }
+  }
+
+  // The incoming table carries the configured (raw) attributes; ingress
+  // route-maps rewrite them once, here, into the effective table every
+  // engine selects on.  The rewrite is keyed on the exit point only, so the
+  // effective attributes are identical at every evaluating node — the
+  // node-independence the modified protocol's proof needs survives any map.
+  raw_exits_ = exits_;
+  if (!ingress_maps_.empty()) {
+    if (ingress_maps_.size() != physical_.node_count()) {
+      throw std::invalid_argument("Instance '" + name_ + "': ingress_maps size mismatch");
+    }
+    bgp::ExitTable effective;
+    for (const auto& path : raw_exits_.all()) {
+      effective.add(ingress_maps_[path.exit_point].apply(path));
+    }
+    exits_ = std::move(effective);
   }
 
   if (bgp_ids_.empty()) {

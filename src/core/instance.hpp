@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bgp/exit_table.hpp"
+#include "bgp/route_map.hpp"
 #include "bgp/selection.hpp"
 #include "netsim/cluster_layout.hpp"
 #include "netsim/physical_graph.hpp"
@@ -33,10 +34,18 @@ class Instance {
   ///   - structural session constraints (netsim::validate),
   ///   - every exit point names an existing node.
   /// Throws std::invalid_argument on any validation error.
+  ///
+  /// `ingress_maps` (empty, or one RouteMap per node) are per-node E-BGP
+  /// import route-maps: map v is applied once, here, to every exit path
+  /// whose exit point is v, producing the *effective* attributes that
+  /// exits() reports and every engine selects on.  raw_exits() keeps the
+  /// pre-rewrite table so serializers can round-trip config rather than its
+  /// consequence.
   Instance(std::string name, netsim::PhysicalGraph physical, netsim::ClusterLayout clusters,
            netsim::SessionGraph sessions, bgp::ExitTable exits,
            bgp::SelectionPolicy policy = {}, std::vector<BgpId> bgp_ids = {},
-           std::vector<std::string> node_names = {});
+           std::vector<std::string> node_names = {},
+           std::vector<bgp::RouteMap> ingress_maps = {});
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t node_count() const { return physical_.node_count(); }
@@ -47,6 +56,21 @@ class Instance {
   [[nodiscard]] const bgp::ExitTable& exits() const { return exits_; }
   [[nodiscard]] const netsim::ShortestPaths& igp() const { return *igp_; }
   [[nodiscard]] const bgp::SelectionPolicy& policy() const { return policy_; }
+
+  /// The exit table as configured, before ingress route-maps rewrote any
+  /// attributes.  Identical to exits() when no node has an ingress policy.
+  [[nodiscard]] const bgp::ExitTable& raw_exits() const { return raw_exits_; }
+
+  /// Per-node ingress route-maps (empty span when none were configured).
+  [[nodiscard]] std::span<const bgp::RouteMap> ingress_maps() const { return ingress_maps_; }
+
+  /// True iff any node carries a non-empty ingress route-map.
+  [[nodiscard]] bool has_ingress_policy() const {
+    for (const auto& map : ingress_maps_) {
+      if (!map.empty()) return true;
+    }
+    return false;
+  }
 
   // --- IGP epochs (runtime topology churn) ----------------------------------
   //
@@ -100,7 +124,9 @@ class Instance {
   netsim::PhysicalGraph physical_;
   netsim::ClusterLayout clusters_;
   netsim::SessionGraph sessions_;
-  bgp::ExitTable exits_;
+  bgp::ExitTable exits_;      // effective (post-route-map) attributes
+  bgp::ExitTable raw_exits_;  // as configured; == exits_ without ingress policy
+  std::vector<bgp::RouteMap> ingress_maps_;
   bgp::SelectionPolicy policy_;
   std::vector<BgpId> bgp_ids_;
   std::vector<std::string> node_names_;

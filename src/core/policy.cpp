@@ -83,7 +83,7 @@ NodeDecision decide(const Instance& inst, const netsim::ShortestPaths& igp,
       std::vector<PathId> ids;
       ids.reserve(possible.size());
       for (const auto& candidate : possible) ids.push_back(candidate.path);
-      decision.advertised = bgp::choose_survivors(table, ids, inst.policy().med);
+      decision.advertised = bgp::choose_survivors(table, ids, inst.policy());
 
       // BestRoute is chosen from GoodExits (Section 6), so restrict the
       // candidate set to the survivors while keeping learnedFrom intact.

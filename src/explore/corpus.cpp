@@ -1,0 +1,199 @@
+#include "explore/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/oscillation.hpp"
+#include "topo/dsl.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace ibgp::explore {
+
+namespace {
+
+constexpr std::string_view kMagic = "ibgp-corpus-v1";
+
+constexpr std::array<core::ProtocolKind, kCorpusProtocols> kProtocols = {
+    core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+    core::ProtocolKind::kModified};
+
+engine::RunStatus parse_status(std::string_view word) {
+  for (const auto status : {engine::RunStatus::kConverged, engine::RunStatus::kCycleDetected,
+                            engine::RunStatus::kStepLimit}) {
+    if (word == engine::run_status_name(status)) return status;
+  }
+  throw std::runtime_error("corpus: unknown run status '" + std::string(word) + "'");
+}
+
+std::size_t protocol_index(std::string_view word) {
+  for (std::size_t i = 0; i < kProtocols.size(); ++i) {
+    if (word == core::protocol_name(kProtocols[i])) return i;
+  }
+  throw std::runtime_error("corpus: unknown protocol '" + std::string(word) + "'");
+}
+
+engine::RunStatus parse_schedule_field(std::string_view token, std::string_view key) {
+  if (!token.starts_with(key) || token.size() <= key.size() ||
+      token[key.size()] != '=') {
+    throw std::runtime_error("corpus: expected " + std::string(key) + "=STATUS, got '" +
+                             std::string(token) + "'");
+  }
+  return parse_status(token.substr(key.size() + 1));
+}
+
+}  // namespace
+
+std::string write_corpus_entry(const CorpusEntry& entry) {
+  std::ostringstream out;
+  out << "#! " << kMagic << "\n";
+  out << "#! max-steps " << entry.max_steps << "\n";
+  if (entry.med_induced) out << "#! tag med-induced\n";
+  if (entry.hybrid) out << "#! tag hybrid\n";
+  for (std::size_t i = 0; i < kProtocols.size(); ++i) {
+    const auto& sig = entry.signatures[i];
+    out << "#! signature " << core::protocol_name(kProtocols[i])
+        << " round-robin=" << engine::run_status_name(sig.round_robin)
+        << " synchronous=" << engine::run_status_name(sig.synchronous) << "\n";
+  }
+  out << entry.topo_text;
+  return out.str();
+}
+
+CorpusEntry parse_corpus_entry(std::string_view text, std::string_view name) {
+  CorpusEntry entry;
+  entry.name = std::string(name);
+  bool magic_seen = false;
+  std::array<bool, kCorpusProtocols> signature_seen{};
+  std::ostringstream body;
+
+  for (std::string_view line : util::split(text, '\n')) {
+    if (!line.starts_with("#!")) {
+      body << line << "\n";
+      continue;
+    }
+    const auto tokens = util::split_ws(line.substr(2));
+    if (tokens.empty()) continue;
+    if (tokens[0] == kMagic) {
+      magic_seen = true;
+    } else if (tokens[0] == "max-steps" && tokens.size() == 2) {
+      const auto value = util::parse_u64(tokens[1]);
+      if (!value || *value == 0) throw std::runtime_error("corpus: bad max-steps");
+      entry.max_steps = static_cast<std::size_t>(*value);
+    } else if (tokens[0] == "tag" && tokens.size() == 2) {
+      if (tokens[1] == "med-induced") {
+        entry.med_induced = true;
+      } else if (tokens[1] == "hybrid") {
+        entry.hybrid = true;
+      } else {
+        throw std::runtime_error("corpus: unknown tag '" + std::string(tokens[1]) + "'");
+      }
+    } else if (tokens[0] == "signature" && tokens.size() == 4) {
+      const std::size_t index = protocol_index(tokens[1]);
+      entry.signatures[index].round_robin = parse_schedule_field(tokens[2], "round-robin");
+      entry.signatures[index].synchronous = parse_schedule_field(tokens[3], "synchronous");
+      signature_seen[index] = true;
+    } else {
+      throw std::runtime_error("corpus: unrecognized header line '" + std::string(line) +
+                               "'");
+    }
+  }
+
+  if (!magic_seen) throw std::runtime_error("corpus: missing '#! ibgp-corpus-v1' header");
+  for (std::size_t i = 0; i < kProtocols.size(); ++i) {
+    if (!signature_seen[i]) {
+      throw std::runtime_error(std::string("corpus: missing signature line for ") +
+                               core::protocol_name(kProtocols[i]));
+    }
+  }
+  entry.topo_text = body.str();
+  // The line join appended exactly one '\n' beyond the original body (either
+  // after a final unterminated line, or for the empty field a trailing '\n'
+  // splits off); drop it.
+  if (!entry.topo_text.empty()) entry.topo_text.pop_back();
+  return entry;
+}
+
+CorpusEntry make_corpus_entry(const core::Instance& inst, std::size_t max_steps,
+                              bool med_induced, bool hybrid) {
+  CorpusEntry entry;
+  entry.name = inst.name();
+  entry.max_steps = max_steps;
+  entry.med_induced = med_induced;
+  entry.hybrid = hybrid;
+  for (std::size_t i = 0; i < kProtocols.size(); ++i) {
+    entry.signatures[i] = analysis::classify(inst, kProtocols[i], max_steps);
+  }
+  entry.topo_text = topo::write_topo(inst);
+  return entry;
+}
+
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (const auto& dirent : fs::directory_iterator(dir, ec)) {
+    if (dirent.path().extension() == ".topo") files.push_back(dirent.path());
+  }
+  if (ec) throw std::runtime_error("corpus: cannot read directory " + dir);
+  std::sort(files.begin(), files.end());
+
+  std::vector<CorpusEntry> entries;
+  entries.reserve(files.size());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("corpus: cannot open " + path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    entries.push_back(parse_corpus_entry(buffer.str(), path.stem().string()));
+  }
+  return entries;
+}
+
+bool ReplayReport::all_match() const {
+  return std::all_of(rows.begin(), rows.end(),
+                     [](const ReplayRow& row) { return row.match; });
+}
+
+bool ReplayReport::modified_safe() const {
+  return std::none_of(rows.begin(), rows.end(),
+                      [](const ReplayRow& row) { return row.modified_oscillates; });
+}
+
+ReplayReport replay_corpus(std::span<const CorpusEntry> entries, std::size_t jobs) {
+  ReplayReport report;
+  report.rows.resize(entries.size());
+  util::parallel_for(entries.size(), util::resolve_jobs(jobs), [&](std::size_t i) {
+    const CorpusEntry& entry = entries[i];
+    ReplayRow& row = report.rows[i];
+    row.name = entry.name;
+    const core::Instance inst = topo::parse_topo(entry.topo_text);
+    bool match = true;
+    for (std::size_t p = 0; p < kProtocols.size(); ++p) {
+      row.replayed[p] = analysis::classify(inst, kProtocols[p], entry.max_steps);
+      match = match && row.replayed[p].round_robin == entry.signatures[p].round_robin &&
+              row.replayed[p].synchronous == entry.signatures[p].synchronous;
+    }
+    row.match = match;
+    constexpr std::size_t kModifiedIndex = 2;
+    row.modified_oscillates = row.replayed[kModifiedIndex].oscillates();
+  });
+  // Index-ordered fold after the fan-out: byte-identical across --jobs.
+  util::Fingerprint fp;
+  for (const ReplayRow& row : report.rows) {
+    fp.add(row.name);
+    fp.add(row.match ? 1u : 0u);
+    for (const auto& sig : row.replayed) {
+      fp.add(static_cast<std::uint64_t>(sig.round_robin));
+      fp.add(static_cast<std::uint64_t>(sig.synchronous));
+    }
+  }
+  report.fingerprint = fp.value();
+  return report;
+}
+
+}  // namespace ibgp::explore

@@ -1,0 +1,86 @@
+#pragma once
+// The checked-in counterexample corpus (examples/data/corpus/*.topo).
+//
+// Every file is a self-describing, still-parseable .topo document: a block
+// of `#!` header lines (comments to the DSL parser) carrying the recorded
+// convergence signatures, followed by the ordinary topo text:
+//
+//   #! ibgp-corpus-v1
+//   #! max-steps 4000
+//   #! tag med-induced            (optional, repeatable: med-induced|hybrid)
+//   #! signature standard round-robin=oscillates synchronous=oscillates
+//   #! signature walton round-robin=converged synchronous=converged
+//   #! signature modified round-robin=converged synchronous=converged
+//   instance ce-...
+//   ...
+//
+// Status words are engine::run_status_name() spellings.  replay_corpus()
+// re-derives every signature from scratch (both deterministic schedules,
+// all three protocols) and compares against the header — the regression
+// gate bench_corpus (E18) fails hard if the modified protocol ever lands in
+// the oscillating bucket, since that would falsify the paper's Theorem 2.
+// Replays fan out with util::parallel_for and fold a fingerprint in entry
+// index order, so --jobs 1 and --jobs N reports are byte-identical.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/finder.hpp"
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+
+namespace ibgp::explore {
+
+inline constexpr std::size_t kCorpusProtocols = 3;  // standard, walton, modified
+
+struct CorpusEntry {
+  std::string name;            ///< file stem / instance label
+  std::size_t max_steps = 4000;
+  bool med_induced = false;    ///< tag: vanishes when MEDs are ignored
+  bool hybrid = false;         ///< tag: confederation-derived layout
+  /// Recorded signatures indexed by core::ProtocolKind order.
+  std::array<analysis::ConvergenceSignature, kCorpusProtocols> signatures{};
+  std::string topo_text;       ///< parseable body (no #! lines)
+};
+
+/// Renders the entry (headers + body).  The result re-parses both as a
+/// corpus entry and as a plain .topo file.
+std::string write_corpus_entry(const CorpusEntry& entry);
+
+/// Parses headers + body.  Throws std::runtime_error on malformed or
+/// version-mismatched headers.
+CorpusEntry parse_corpus_entry(std::string_view text, std::string_view name = "");
+
+/// Classifies `inst` under all three protocols and wraps it as an entry.
+CorpusEntry make_corpus_entry(const core::Instance& inst, std::size_t max_steps,
+                              bool med_induced, bool hybrid);
+
+/// Loads every *.topo file of `dir`, sorted by filename (deterministic
+/// ordering for replay fingerprints).  Throws std::runtime_error when the
+/// directory cannot be read or an entry is malformed.
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir);
+
+struct ReplayRow {
+  std::string name;
+  bool match = false;                ///< replay reproduced every recorded status
+  bool modified_oscillates = false;  ///< theorem gate: must stay false
+  std::array<analysis::ConvergenceSignature, kCorpusProtocols> replayed{};
+};
+
+struct ReplayReport {
+  std::vector<ReplayRow> rows;     ///< entry order = corpus order
+  std::uint64_t fingerprint = 0;   ///< index-ordered fold over all verdicts
+
+  [[nodiscard]] bool all_match() const;
+  /// True iff no replay put the modified protocol in the oscillating bucket.
+  [[nodiscard]] bool modified_safe() const;
+};
+
+/// Replays every entry (parallel across entries; deterministic across jobs).
+ReplayReport replay_corpus(std::span<const CorpusEntry> entries, std::size_t jobs);
+
+}  // namespace ibgp::explore

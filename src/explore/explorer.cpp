@@ -1,0 +1,187 @@
+#include "explore/explorer.hpp"
+
+#include <bit>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "confed/engine.hpp"
+#include "engine/event_engine.hpp"
+#include "explore/minimize.hpp"
+#include "explore/mutate.hpp"
+#include "topo/dsl.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace ibgp::explore {
+
+namespace {
+
+/// log2 bucket (bit width): collapses counts so coverage keys describe the
+/// *shape* of the rule histogram, not exact totals.
+std::uint64_t bucket(std::uint64_t count) { return std::bit_width(count); }
+
+struct FrontierItem {
+  InstanceSpec spec;
+  bool hybrid = false;
+};
+
+/// Everything one batched evaluation produces; folded sequentially after
+/// the parallel_for, in index order.
+struct Evaluation {
+  bool valid = false;
+  bool hybrid = false;
+  InstanceSpec spec;
+  analysis::ConvergenceSignature signature;
+  std::uint64_t coverage = 0;
+};
+
+std::uint64_t canonical_fingerprint(const InstanceSpec& spec) {
+  InstanceSpec canonical = spec;
+  canonical.name = "ce";  // name-independent content address
+  const auto inst = try_build(canonical);
+  if (!inst) return 0;
+  return util::fnv1a(topo::write_topo(*inst));
+}
+
+}  // namespace
+
+std::uint64_t coverage_key(const core::Instance& inst, core::ProtocolKind attack,
+                           std::size_t max_deliveries) {
+  engine::EventEngine event_engine(inst, attack);
+  event_engine.inject_all_exits(0);
+  const auto result = event_engine.run(max_deliveries);
+
+  util::Fingerprint fp;
+  fp.add(result.converged ? 1u : 0u);
+  fp.add(bucket(result.best_flips));
+  for (const auto count : result.decisions_by_rule) fp.add(bucket(count));
+  fp.add(bucket(result.decisions_empty));
+  return fp.value();
+}
+
+ExploreResult explore(const ExploreConfig& config) {
+  ExploreResult result;
+  std::deque<FrontierItem> frontier;
+  std::unordered_set<std::uint64_t> seen_coverage;
+  std::unordered_set<std::uint64_t> seen_hits;
+
+  const auto admit = [&](FrontierItem item, std::uint64_t key) {
+    if (!seen_coverage.insert(key).second) return;
+    ++result.stats.new_coverage;
+    frontier.push_back(std::move(item));
+    if (frontier.size() > config.frontier_cap) frontier.pop_front();
+  };
+
+  // --- seed pool ------------------------------------------------------------
+  for (std::size_t i = 0; i < config.random_seeds; ++i) {
+    const auto inst =
+        topo::random_instance(config.random_config, util::derive_seed(config.seed, i));
+    if (inst.exits().empty()) continue;
+    admit({spec_of(inst), /*hybrid=*/false},
+          coverage_key(inst, config.attack, config.max_deliveries));
+  }
+  for (std::size_t i = 0; i < config.hybrid_seeds; ++i) {
+    confed::ConfedInstance confed =
+        i == 0 ? confed::rfc3345_confederation()
+               : confed::random_confederation(
+                     confed::RandomConfedConfig{},
+                     util::derive_seed(config.seed ^ 0x9e3779b9u, i));
+    InstanceSpec spec = hybrid_spec(confed);
+    const auto inst = try_build(spec);
+    if (!inst || inst->exits().empty()) continue;
+    admit({std::move(spec), /*hybrid=*/true},
+          coverage_key(*inst, config.attack, config.max_deliveries));
+  }
+  if (frontier.empty()) return result;  // nothing valid to mutate
+
+  // --- handle one oscillating evaluation (sequential, index order) ----------
+  const auto process_hit = [&](const Evaluation& eval) {
+    ++result.stats.hits_raw;
+
+    if (config.require_modified_converges) {
+      const auto inst = try_build(eval.spec);
+      const auto modified =
+          analysis::classify(*inst, core::ProtocolKind::kModified, config.max_steps);
+      if (modified.oscillates()) {
+        ++result.stats.theorem_violations;
+        return;
+      }
+      if (!modified.converges_always_tested()) return;  // indeterminate: skip
+    }
+
+    MinimizeGoal goal;
+    goal.protocol = config.attack;
+    goal.signature = eval.signature;
+    goal.modified_converges = config.require_modified_converges;
+    goal.med_induced = config.require_med_induced;
+    goal.max_steps = config.max_steps;
+
+    if (config.require_med_induced) {
+      const auto inst = try_build(eval.spec);
+      if (!satisfies(*inst, goal)) return;  // not MED-induced: not a hit here
+    }
+
+    ExploreHit hit;
+    hit.spec = config.minimize ? minimize(eval.spec, goal) : eval.spec;
+    hit.hybrid = eval.hybrid;
+    hit.med_induced = config.require_med_induced;
+    hit.fingerprint = canonical_fingerprint(hit.spec);
+    const auto minimized_inst = try_build(hit.spec);
+    if (!minimized_inst || hit.fingerprint == 0) return;
+    hit.signature = analysis::classify(*minimized_inst, config.attack, config.max_steps);
+    if (!config.require_med_induced) {
+      // Opportunistic tag: is the find MED-induced anyway?
+      MinimizeGoal med_goal = goal;
+      med_goal.signature = hit.signature;
+      med_goal.med_induced = true;
+      hit.med_induced = satisfies(*minimized_inst, med_goal);
+    }
+    if (seen_hits.insert(hit.fingerprint).second) result.hits.push_back(std::move(hit));
+  };
+
+  // --- batched coverage-guided search ---------------------------------------
+  std::size_t round = 0;
+  while (result.stats.evaluated < config.budget) {
+    const std::size_t batch =
+        std::min(config.batch, config.budget - result.stats.evaluated);
+    // Snapshot: mutants of this round see a fixed frontier regardless of
+    // evaluation order.
+    const std::vector<FrontierItem> snapshot(frontier.begin(), frontier.end());
+
+    std::vector<Evaluation> evals(batch);
+    util::parallel_for(batch, util::resolve_jobs(config.jobs), [&](std::size_t i) {
+      const std::uint64_t child_seed =
+          util::derive_seed(config.seed, 1 + round * config.batch + i);
+      util::Xoshiro256 rng(child_seed);
+      const FrontierItem& parent = snapshot[rng.pick_index(snapshot)];
+      Evaluation& eval = evals[i];
+      eval.hybrid = parent.hybrid;
+      eval.spec = mutate(parent.spec, util::derive_seed(child_seed, 1));
+      const auto inst = try_build(eval.spec);
+      if (!inst || inst->exits().empty()) return;
+      eval.valid = true;
+      eval.coverage = coverage_key(*inst, config.attack, config.max_deliveries);
+      eval.signature = analysis::classify(*inst, config.attack, config.max_steps);
+    });
+
+    for (Evaluation& eval : evals) {
+      ++result.stats.evaluated;
+      if (!eval.valid) {
+        ++result.stats.invalid;
+        continue;
+      }
+      if (eval.signature.truncated()) ++result.stats.truncated_runs;
+      admit({eval.spec, eval.hybrid}, eval.coverage);
+      // A hit needs a PROVEN cycle; truncated() alone never qualifies
+      // (oscillates() is only true on a kCycleDetected verdict).
+      if (eval.signature.oscillates()) process_hit(eval);
+    }
+    ++round;
+  }
+  return result;
+}
+
+}  // namespace ibgp::explore

@@ -1,0 +1,97 @@
+#pragma once
+// Coverage-guided adversarial search over the policy/configuration space.
+//
+// Classic random sampling (analysis/finder) draws every candidate fresh; the
+// explorer instead *evolves* a frontier, AFL-style.  Fitness is not a score
+// but coverage novelty: every evaluated mutant runs once through the
+// message-level EventEngine, and its aggregated SelectionProvenance
+// histogram (which selection rule was decisive how often, log2-bucketed, plus
+// the convergence verdicts and a best-flip-volume bucket) is hashed into a
+// coverage key.  A mutant whose key was never seen before joins the frontier
+// even if it does not oscillate — it exercises a new decision pattern, and
+// its neighborhood is where new failure shapes live.
+//
+// Seeds combine random route-reflection instances with confederation-derived
+// hybrids (explore::hybrid_spec over rfc3345_confederation and random
+// confederations), so the search starts in both problem families the RFC
+// 3345 lineage documents.
+//
+// Every oscillating find (a provable cycle under a deterministic schedule —
+// step-budget exhaustion is counted separately and never treated as a hit)
+// is delta-debugged down by explore::minimize and deduplicated by the
+// fingerprint of its canonical .topo serialization.
+//
+// Determinism: evaluation fans out in fixed-size batches where mutant i of
+// round r is a pure function of derive_seed(seed, r * batch + i) and the
+// frontier snapshot taken before the batch; results fold in index order, so
+// --jobs N reproduces --jobs 1 exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/finder.hpp"
+#include "core/policy.hpp"
+#include "explore/spec.hpp"
+#include "topo/random.hpp"
+
+namespace ibgp::explore {
+
+struct ExploreConfig {
+  /// The protocol under attack (whose oscillations we hunt).
+  core::ProtocolKind attack = core::ProtocolKind::kStandard;
+
+  std::uint64_t seed = 1;
+  std::size_t budget = 2000;        ///< mutants to evaluate in total
+  std::size_t batch = 64;           ///< parallel evaluation batch size
+  std::size_t max_steps = 4000;     ///< schedule-engine budget per classify
+  std::size_t max_deliveries = 20000;  ///< event-engine budget per coverage run
+  std::size_t frontier_cap = 64;    ///< retained seeds (oldest evicted)
+  std::size_t jobs = 1;             ///< worker threads for batch evaluation
+
+  /// Hit criteria, mirroring analysis::FinderCriteria.
+  bool require_med_induced = false;
+  bool require_modified_converges = true;
+
+  bool minimize = true;             ///< delta-debug every hit
+
+  /// Random route-reflection seed instances (seeds 0..random_seeds-1).
+  topo::RandomConfig random_config;
+  std::size_t random_seeds = 8;
+  /// Confederation-derived hybrid seeds: rfc3345_confederation() plus
+  /// hybrid_seeds-1 random confederations.
+  std::size_t hybrid_seeds = 2;
+};
+
+struct ExploreHit {
+  InstanceSpec spec;        ///< minimized when config.minimize, else raw
+  analysis::ConvergenceSignature signature;  ///< attack protocol, minimized spec
+  bool med_induced = false;
+  bool hybrid = false;      ///< descended from a confederation hybrid seed
+  /// Fingerprint of the canonical serialization (name-independent); the
+  /// dedup key and the corpus entry's content address.
+  std::uint64_t fingerprint = 0;
+};
+
+struct ExploreStats {
+  std::size_t evaluated = 0;       ///< mutants built and run
+  std::size_t invalid = 0;         ///< offspring try_build rejected
+  std::size_t truncated_runs = 0;  ///< classifications with a step-limit verdict
+  std::size_t new_coverage = 0;    ///< frontier admissions
+  std::size_t hits_raw = 0;        ///< oscillating finds before dedup
+  /// Mutants where the attack protocol oscillated but kModified did too —
+  /// would falsify the paper's Theorem 2; must stay 0.
+  std::size_t theorem_violations = 0;
+};
+
+struct ExploreResult {
+  std::vector<ExploreHit> hits;  ///< deduplicated, discovery order
+  ExploreStats stats;
+};
+
+/// The coverage key of one evaluated instance (exposed for tests).
+std::uint64_t coverage_key(const core::Instance& inst, core::ProtocolKind attack,
+                           std::size_t max_deliveries);
+
+ExploreResult explore(const ExploreConfig& config);
+
+}  // namespace ibgp::explore

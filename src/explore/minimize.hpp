@@ -1,0 +1,52 @@
+#pragma once
+// Delta-debugging minimizer for explorer hits.
+//
+// Given a configuration with an interesting convergence signature, shrink it
+// while an oracle keeps holding: remove routers, IGP links, client-client
+// sessions, exit paths, route-map clauses and MED overrides, and flatten
+// attribute values (MED -> 0, LOCAL-PREF -> 100, costs -> minimal, tags ->
+// none).  Greedy one-element-at-a-time passes repeat until a full pass
+// removes nothing (a 1-minimal configuration in the ddmin sense).
+//
+// The oracle is exact signature preservation: the target protocol must keep
+// the SAME RunStatus under BOTH deterministic schedules (not merely "still
+// oscillate" — a hit that cycles under round-robin but converges
+// synchronously must stay that shape).  Optional side conditions mirror the
+// finder criteria: the modified protocol keeps converging, and MED-induced
+// hits stay MED-induced (the oscillation still vanishes with MEDs ignored).
+// Step-budget exhaustion is never accepted as equivalent to a cycle.
+
+#include <cstddef>
+
+#include "analysis/finder.hpp"
+#include "core/policy.hpp"
+#include "explore/spec.hpp"
+
+namespace ibgp::explore {
+
+struct MinimizeGoal {
+  core::ProtocolKind protocol = core::ProtocolKind::kStandard;
+  /// The signature build(spec) must keep showing, verbatim, per schedule.
+  analysis::ConvergenceSignature signature;
+  /// Keep requiring the modified protocol to converge under both schedules.
+  bool modified_converges = true;
+  /// Keep requiring the oscillation to vanish when MEDs are ignored.
+  bool med_induced = false;
+  std::size_t max_steps = 4000;
+};
+
+/// Whether `inst` satisfies the goal (exact signature + side conditions).
+bool satisfies(const core::Instance& inst, const MinimizeGoal& goal);
+
+struct MinimizeStats {
+  std::size_t candidates_tried = 0;  ///< shrink attempts evaluated
+  std::size_t accepted = 0;          ///< attempts that kept the signature
+  std::size_t passes = 0;            ///< full passes until fixed point
+};
+
+/// Shrinks `spec` to a 1-minimal configuration for `goal`.  Precondition:
+/// build(spec) satisfies the goal (checked; returns spec unchanged if not).
+InstanceSpec minimize(InstanceSpec spec, const MinimizeGoal& goal,
+                      MinimizeStats* stats = nullptr);
+
+}  // namespace ibgp::explore

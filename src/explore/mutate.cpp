@@ -1,0 +1,213 @@
+#include "explore/mutate.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ibgp::explore {
+
+namespace {
+
+using util::Xoshiro256;
+
+// Small attribute pools keep mutants in the regime where oscillation lives:
+// the paper's examples need *ties* on the early rules, which huge random
+// values would destroy.
+constexpr Med kMaxMed = 3;
+constexpr Cost kMaxLinkCost = 10;
+constexpr Cost kMaxExitCost = 5;
+constexpr AsId kMaxAs = 3;
+
+std::string fresh_label(const InstanceSpec& spec, const char* prefix, Xoshiro256& rng) {
+  for (;;) {
+    std::string label = prefix + std::to_string(rng.below(10000));
+    const bool taken = std::any_of(spec.nodes.begin(), spec.nodes.end(),
+                                   [&](const NodeSpec& n) { return n.label == label; });
+    const bool taken_exit = std::any_of(spec.exits.begin(), spec.exits.end(),
+                                        [&](const ExitSpec& e) { return e.name == label; });
+    if (!taken && !taken_exit) return label;
+  }
+}
+
+bgp::MedMode random_med_mode(Xoshiro256& rng) {
+  switch (rng.below(3)) {
+    case 0: return bgp::MedMode::kPerNeighborAs;
+    case 1: return bgp::MedMode::kAlwaysCompare;
+    default: return bgp::MedMode::kIgnore;
+  }
+}
+
+bgp::RouteMapClause random_clause(Xoshiro256& rng) {
+  bgp::RouteMapClause clause;
+  if (rng.chance(0.5)) clause.match_as = static_cast<AsId>(1 + rng.below(kMaxAs));
+  if (rng.chance(0.4)) clause.match_communities = 1u << rng.below(4);
+  switch (rng.below(3)) {
+    case 0:
+      clause.set_local_pref = static_cast<LocalPref>(90 + 10 * rng.below(4));  // 90..120
+      break;
+    case 1:
+      clause.set_med = static_cast<Med>(rng.below(kMaxMed + 1));
+      break;
+    default:
+      clause.add_communities = 1u << rng.below(4);
+      break;
+  }
+  return clause;
+}
+
+void mutate_once(InstanceSpec& spec, Xoshiro256& rng) {
+  const std::size_t n = spec.nodes.size();
+  if (n == 0) return;
+  switch (rng.below(15)) {
+    case 0: {  // re-cost a link
+      if (spec.links.empty()) break;
+      spec.links[rng.pick_index(spec.links)].cost =
+          static_cast<Cost>(1 + rng.below(kMaxLinkCost));
+      break;
+    }
+    case 1: {  // add a link
+      if (n < 2) break;
+      const NodeId a = static_cast<NodeId>(rng.below(n));
+      const NodeId b = static_cast<NodeId>(rng.below(n));
+      if (a == b) break;
+      spec.links.push_back({a, b, static_cast<Cost>(1 + rng.below(kMaxLinkCost))});
+      break;
+    }
+    case 2: {  // remove a link (keep at least a chance of connectivity)
+      if (spec.links.size() < 2) break;
+      spec.links.erase(spec.links.begin() +
+                       static_cast<std::ptrdiff_t>(rng.pick_index(spec.links)));
+      break;
+    }
+    case 3: {  // add a same-cluster client-client session
+      std::vector<std::pair<NodeId, NodeId>> candidates;
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+          if (!spec.nodes[u].reflector && !spec.nodes[v].reflector &&
+              spec.nodes[u].cluster == spec.nodes[v].cluster) {
+            candidates.emplace_back(u, v);
+          }
+        }
+      }
+      if (candidates.empty()) break;
+      const auto [u, v] = candidates[rng.pick_index(candidates)];
+      spec.client_sessions.push_back({u, v});
+      break;
+    }
+    case 4: {  // remove a client-client session
+      if (spec.client_sessions.empty()) break;
+      spec.client_sessions.erase(
+          spec.client_sessions.begin() +
+          static_cast<std::ptrdiff_t>(rng.pick_index(spec.client_sessions)));
+      break;
+    }
+    case 5: {  // add an exit
+      ExitSpec exit;
+      exit.name = fresh_label(spec, "x", rng);
+      exit.at = static_cast<NodeId>(rng.below(n));
+      exit.next_as = static_cast<AsId>(1 + rng.below(kMaxAs));
+      exit.med = static_cast<Med>(rng.below(kMaxMed + 1));
+      exit.exit_cost = static_cast<Cost>(rng.below(kMaxExitCost + 1));
+      exit.ebgp_peer = static_cast<BgpId>(1000 + rng.below(1000));
+      if (rng.chance(0.3)) exit.communities = 1u << rng.below(4);
+      spec.exits.push_back(std::move(exit));
+      break;
+    }
+    case 6: {  // remove an exit
+      if (spec.exits.size() < 2) break;
+      spec.exits.erase(spec.exits.begin() +
+                       static_cast<std::ptrdiff_t>(rng.pick_index(spec.exits)));
+      break;
+    }
+    case 7: {  // perturb exit MED / moving it between AS groups matters
+      if (spec.exits.empty()) break;
+      spec.exits[rng.pick_index(spec.exits)].med = static_cast<Med>(rng.below(kMaxMed + 1));
+      break;
+    }
+    case 8: {  // perturb exit cost or AS
+      if (spec.exits.empty()) break;
+      ExitSpec& exit = spec.exits[rng.pick_index(spec.exits)];
+      if (rng.chance(0.5)) {
+        exit.exit_cost = static_cast<Cost>(rng.below(kMaxExitCost + 1));
+      } else {
+        exit.next_as = static_cast<AsId>(1 + rng.below(kMaxAs));
+      }
+      break;
+    }
+    case 9: {  // toggle a community tag on an exit
+      if (spec.exits.empty()) break;
+      spec.exits[rng.pick_index(spec.exits)].communities ^= 1u << rng.below(4);
+      break;
+    }
+    case 10: {  // rotate the global MED mode
+      spec.policy.med = random_med_mode(rng);
+      break;
+    }
+    case 11: {  // add or drop a per-AS MED override (regime mix)
+      if (!spec.policy.med_overrides.empty() && rng.chance(0.4)) {
+        spec.policy.med_overrides.erase(
+            spec.policy.med_overrides.begin() +
+            static_cast<std::ptrdiff_t>(rng.pick_index(spec.policy.med_overrides)));
+      } else {
+        bgp::MedOverride override;
+        override.as = static_cast<AsId>(1 + rng.below(kMaxAs));
+        override.mode = random_med_mode(rng);
+        spec.policy.med_overrides.push_back(override);
+      }
+      break;
+    }
+    case 12: {  // add or drop an ingress route-map clause
+      if (!spec.route_maps.empty() && rng.chance(0.4)) {
+        spec.route_maps.erase(spec.route_maps.begin() +
+                              static_cast<std::ptrdiff_t>(rng.pick_index(spec.route_maps)));
+      } else {
+        spec.route_maps.push_back(
+            {static_cast<NodeId>(rng.below(n)), random_clause(rng)});
+      }
+      break;
+    }
+    case 13: {  // grow a client in a random cluster, linked to a random node
+      if (n >= 24) break;  // keep mutants classifiable in the step budget
+      NodeSpec node;
+      node.label = fresh_label(spec, "g", rng);
+      node.cluster = spec.nodes[rng.below(n)].cluster;
+      node.reflector = false;
+      node.bgp_id = static_cast<BgpId>(n);
+      const NodeId anchor = static_cast<NodeId>(rng.below(n));
+      spec.nodes.push_back(std::move(node));
+      spec.links.push_back({static_cast<NodeId>(n), anchor,
+                            static_cast<Cost>(1 + rng.below(kMaxLinkCost))});
+      break;
+    }
+    default: {  // mesh a cluster: pairwise sessions among its clients (the
+                // confederation-flavored move)
+      const auto cluster = spec.nodes[rng.below(n)].cluster;
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+          if (spec.nodes[u].cluster != cluster || spec.nodes[v].cluster != cluster) continue;
+          if (spec.nodes[u].reflector || spec.nodes[v].reflector) continue;
+          const bool present = std::any_of(
+              spec.client_sessions.begin(), spec.client_sessions.end(),
+              [&](const SessionSpec& s) {
+                return (s.a == u && s.b == v) || (s.a == v && s.b == u);
+              });
+          if (!present) spec.client_sessions.push_back({u, v});
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+InstanceSpec mutate(const InstanceSpec& parent, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  InstanceSpec child = parent;
+  const std::size_t edits = 1 + rng.below(3);
+  for (std::size_t i = 0; i < edits; ++i) mutate_once(child, rng);
+  return child;
+}
+
+}  // namespace ibgp::explore

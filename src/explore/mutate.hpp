@@ -1,0 +1,29 @@
+#pragma once
+// Seeded mutation menu over InstanceSpec genotypes.
+//
+// mutate() is a pure function of (parent, seed): the same pair always yields
+// the same child, so the explorer's batched parallel evaluation stays
+// byte-identical across --jobs.  Offspring may be structurally invalid
+// (e.g. a cluster left without a reflector) — callers filter through
+// try_build().
+//
+// The menu spans every policy knob the paper's configuration model exposes
+// plus the structural moves delta debugging later undoes:
+//   topology:   add/remove/re-cost IGP links, grow a client, mesh a cluster
+//   sessions:   add/remove client-client sessions
+//   exits:      add/remove exits, perturb MED / LOCAL-PREF / exit cost /
+//               AS-path length / community tags
+//   policy:     rotate the global MED mode, add/remove per-AS MED overrides
+//   route-maps: add/remove ingress clauses (community or AS matched,
+//               LOCAL-PREF / MED setting, tag adding)
+
+#include <cstdint>
+
+#include "explore/spec.hpp"
+
+namespace ibgp::explore {
+
+/// Returns a mutated copy of `parent` (1-3 menu picks, seed-determined).
+InstanceSpec mutate(const InstanceSpec& parent, std::uint64_t seed);
+
+}  // namespace ibgp::explore

@@ -1,0 +1,103 @@
+#pragma once
+// The explorer's configuration genotype.
+//
+// The search in explorer.hpp mutates *configurations*, not finalized
+// instances: an InstanceSpec is the plain-data mirror of everything
+// topo::InstanceBuilder consumes (nodes, links, optional client sessions,
+// raw exit attributes, ingress route-maps, the selection policy with its
+// per-AS MED overrides).  Specs are cheap to copy, trivially mutable, and
+// convert both ways:
+//
+//   build(spec)     -> finalized core::Instance (throws on invalid specs;
+//                      try_build() returns nullopt instead, which is how the
+//                      mutator discards structurally broken offspring)
+//   spec_of(inst)   -> the genotype of an existing instance, reading the RAW
+//                      exit table so route-maps are not baked in twice
+//
+// hybrid_spec() maps a BGP confederation onto route reflection — member
+// sub-ASes become clusters, border routers become reflectors, the intra-
+// sub-AS full mesh becomes explicit client-client sessions — giving the
+// explorer RFC 3345-shaped seeds in the reflection search space.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route_map.hpp"
+#include "bgp/selection.hpp"
+#include "confed/layout.hpp"
+#include "core/instance.hpp"
+#include "netsim/cluster_layout.hpp"
+#include "util/types.hpp"
+
+namespace ibgp::explore {
+
+struct NodeSpec {
+  std::string label;
+  netsim::ClusterId cluster = 0;
+  bool reflector = false;
+  BgpId bgp_id = 0;
+};
+
+struct LinkSpec {
+  NodeId a = 0, b = 0;
+  Cost cost = 1;
+};
+
+struct SessionSpec {
+  NodeId a = 0, b = 0;  ///< same-cluster client-client I-BGP session
+};
+
+struct ExitSpec {
+  std::string name;
+  NodeId at = 0;
+  AsId next_as = 1;
+  Med med = 0;
+  LocalPref local_pref = 100;
+  std::uint32_t as_path_length = 3;
+  Cost exit_cost = 0;
+  BgpId ebgp_peer = 0;
+  std::uint32_t communities = 0;  ///< raw (pre-route-map) tag bitmask
+};
+
+struct RouteMapSpec {
+  NodeId node = 0;
+  bgp::RouteMapClause clause;
+};
+
+struct InstanceSpec {
+  std::string name = "spec";
+  std::vector<NodeSpec> nodes;
+  std::vector<LinkSpec> links;
+  std::vector<SessionSpec> client_sessions;
+  std::vector<ExitSpec> exits;
+  std::vector<RouteMapSpec> route_maps;  ///< clause order = application order
+  bgp::SelectionPolicy policy;
+};
+
+/// Finalizes the spec.  Throws std::invalid_argument on structural errors
+/// (empty cluster, dangling node id, duplicate label, ...).
+core::Instance build(const InstanceSpec& spec);
+
+/// build() that swallows validation errors; the mutator/minimizer oracle.
+std::optional<core::Instance> try_build(const InstanceSpec& spec);
+
+/// Extracts the genotype of a finalized instance (raw exit attributes, so
+/// build(spec_of(inst)) reproduces inst including its ingress maps).
+InstanceSpec spec_of(const core::Instance& inst);
+
+/// Renumbers cluster ids densely (first appearance order by node index);
+/// required after node removal because ClusterLayout demands dense ids.
+void normalize_clusters(InstanceSpec& spec);
+
+/// Removes node v: drops its exits, route-maps, links and sessions, remaps
+/// higher node ids down by one, and re-densifies clusters.
+void remove_node(InstanceSpec& spec, NodeId v);
+
+/// Confederation -> route-reflection hybrid: sub-AS i becomes cluster i,
+/// border routers become its reflectors (the lowest router is promoted when
+/// a sub-AS has none), and the intra-sub-AS mesh survives as client-client
+/// sessions.  Exit paths, IGP costs and the selection policy carry over.
+InstanceSpec hybrid_spec(const confed::ConfedInstance& confed);
+
+}  // namespace ibgp::explore

@@ -62,6 +62,12 @@ InstanceBuilder& InstanceBuilder::bgp_id(std::string_view node, BgpId id) {
   return *this;
 }
 
+InstanceBuilder& InstanceBuilder::route_map(std::string_view node,
+                                            bgp::RouteMapClause clause) {
+  route_map_clauses_.emplace_back(require(*this, node), std::move(clause));
+  return *this;
+}
+
 core::Instance InstanceBuilder::build(std::string instance_name,
                                       bgp::SelectionPolicy policy) const {
   netsim::PhysicalGraph physical(labels_.size());
@@ -86,6 +92,7 @@ core::Instance InstanceBuilder::build(std::string instance_name,
     path.med = spec.med;
     path.exit_cost = spec.exit_cost;
     path.ebgp_peer = spec.ebgp_peer.value_or(static_cast<BgpId>(1000 + i));
+    path.communities = spec.communities;
     table.add(std::move(path));
   }
 
@@ -93,9 +100,17 @@ core::Instance InstanceBuilder::build(std::string instance_name,
   for (NodeId v = 0; v < labels_.size(); ++v) ids[v] = v;
   for (const auto& [node, id] : bgp_overrides_) ids[node] = id;
 
+  std::vector<bgp::RouteMap> ingress_maps;
+  if (!route_map_clauses_.empty()) {
+    ingress_maps.resize(labels_.size());
+    for (const auto& [node, clause] : route_map_clauses_) {
+      ingress_maps[node].clauses.push_back(clause);
+    }
+  }
+
   return core::Instance(std::move(instance_name), std::move(physical), std::move(layout),
                         std::move(sessions), std::move(table), policy, std::move(ids),
-                        labels_);
+                        labels_, std::move(ingress_maps));
 }
 
 }  // namespace ibgp::topo

@@ -25,6 +25,45 @@ std::int64_t need_int(std::size_t line_no, std::string_view token, const char* w
   return *value;
 }
 
+bgp::MedMode need_med_mode(std::size_t line_no, std::string_view token) {
+  if (token == "per-as") return bgp::MedMode::kPerNeighborAs;
+  if (token == "always") return bgp::MedMode::kAlwaysCompare;
+  if (token == "ignore") return bgp::MedMode::kIgnore;
+  fail(line_no, "unknown med mode (want per-as|always|ignore)");
+}
+
+const char* med_mode_name(bgp::MedMode mode) {
+  switch (mode) {
+    case bgp::MedMode::kPerNeighborAs: return "per-as";
+    case bgp::MedMode::kAlwaysCompare: return "always";
+    case bgp::MedMode::kIgnore: return "ignore";
+  }
+  return "per-as";
+}
+
+// Parses "1,3,17" into a community bitmask (tags are bit positions 0-31).
+std::uint32_t need_comm_list(std::size_t line_no, std::string_view token) {
+  std::uint32_t mask = 0;
+  for (std::string_view part : util::split(token, ',')) {
+    const auto tag = parse_u64(part);
+    if (!tag || *tag >= 32) fail(line_no, "community tag must be an integer in [0, 32)");
+    mask |= 1u << *tag;
+  }
+  if (mask == 0) fail(line_no, "empty community list");
+  return mask;
+}
+
+// Inverse of need_comm_list: "1,3,17" from a bitmask.
+std::string comm_list(std::uint32_t mask) {
+  std::string out;
+  for (std::uint32_t tag = 0; tag < 32; ++tag) {
+    if ((mask & (1u << tag)) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += std::to_string(tag);
+  }
+  return out;
+}
+
 }  // namespace
 
 core::Instance parse_topo(std::string_view text) {
@@ -59,19 +98,17 @@ core::Instance parse_topo(std::string_view text) {
             fail(line_no, "unknown order (want ebgp-first|igp-first)");
           }
         } else if (tokens[i] == "med") {
-          if (tokens[i + 1] == "per-as") {
-            policy.med = bgp::MedMode::kPerNeighborAs;
-          } else if (tokens[i + 1] == "always") {
-            policy.med = bgp::MedMode::kAlwaysCompare;
-          } else if (tokens[i + 1] == "ignore") {
-            policy.med = bgp::MedMode::kIgnore;
-          } else {
-            fail(line_no, "unknown med mode (want per-as|always|ignore)");
-          }
+          policy.med = need_med_mode(line_no, tokens[i + 1]);
         } else {
           fail(line_no, "unknown policy key '" + std::string(tokens[i]) + "'");
         }
       }
+    } else if (directive == "med-override") {
+      if (tokens.size() != 3) fail(line_no, "usage: med-override AS per-as|always|ignore");
+      bgp::MedOverride override;
+      override.as = static_cast<AsId>(need_int(line_no, tokens[1], "as"));
+      override.mode = need_med_mode(line_no, tokens[2]);
+      policy.med_overrides.push_back(override);
     } else if (directive == "node") {
       if (tokens.size() < 4) fail(line_no, "usage: node LABEL reflector|client CLUSTER");
       const std::string label(tokens[1]);
@@ -121,11 +158,39 @@ core::Instance parse_topo(std::string_view text) {
           spec.exit_cost = need_int(line_no, tokens[i + 1], "cost");
         } else if (tokens[i] == "peer") {
           spec.ebgp_peer = static_cast<BgpId>(need_int(line_no, tokens[i + 1], "peer"));
+        } else if (tokens[i] == "comm") {
+          spec.communities = need_comm_list(line_no, tokens[i + 1]);
         } else {
           fail(line_no, "unknown exit option '" + std::string(tokens[i]) + "'");
         }
       }
       builder.exit(std::move(spec));
+    } else if (directive == "route-map") {
+      // route-map LABEL [match-as A] [match-comm LIST] [set-lp L] [set-med M]
+      //                 [add-comm LIST]
+      if (tokens.size() < 4 || tokens.size() % 2 != 0) {
+        fail(line_no,
+             "usage: route-map LABEL [match-as A] [match-comm LIST] [set-lp L] [set-med M] "
+             "[add-comm LIST]");
+      }
+      bgp::RouteMapClause clause;
+      for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+        if (tokens[i] == "match-as") {
+          clause.match_as = static_cast<AsId>(need_int(line_no, tokens[i + 1], "match-as"));
+        } else if (tokens[i] == "match-comm") {
+          clause.match_communities = need_comm_list(line_no, tokens[i + 1]);
+        } else if (tokens[i] == "set-lp") {
+          clause.set_local_pref =
+              static_cast<LocalPref>(need_int(line_no, tokens[i + 1], "set-lp"));
+        } else if (tokens[i] == "set-med") {
+          clause.set_med = static_cast<Med>(need_int(line_no, tokens[i + 1], "set-med"));
+        } else if (tokens[i] == "add-comm") {
+          clause.add_communities = need_comm_list(line_no, tokens[i + 1]);
+        } else {
+          fail(line_no, "unknown route-map option '" + std::string(tokens[i]) + "'");
+        }
+      }
+      builder.route_map(tokens[1], std::move(clause));
     } else {
       fail(line_no, "unknown directive '" + std::string(directive) + "'");
     }
@@ -155,10 +220,10 @@ std::string write_topo(const core::Instance& inst) {
   out << "policy order "
       << (inst.policy().order == bgp::RuleOrder::kPreferEbgpFirst ? "ebgp-first" : "igp-first")
       << " med "
-      << (inst.policy().med == bgp::MedMode::kPerNeighborAs
-              ? "per-as"
-              : (inst.policy().med == bgp::MedMode::kAlwaysCompare ? "always" : "ignore"))
-      << "\n";
+      << med_mode_name(inst.policy().med) << "\n";
+  for (const auto& override : inst.policy().med_overrides) {
+    out << "med-override " << override.as << ' ' << med_mode_name(override.mode) << "\n";
+  }
   for (NodeId v = 0; v < inst.node_count(); ++v) {
     out << "node " << inst.node_name(v) << ' '
         << (inst.clusters().is_reflector(v) ? "reflector" : "client") << ' '
@@ -173,11 +238,34 @@ std::string write_topo(const core::Instance& inst) {
       out << "session " << inst.node_name(edge.u) << ' ' << inst.node_name(edge.v) << "\n";
     }
   }
-  for (const auto& path : inst.exits().all()) {
+  // Exits are written with their RAW (pre-route-map) attributes so the maps
+  // below are not applied twice on re-parse.
+  for (const auto& path : inst.raw_exits().all()) {
     out << "exit " << path.name << " at " << inst.node_name(path.exit_point) << " as "
         << path.next_as << " med " << path.med << " lp " << path.local_pref << " len "
-        << path.as_path_length << " cost " << path.exit_cost << " peer " << path.ebgp_peer
-        << "\n";
+        << path.as_path_length << " cost " << path.exit_cost << " peer " << path.ebgp_peer;
+    if (path.communities != 0) out << " comm " << comm_list(path.communities);
+    out << "\n";
+  }
+  const auto maps = inst.ingress_maps();
+  for (NodeId v = 0; v < maps.size(); ++v) {
+    for (const auto& clause : maps[v].clauses) {
+      // An all-empty clause matches everything and changes nothing; it has
+      // no serializable body, so drop it (the instance is unaffected).
+      if (!clause.match_as && clause.match_communities == 0 && !clause.set_local_pref &&
+          !clause.set_med && clause.add_communities == 0) {
+        continue;
+      }
+      out << "route-map " << inst.node_name(v);
+      if (clause.match_as) out << " match-as " << *clause.match_as;
+      if (clause.match_communities != 0) {
+        out << " match-comm " << comm_list(clause.match_communities);
+      }
+      if (clause.set_local_pref) out << " set-lp " << *clause.set_local_pref;
+      if (clause.set_med) out << " set-med " << *clause.set_med;
+      if (clause.add_communities != 0) out << " add-comm " << comm_list(clause.add_communities);
+      out << "\n";
+    }
   }
   return out.str();
 }

@@ -5,14 +5,25 @@
 //
 //   instance NAME
 //   policy [order ebgp-first|igp-first] [med per-as|always|ignore]
+//   med-override AS per-as|always|ignore      # per-neighbor-AS MED regime
 //   node LABEL reflector|client CLUSTER [bgp-id ID]
 //   link LABEL LABEL COST
 //   session LABEL LABEL                       # extra client-client session
 //   exit NAME at LABEL as AS [med M] [lp L] [len K] [cost C] [peer P]
+//        [comm T[,T...]]
+//   route-map LABEL [match-as A] [match-comm T[,T...]]
+//        [set-lp L] [set-med M] [add-comm T[,T...]]
+//
+// `comm` lists are community tags (bit positions 0-31).  One `route-map`
+// line is one clause of LABEL's ingress map; clause order is line order,
+// first match wins.  Exit attribute tokens always describe the RAW
+// (pre-route-map) configuration; the parser re-applies the maps, so
+// round-trips preserve config rather than its consequence.
 //
 // parse_topo throws std::runtime_error with a line-numbered message on any
 // malformed input; write_topo produces text that parses back to an
-// equivalent instance (round-trip tested).
+// equivalent instance, and re-serializing that parse is byte-identical
+// (round-trip tested).
 
 #include <string>
 #include <string_view>

@@ -1,0 +1,118 @@
+// Corpus-replay suite (satellite of the policy explorer PR): every checked-in
+// counterexample in examples/data/corpus must parse, rebuild, and reproduce
+// its recorded per-protocol convergence signature, with --jobs 1 and --jobs 8
+// replay fingerprints byte-identical, and the modified protocol converging on
+// every single entry.
+
+#include <gtest/gtest.h>
+
+#include "explore/corpus.hpp"
+#include "explore/spec.hpp"
+#include "topo/dsl.hpp"
+#include "topo/figures.hpp"
+
+#ifndef IBGP_CORPUS_DIR
+#define IBGP_CORPUS_DIR "examples/data/corpus"
+#endif
+
+namespace ibgp::explore {
+namespace {
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> entries = load_corpus_dir(IBGP_CORPUS_DIR);
+  return entries;
+}
+
+TEST(Corpus, HasAtLeastTenEntries) { EXPECT_GE(corpus().size(), 10u); }
+
+TEST(Corpus, CoversRequiredFamilies) {
+  std::size_t med_induced = 0, hybrid = 0;
+  for (const auto& entry : corpus()) {
+    med_induced += entry.med_induced ? 1 : 0;
+    hybrid += entry.hybrid ? 1 : 0;
+  }
+  EXPECT_GE(med_induced, 1u) << "corpus needs a MED-induced counterexample";
+  EXPECT_GE(hybrid, 1u) << "corpus needs a confed/RR-hybrid counterexample";
+}
+
+TEST(Corpus, EntriesParseAndRoundTrip) {
+  for (const auto& entry : corpus()) {
+    SCOPED_TRACE(entry.name);
+    // The topo body parses into a buildable instance...
+    const auto inst = topo::parse_topo(entry.topo_text);
+    // ...that re-serializes byte-identically,
+    EXPECT_EQ(topo::write_topo(inst), entry.topo_text);
+    // and the full entry survives its own write/parse cycle.
+    const auto reparsed = parse_corpus_entry(write_corpus_entry(entry), entry.name);
+    EXPECT_EQ(reparsed.topo_text, entry.topo_text);
+    EXPECT_EQ(reparsed.max_steps, entry.max_steps);
+    EXPECT_EQ(reparsed.med_induced, entry.med_induced);
+    EXPECT_EQ(reparsed.hybrid, entry.hybrid);
+    for (std::size_t p = 0; p < kCorpusProtocols; ++p) {
+      EXPECT_EQ(reparsed.signatures[p].round_robin, entry.signatures[p].round_robin);
+      EXPECT_EQ(reparsed.signatures[p].synchronous, entry.signatures[p].synchronous);
+    }
+  }
+}
+
+TEST(Corpus, ReplayMatchesRecordedSignatures) {
+  const auto report = replay_corpus(corpus(), 1);
+  ASSERT_EQ(report.rows.size(), corpus().size());
+  for (const auto& row : report.rows) {
+    EXPECT_TRUE(row.match) << row.name << " drifted from its recorded signature";
+  }
+  EXPECT_TRUE(report.all_match());
+}
+
+TEST(Corpus, ModifiedProtocolNeverOscillates) {
+  const auto report = replay_corpus(corpus(), 1);
+  for (const auto& row : report.rows) {
+    EXPECT_FALSE(row.modified_oscillates)
+        << row.name << " oscillates under the modified protocol — this would "
+        << "contradict the paper's convergence theorem";
+  }
+  EXPECT_TRUE(report.modified_safe());
+}
+
+TEST(Corpus, ReplayFingerprintIdenticalAcrossJobs) {
+  const auto serial = replay_corpus(corpus(), 1);
+  const auto parallel = replay_corpus(corpus(), 8);
+  EXPECT_EQ(serial.fingerprint, parallel.fingerprint);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].name, parallel.rows[i].name);
+    EXPECT_EQ(serial.rows[i].match, parallel.rows[i].match);
+  }
+}
+
+TEST(Corpus, WriteParseRoundTripUnit) {
+  // Unit check independent of the on-disk corpus: fabricate an entry from
+  // Fig 1(a) and push it through the serializer.
+  const auto inst = topo::fig1a();
+  const auto entry = make_corpus_entry(inst, 1234, /*med_induced=*/false,
+                                       /*hybrid=*/true);
+  EXPECT_EQ(entry.max_steps, 1234u);
+  EXPECT_TRUE(entry.hybrid);
+  EXPECT_FALSE(entry.med_induced);
+  EXPECT_TRUE(entry.signatures[0].oscillates());   // standard cycles on fig1a
+  EXPECT_FALSE(entry.signatures[2].oscillates());  // modified converges
+
+  const std::string text = write_corpus_entry(entry);
+  const auto back = parse_corpus_entry(text, "unit");
+  EXPECT_EQ(back.topo_text, entry.topo_text);
+  EXPECT_EQ(back.max_steps, entry.max_steps);
+  EXPECT_EQ(back.hybrid, entry.hybrid);
+  EXPECT_EQ(back.med_induced, entry.med_induced);
+  EXPECT_EQ(write_corpus_entry(back), text);  // writer is a fixed point
+}
+
+TEST(Corpus, ParserRejectsMalformedEntries) {
+  EXPECT_THROW(parse_corpus_entry("nodes a b\n", "x"), std::runtime_error);
+  EXPECT_THROW(parse_corpus_entry("#! ibgp-corpus-v1\nnodes a\n", "x"),
+               std::runtime_error);  // missing signatures
+  EXPECT_THROW(parse_corpus_entry("#! ibgp-corpus-v1\n#! tag bogus\n", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ibgp::explore

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
+#include "analysis/finder.hpp"
 #include "netsim/validate.hpp"
 #include "topo/builder.hpp"
 #include "topo/dsl.hpp"
@@ -120,6 +123,129 @@ TEST(Dsl, RoundTripsRandomInstances) {
     expect_equivalent(inst, reparsed);
   }
 }
+
+// --- policy knobs (communities, MED overrides, route-maps) -------------------------
+
+TEST(Dsl, ParsesCommunitiesAndMedOverrides) {
+  const auto inst = parse_topo(
+      "instance k\npolicy med per-as\nmed-override 2 always\nmed-override 3 ignore\n"
+      "node A reflector 0\nexit r at A as 2 comm 1,3\n");
+  ASSERT_EQ(inst.policy().med_overrides.size(), 2u);
+  EXPECT_EQ(inst.policy().med_mode_for(2), bgp::MedMode::kAlwaysCompare);
+  EXPECT_EQ(inst.policy().med_mode_for(3), bgp::MedMode::kIgnore);
+  EXPECT_EQ(inst.policy().med_mode_for(1), bgp::MedMode::kPerNeighborAs);
+  EXPECT_TRUE(inst.exits()[0].has_community(1));
+  EXPECT_TRUE(inst.exits()[0].has_community(3));
+  EXPECT_FALSE(inst.exits()[0].has_community(2));
+}
+
+TEST(Dsl, RouteMapsApplyAtIngressOnly) {
+  const auto inst = parse_topo(
+      "instance rm\nnode A reflector 0\nnode B reflector 1\nlink A B 1\n"
+      "exit r1 at A as 2 med 3 comm 1\nexit r2 at B as 2 med 3 comm 1\n"
+      "route-map A match-comm 1 set-lp 200 set-med 0 add-comm 5\n");
+  // Effective attributes: only A's exit was rewritten.
+  const auto& e1 = inst.exits()[inst.exits().find_by_name("r1")];
+  const auto& e2 = inst.exits()[inst.exits().find_by_name("r2")];
+  EXPECT_EQ(e1.local_pref, 200u);
+  EXPECT_EQ(e1.med, 0);
+  EXPECT_TRUE(e1.has_community(5));
+  EXPECT_EQ(e2.local_pref, 100u);
+  EXPECT_EQ(e2.med, 3);
+  EXPECT_FALSE(e2.has_community(5));
+  // Raw attributes survive for serialization.
+  EXPECT_EQ(inst.raw_exits()[inst.exits().find_by_name("r1")].local_pref, 100u);
+  EXPECT_TRUE(inst.has_ingress_policy());
+}
+
+TEST(Dsl, RejectsBadCommunityTag) {
+  EXPECT_THROW(parse_topo("node A reflector 0\nexit r at A as 1 comm 32\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_topo("node A reflector 0\nexit r at A as 1 comm x\n"),
+               std::runtime_error);
+}
+
+TEST(Dsl, RejectsBadMedOverride) {
+  EXPECT_THROW(parse_topo("med-override 1 sometimes\nnode A reflector 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_topo("med-override 1\nnode A reflector 0\n"), std::runtime_error);
+}
+
+// --- byte- and signature-identical round-trips (write -> parse -> write) -----------
+
+void expect_byte_and_signature_stable(const core::Instance& inst) {
+  const std::string text = write_topo(inst);
+  const auto reparsed = parse_topo(text);
+  EXPECT_EQ(write_topo(reparsed), text);
+  for (const auto protocol :
+       {core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
+        core::ProtocolKind::kModified}) {
+    const auto a = analysis::classify(inst, protocol, 2000);
+    const auto b = analysis::classify(reparsed, protocol, 2000);
+    EXPECT_EQ(a.round_robin, b.round_robin);
+    EXPECT_EQ(a.synchronous, b.synchronous);
+  }
+}
+
+TEST(Dsl, WriteIsByteStableOnFigures) {
+  for (const auto& [name, inst] : all_figures()) {
+    SCOPED_TRACE(name);
+    expect_byte_and_signature_stable(inst);
+  }
+}
+
+TEST(Dsl, WriteIsByteStableOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE(seed);
+    RandomConfig config;
+    config.clusters = 2 + seed % 3;
+    config.max_clients = 2;
+    config.exits = 4;
+    config.second_reflector_prob = 0.25;
+    expect_byte_and_signature_stable(random_instance(config, seed));
+  }
+}
+
+TEST(Dsl, KnobbedInstanceRoundTripsByteIdentical) {
+  InstanceBuilder b;
+  b.reflector("A", 0);
+  b.client("c1", 0);
+  b.reflector("B", 1);
+  b.link("A", "c1", 2);
+  b.link("A", "B", 3);
+  b.exit({.name = "r1", .at = "c1", .next_as = 1, .med = 2, .communities = 0b1010});
+  b.exit({.name = "r2", .at = "B", .next_as = 2, .med = 1});
+  b.route_map("c1", {.match_communities = 1u << 1, .set_local_pref = 150,
+                     .add_communities = 1u << 4});
+  b.route_map("B", {.match_as = 2, .set_med = 0});
+  bgp::SelectionPolicy policy;
+  policy.med = bgp::MedMode::kAlwaysCompare;
+  policy.med_overrides.push_back({.as = 2, .mode = bgp::MedMode::kIgnore});
+  const auto inst = b.build("knobbed", policy);
+  expect_byte_and_signature_stable(inst);
+
+  // And the knobs actually survive one full cycle.
+  const auto reparsed = parse_topo(write_topo(inst));
+  EXPECT_EQ(reparsed.policy(), inst.policy());
+  EXPECT_EQ(reparsed.ingress_maps().size(), inst.ingress_maps().size());
+  EXPECT_EQ(reparsed.exits()[0], inst.exits()[0]);
+  EXPECT_EQ(reparsed.raw_exits()[0], inst.raw_exits()[0]);
+}
+
+#ifdef IBGP_FIG1A_TOPO
+TEST(Dsl, Fig1aFileRoundTripsByteIdentical) {
+  std::ifstream in(IBGP_FIG1A_TOPO);
+  ASSERT_TRUE(in) << "missing " << IBGP_FIG1A_TOPO;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto inst = parse_topo(buffer.str());
+  expect_byte_and_signature_stable(inst);
+  // And the file reproduces the paper's Fig 1(a) verdicts.
+  EXPECT_TRUE(analysis::classify(inst, core::ProtocolKind::kStandard, 2000).oscillates());
+  EXPECT_TRUE(analysis::classify(inst, core::ProtocolKind::kModified, 2000)
+                  .converges_always_tested());
+}
+#endif
 
 // --- builder ------------------------------------------------------------------------
 
