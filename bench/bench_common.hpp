@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include "core/policy.hpp"
 #include "engine/activation.hpp"
 #include "engine/oscillation.hpp"
+#include "fault/supervisor.hpp"
 #include "fault/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -37,11 +39,26 @@ namespace ibgp::bench {
 ///   --trace PATH   write the ibgp-trace-v1 JSONL event stream (sweep
 ///                  benches; attached to the serial pass in --smoke so the
 ///                  stream is a single interleaving)
+///   --checkpoint-dir DIR  cell-completion journal root (sweep benches):
+///                  every finished cell lands in DIR/<pass>/cell-<i>.json
+///                  the instant it completes, SIGKILL-safe
+///   --resume       load journaled cells from --checkpoint-dir instead of
+///                  re-running them; the final report and JSON are
+///                  byte-identical to an uninterrupted run
+///   --cell-deadline MS  per-cell wall-clock budget in milliseconds
+///                  (0 = off); blown deadlines retry with doubled budget,
+///                  then degrade to a structured per-cell error record
+///   --strict       abort the whole sweep on the first failing cell
+///                  (restores the historical lowest-index-wins policy)
 struct BenchConfig {
   std::size_t jobs = 0;
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string checkpoint_dir;
+  std::size_t cell_deadline_ms = 0;
+  bool resume = false;
+  bool strict = false;
   bool smoke = false;
   bool json_written = false;  ///< a report already produced its document
 };
@@ -67,8 +84,33 @@ inline void strip_common_flags(int& argc, char** argv) {
     };
     if (arg == "--smoke") {
       config().smoke = true;
+    } else if (arg == "--resume") {
+      config().resume = true;
+    } else if (arg == "--strict") {
+      config().strict = true;
     } else if (const char* jobs = value_of("--jobs")) {
-      config().jobs = static_cast<std::size_t>(std::strtoull(jobs, nullptr, 10));
+      // Strict parse: "0" means one worker per hardware thread, anything
+      // non-numeric, negative, suffixed, or beyond util::kMaxJobs is a
+      // usage error — not a silent wrap to some huge thread count.
+      const auto parsed = util::parse_jobs(jobs);
+      if (!parsed) {
+        std::fprintf(stderr, "invalid --jobs value '%s' (want 0..%zu)\n", jobs,
+                     util::kMaxJobs);
+        std::exit(2);
+      }
+      config().jobs = *parsed;
+    } else if (const char* deadline = value_of("--cell-deadline")) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long ms = std::strtoull(deadline, &end, 10);
+      if (end == deadline || *end != '\0' || deadline[0] == '-' || errno == ERANGE) {
+        std::fprintf(stderr, "invalid --cell-deadline value '%s' (milliseconds)\n",
+                     deadline);
+        std::exit(2);
+      }
+      config().cell_deadline_ms = static_cast<std::size_t>(ms);
+    } else if (const char* dir = value_of("--checkpoint-dir")) {
+      config().checkpoint_dir = dir;
     } else if (const char* path = value_of("--json")) {
       config().json_path = path;
     } else if (const char* path = value_of("--metrics")) {
@@ -81,6 +123,24 @@ inline void strip_common_flags(int& argc, char** argv) {
   }
   argc = out;
   argv[argc] = nullptr;
+}
+
+/// Supervised-sweep options derived from the shared flags.  `pass` names
+/// the journal subdirectory (each independent sweep of a report — "main",
+/// "serial", "parallel" — needs its own journal so cell indices don't
+/// collide); jobs_override, when non-negative, pins the worker count for
+/// the determinism passes that must run at a fixed --jobs.
+inline fault::SweepOptions sweep_options(const char* pass, int jobs_override = -1) {
+  fault::SweepOptions options;
+  options.jobs = jobs_override >= 0 ? static_cast<std::size_t>(jobs_override)
+                                    : config().jobs;
+  options.strict = config().strict;
+  options.cell_deadline = std::chrono::milliseconds(config().cell_deadline_ms);
+  if (!config().checkpoint_dir.empty()) {
+    options.journal_dir = config().checkpoint_dir + "/" + pass;
+    options.resume = config().resume;
+  }
+  return options;
 }
 
 /// Writes `doc` to the --json path (no-op without --json).  Returns false
@@ -134,11 +194,11 @@ struct ObsSession {
   obs::TraceSink trace;
   std::vector<const core::Instance*> attached;  ///< SPF mirrors to detach
 
-  /// Pre-registers every sweep/campaign/engine metric (fixing snapshot
-  /// order before any fan-out) and opens the trace file when --trace was
-  /// given.
+  /// Pre-registers every supervisor/sweep/campaign/engine metric (fixing
+  /// snapshot order before any fan-out) and opens the trace file when
+  /// --trace was given.
   void open() {
-    fault::register_sweep_metrics(registry);
+    fault::register_supervisor_metrics(registry);
     if (!config().trace_path.empty()) trace.open_file(config().trace_path);
   }
 

@@ -120,7 +120,9 @@ void report() {
   }
   obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/true);
 
-  const auto sweep = fault::run_sweep(cells, bench::config().jobs);
+  auto sweep_options = bench::sweep_options("main");
+  sweep_options.metrics = &obs.registry;
+  const auto sweep = fault::run_sweep(cells, sweep_options);
   std::fprintf(stderr, "sweep: %zu cells in %.2fs on %zu jobs\n", cells.size(),
                sweep.wall_seconds, sweep.jobs);
 
@@ -214,9 +216,10 @@ int smoke() {
   obs.open();
   obs.attach_spf(inst);
   obs.wire(cells, /*with_metrics=*/false, /*with_trace=*/true);
-  const auto serial = fault::run_sweep(cells, 1);
+  const auto serial = fault::run_sweep(cells, bench::sweep_options("serial", 1));
   obs.wire(cells, /*with_metrics=*/true, /*with_trace=*/false);
-  const auto parallel = fault::run_sweep(cells, jobs);
+  const auto parallel =
+      fault::run_sweep(cells, bench::sweep_options("parallel", static_cast<int>(jobs)));
 
   std::printf("bench_faults smoke: %zu cells, fingerprint=%016" PRIx64 "\n",
               cells.size(), serial.fingerprint);

@@ -43,6 +43,11 @@ int main(int argc, char** argv) {
                  "require the paper's modified protocol to converge on every hit");
   flags.add_bool("minimize", true, "delta-debug every hit to a 1-minimal config");
   flags.add_string("corpus-out", "", "directory to write corpus entries into");
+  flags.add_string("checkpoint", "",
+                   "write the search frontier to this file after every round "
+                   "(ibgp-explore-ckpt-v1)");
+  flags.add_bool("resume", false,
+                 "continue a killed search from --checkpoint instead of starting over");
   flags.add_int("limit", 0, "max corpus entries to write (0 = all hits)");
   flags.add_int("clusters", 4, "random seed instances: clusters");
   flags.add_int("exits", 5, "random seed instances: exit paths");
@@ -82,6 +87,12 @@ int main(int argc, char** argv) {
   config.require_med_induced = flags.get_bool("med-induced");
   config.require_modified_converges = flags.get_bool("modified-converges");
   config.minimize = flags.get_bool("minimize");
+  config.checkpoint_path = std::string(flags.get_string("checkpoint"));
+  config.resume = flags.get_bool("resume");
+  if (config.resume && config.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return 2;
+  }
   config.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
   config.random_config.clusters = static_cast<std::size_t>(flags.get_int("clusters"));
   config.random_config.exits = static_cast<std::size_t>(flags.get_int("exits"));

@@ -1,0 +1,65 @@
+#pragma once
+// Versioned, deterministic checkpointing of EventEngine state.
+//
+// ibgp-ckpt-v1 is the on-disk JSON encoding of engine::EngineState — the
+// complete deterministic state of a running simulation: pending events
+// (which *are* the fault-script cursor, since scripts schedule everything
+// up front), per-node Adj-RIB-In/best/FIB, stale flags and graceful-restart
+// generations, session epochs and FIFO clocks, MRAI holds, the IGP
+// link-state vector with the epoch history, every log the trace hash folds,
+// all cumulative counters, and the cumulative deliveries/end_time of the
+// run so far.  The hard guarantee, pinned by tests/test_ckpt.cpp's
+// kill-at-every-tick oracle: a run resumed from any checkpoint produces a
+// byte-identical Result, trace hash, and decision-provenance histogram to
+// the uninterrupted run.
+//
+// Versioning & compatibility: the "schema" field is checked exactly —
+// parse_engine_state refuses anything but "ibgp-ckpt-v1" (forward
+// compatibility is deliberately not attempted: a checkpoint encodes private
+// engine invariants, so a version bump means the format changed shape).
+// Within v1, unknown keys are ignored on read (additive evolution without a
+// bump) but every v1 key is required; a truncated or hand-edited file fails
+// with a diagnostic naming the missing/ill-typed field, never with silent
+// state corruption.  The identity header (instance, protocol, node/path/
+// link counts) must match the restoring engine exactly.
+//
+// Files are written via write-to-temp-then-rename (util::json::
+// write_file_atomic), so a reader — including a resume after SIGKILL —
+// only ever observes a complete old or complete new checkpoint.
+
+#include <optional>
+#include <string>
+
+#include "engine/event_engine.hpp"
+#include "util/json.hpp"
+
+namespace ibgp::ckpt {
+
+/// The exact schema tag ibgp-ckpt-v1 files carry.
+inline constexpr std::string_view kCkptSchema = "ibgp-ckpt-v1";
+
+/// Encodes a captured engine state as an ibgp-ckpt-v1 document.
+[[nodiscard]] util::json::Value engine_state_json(const engine::EngineState& state);
+
+/// Decodes an ibgp-ckpt-v1 document.  Throws std::runtime_error with a
+/// field-naming diagnostic on schema mismatch, missing keys, or ill-typed
+/// values.  (Cross-checking against a concrete instance happens later, in
+/// EventEngine::restore.)
+[[nodiscard]] engine::EngineState parse_engine_state(const util::json::Value& doc);
+
+/// Atomically writes `state` to `path` (temp + rename).  Returns false on
+/// any I/O failure, in which case `path` still holds its previous content.
+bool save_checkpoint(const std::string& path, const engine::EngineState& state);
+
+/// Loads and decodes a checkpoint file.  Throws std::runtime_error (with
+/// the path in the message) when the file is unreadable, unparseable, or
+/// not a valid ibgp-ckpt-v1 document.
+[[nodiscard]] engine::EngineState load_checkpoint(const std::string& path);
+
+/// Non-throwing load: std::nullopt (and a diagnostic in `error` when given)
+/// instead of an exception.  Resume paths use this to treat a torn or stale
+/// checkpoint as "start from scratch" rather than a fatal error.
+[[nodiscard]] std::optional<engine::EngineState> try_load_checkpoint(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace ibgp::ckpt

@@ -824,7 +824,8 @@ void EventEngine::apply_link_fault(EventKind kind, NodeId a, NodeId b, Cost cost
   const auto prev = igp_;
   igp_ = inst_->igp_epoch(link_state_.effective());
   ++igp_swaps_;
-  igp_log_.push_back({now, igp_->fingerprint(), igp_});
+  igp_log_.push_back({now, igp_->fingerprint(), igp_,
+                      {link_state_.effective().begin(), link_state_.effective().end()}});
   if (tracing()) {
     util::json::Object fields;
     fields.emplace_back("fingerprint", igp_->fingerprint());
@@ -856,7 +857,19 @@ void EventEngine::apply_link_fault(EventKind kind, NodeId a, NodeId b, Cost cost
 EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   sealed_ = true;
   Result result;
+  // A restored engine continues the captured run: deliveries/end_time start
+  // from the checkpoint's cumulative totals (consumed once), so the budget
+  // spends only the remainder and the returned Result is the one the
+  // uninterrupted run would have produced.
+  result.deliveries = resume_deliveries_;
+  result.end_time = resume_end_time_;
+  resume_deliveries_ = 0;
+  resume_end_time_ = 0;
   while (!queue_.empty() && result.deliveries < max_deliveries) {
+    if (deadline_ && (result.deliveries & 0xFFF) == 0 &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      throw DeadlineExceeded("EventEngine::run: wall-clock deadline exceeded");
+    }
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     const Event event = queue_.top();
     queue_.pop();
@@ -1019,8 +1032,16 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   result.decisions_by_node = decisions_by_node_;
   result.final_best.reserve(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) result.final_best.push_back(best_path(v));
+  // Record cumulative totals so a later capture() carries them forward.
+  last_run_deliveries_ = result.deliveries;
+  last_run_end_time_ = result.end_time;
   flush_metrics(result);
   return result;
+}
+
+void EventEngine::set_deadline(
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  deadline_ = deadline;
 }
 
 void EventEngine::flush_metrics(const Result& result) {
@@ -1053,6 +1074,278 @@ void EventEngine::flush_metrics(const Result& result) {
     push(handles_.decided[rule], decisions_by_rule_[rule], flushed_.decided[rule]);
   }
   handles_.queue_depth_max->record_max(static_cast<std::int64_t>(max_queue_depth_));
+}
+
+EngineState EventEngine::capture() const {
+  EngineState state;
+  state.instance = std::string(inst_->name());
+  state.protocol = core::protocol_name(protocol_);
+  state.node_count = inst_->node_count();
+  state.path_count = inst_->exits().size();
+  state.link_count = link_state_.link_count();
+  state.mrai = mrai_;
+  state.stale_timer = stale_timer_;
+
+  // Drain a copy of the heap: (time, seq) keys are unique, so this yields
+  // the exact global pop order and re-pushing reproduces it.
+  auto pending = queue_;
+  state.queue.reserve(pending.size());
+  while (!pending.empty()) {
+    const Event& event = pending.top();
+    EngineState::PendingEvent out;
+    out.time = event.time;
+    out.seq = event.seq;
+    out.kind = static_cast<std::uint8_t>(event.kind);
+    out.from = event.from;
+    out.to = event.to;
+    out.path = event.path;
+    out.announce = event.announce;
+    out.epoch = event.epoch;
+    out.cost = event.cost;
+    state.queue.push_back(out);
+    pending.pop();
+  }
+
+  state.nodes.reserve(nodes_.size());
+  for (const NodeState& node : nodes_) {
+    EngineState::NodeSnapshot snap;
+    snap.holders = node.holders;
+    snap.stale = node.stale;
+    snap.own = node.own;
+    if (node.best) {
+      snap.has_best = true;
+      snap.best_path = node.best->path;
+      snap.best_metric = node.best->metric;
+      snap.best_learned_from = node.best->learned_from;
+      snap.best_is_ebgp = node.best->is_ebgp;
+    }
+    snap.advertised_out = node.advertised_out;
+    snap.desired_out = node.desired_out;
+    snap.mrai_ready = node.mrai_ready;
+    snap.flush_scheduled = node.flush_scheduled;
+    state.nodes.push_back(std::move(snap));
+  }
+
+  state.session_last_delivery = session_last_delivery_;
+  state.session_epoch = session_epoch_;
+  state.session_admin_down = session_admin_down_;
+  state.node_up = node_up_;
+  state.graceful_down = graceful_down_;
+  state.gr_generation = gr_generation_;
+  state.fib = fib_;
+  state.fib_frozen = fib_frozen_;
+  state.ebgp_live = ebgp_live_;
+
+  state.link_cost.reserve(link_state_.link_count());
+  state.link_down.reserve(link_state_.link_count());
+  for (std::size_t link = 0; link < link_state_.link_count(); ++link) {
+    state.link_cost.push_back(link_state_.cost(link));
+    state.link_down.push_back(link_state_.is_down(link));
+  }
+  state.igp_log.reserve(igp_log_.size());
+  for (const IgpRecord& record : igp_log_) {
+    state.igp_log.push_back({record.time, record.effective});
+  }
+
+  state.next_seq = next_seq_;
+  state.session_msg_seq = session_msg_seq_;
+
+  state.updates_sent = updates_sent_;
+  state.best_flips = best_flips_;
+  state.messages_dropped = messages_dropped_;
+  state.messages_duplicated = messages_duplicated_;
+  state.deliveries_voided = deliveries_voided_;
+  state.eor_sent = eor_sent_;
+  state.stale_retained = stale_retained_;
+  state.stale_swept_eor = stale_swept_eor_;
+  state.stale_swept_expired = stale_swept_expired_;
+  state.igp_swaps = igp_swaps_;
+  state.decisions_total = decisions_total_;
+  state.decisions_empty = decisions_empty_;
+  state.mrai_deferrals = mrai_deferrals_;
+  state.decisions_by_rule = decisions_by_rule_;
+  state.decisions_by_node = decisions_by_node_;
+  state.flips_by_node.assign(flips_by_node_.begin(), flips_by_node_.end());
+
+  state.flap_log = flap_log_;
+  state.fault_log = fault_log_;
+  state.fib_log = fib_log_;
+
+  // Cumulative Result continuation: an unconsumed resume base (captured
+  // again before any run) takes precedence over the last finished run.
+  if (resume_deliveries_ != 0 || resume_end_time_ != 0) {
+    state.deliveries = resume_deliveries_;
+    state.end_time = resume_end_time_;
+  } else {
+    state.deliveries = last_run_deliveries_;
+    state.end_time = last_run_end_time_;
+  }
+  return state;
+}
+
+namespace {
+
+[[noreturn]] void restore_error(const std::string& what) {
+  throw std::runtime_error("EventEngine::restore: " + what);
+}
+
+}  // namespace
+
+void EventEngine::restore(const EngineState& state) {
+  if (sealed_) {
+    throw std::logic_error(
+        "EventEngine::restore: engine already sealed (restore requires a fresh "
+        "engine; attach delay/injector/metrics/trace first, then restore)");
+  }
+  // Identity guard: refuse a snapshot of a different scenario outright.
+  if (state.instance != inst_->name()) restore_error("instance name mismatch");
+  if (state.protocol != core::protocol_name(protocol_)) restore_error("protocol mismatch");
+  if (state.node_count != inst_->node_count()) restore_error("node count mismatch");
+  if (state.path_count != inst_->exits().size()) restore_error("path count mismatch");
+  if (state.link_count != link_state_.link_count()) restore_error("link count mismatch");
+
+  const std::size_t n = inst_->node_count();
+  const std::size_t paths = inst_->exits().size();
+  const std::size_t sessions = n * n;
+  if (state.nodes.size() != n) restore_error("node snapshot count mismatch");
+  if (state.session_last_delivery.size() != sessions ||
+      state.session_epoch.size() != sessions ||
+      state.session_admin_down.size() != sessions) {
+    restore_error("session vector size mismatch");
+  }
+  if (state.node_up.size() != n || state.graceful_down.size() != n ||
+      state.gr_generation.size() != n || state.fib.size() != n ||
+      state.fib_frozen.size() != n || state.decisions_by_node.size() != n ||
+      state.flips_by_node.size() != n) {
+    restore_error("per-node vector size mismatch");
+  }
+  if (state.ebgp_live.size() != paths) restore_error("ebgp_live size mismatch");
+  if (state.link_cost.size() != state.link_count ||
+      state.link_down.size() != state.link_count) {
+    restore_error("link vector size mismatch");
+  }
+  for (const auto& event : state.queue) {
+    if (event.kind > static_cast<std::uint8_t>(EventKind::kLinkUp)) {
+      restore_error("pending event with unknown kind");
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& snap = state.nodes[v];
+    const std::size_t peer_count = inst_->sessions().peers(v).size();
+    if (snap.holders.size() != paths || snap.stale.size() != paths ||
+        snap.own.size() != paths) {
+      restore_error("node " + std::to_string(v) + ": per-path vector size mismatch");
+    }
+    if (snap.advertised_out.size() != peer_count || snap.desired_out.size() != peer_count ||
+        snap.mrai_ready.size() != peer_count || snap.flush_scheduled.size() != peer_count) {
+      restore_error("node " + std::to_string(v) + ": per-peer vector size mismatch");
+    }
+  }
+  for (const auto& snapshot : state.igp_log) {
+    if (snapshot.effective.size() != state.link_count) {
+      restore_error("igp_log entry with wrong effective-vector length");
+    }
+  }
+
+  mrai_ = state.mrai;
+  stale_timer_ = state.stale_timer;
+
+  // Underlay first: replay configured costs and down flags onto a fresh
+  // LinkState, then re-materialize the current epoch and the epoch history
+  // through the instance's memoized SPF cache (same effective vector ->
+  // pointer-identical ShortestPaths, so continuity replay and epoch-revert
+  // identities survive the round trip).
+  link_state_ = netsim::LinkState(inst_->physical());
+  for (std::size_t link = 0; link < state.link_count; ++link) {
+    if (link_state_.cost(link) != state.link_cost[link]) {
+      link_state_.set_cost(link, state.link_cost[link]);
+    }
+    if (state.link_down[link]) link_state_.set_down(link);
+  }
+  igp_ = inst_->igp_epoch(link_state_.effective());
+  igp_log_.clear();
+  igp_log_.reserve(state.igp_log.size());
+  for (const auto& snapshot : state.igp_log) {
+    auto epoch = inst_->igp_epoch(snapshot.effective);
+    igp_log_.push_back({snapshot.time, epoch->fingerprint(), epoch, snapshot.effective});
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& snap = state.nodes[v];
+    NodeState& node = nodes_[v];
+    node.holders = snap.holders;
+    node.stale = snap.stale;
+    node.own = snap.own;
+    if (snap.has_best) {
+      node.best = bgp::RouteView{snap.best_path, snap.best_metric,
+                                 snap.best_learned_from, snap.best_is_ebgp};
+    } else {
+      node.best.reset();
+    }
+    node.advertised_out = snap.advertised_out;
+    node.desired_out = snap.desired_out;
+    node.mrai_ready = snap.mrai_ready;
+    node.flush_scheduled = snap.flush_scheduled;
+  }
+
+  session_last_delivery_ = state.session_last_delivery;
+  session_epoch_ = state.session_epoch;
+  session_admin_down_ = state.session_admin_down;
+  node_up_ = state.node_up;
+  graceful_down_ = state.graceful_down;
+  gr_generation_ = state.gr_generation;
+  fib_ = state.fib;
+  fib_frozen_ = state.fib_frozen;
+  ebgp_live_ = state.ebgp_live;
+
+  queue_ = {};
+  for (const auto& pending : state.queue) {
+    Event event;
+    event.time = pending.time;
+    event.seq = pending.seq;
+    event.kind = static_cast<EventKind>(pending.kind);
+    event.from = pending.from;
+    event.to = pending.to;
+    event.path = pending.path;
+    event.announce = pending.announce;
+    event.epoch = pending.epoch;
+    event.cost = pending.cost;
+    queue_.push(event);
+  }
+
+  next_seq_ = state.next_seq;
+  session_msg_seq_ = state.session_msg_seq;
+
+  updates_sent_ = state.updates_sent;
+  best_flips_ = state.best_flips;
+  messages_dropped_ = state.messages_dropped;
+  messages_duplicated_ = state.messages_duplicated;
+  deliveries_voided_ = state.deliveries_voided;
+  eor_sent_ = state.eor_sent;
+  stale_retained_ = state.stale_retained;
+  stale_swept_eor_ = state.stale_swept_eor;
+  stale_swept_expired_ = state.stale_swept_expired;
+  igp_swaps_ = state.igp_swaps;
+  decisions_total_ = state.decisions_total;
+  decisions_empty_ = state.decisions_empty;
+  mrai_deferrals_ = state.mrai_deferrals;
+  decisions_by_rule_ = state.decisions_by_rule;
+  decisions_by_node_ = state.decisions_by_node;
+  flips_by_node_.assign(state.flips_by_node.begin(), state.flips_by_node.end());
+
+  flap_log_ = state.flap_log;
+  fault_log_ = state.fault_log;
+  fib_log_ = state.fib_log;
+
+  resume_deliveries_ = state.deliveries;
+  resume_end_time_ = state.end_time;
+  last_run_deliveries_ = 0;
+  last_run_end_time_ = 0;
+  max_queue_depth_ = queue_.size();
+
+  // The snapshot already embeds scheduled work; further set_* configuration
+  // would silently diverge from the captured run, so freeze it now.
+  sealed_ = true;
 }
 
 }  // namespace ibgp::engine

@@ -116,12 +116,15 @@
 // in each interval, and analysis/invariants can assert post-quiescence that
 // every selected route's metric matches the *current* graph.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <array>
@@ -159,7 +162,17 @@ enum class FaultKind : std::uint8_t {
 /// Display name ("session-down", ...).
 const char* fault_kind_name(FaultKind kind);
 
+/// Thrown by run() when a wall-clock deadline (set_deadline) expires.  The
+/// engine is left between events, so the caller can retry the whole cell
+/// from scratch (the deterministic discipline makes retries byte-identical)
+/// or record a structured timeout — the fault supervisor does both.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class EventEngine;
+struct EngineState;
 
 /// Per-message fault policy: classify() is keyed on the same (from, to, seq)
 /// triple as DelayFn so implementations can be pure functions of a seed —
@@ -355,7 +368,44 @@ class EventEngine {
   };
 
   /// Processes events until the queue drains or `max_deliveries` is hit.
+  /// On an engine restored from a checkpoint, deliveries/end_time continue
+  /// from the captured run (so the budget and the returned Result are those
+  /// of the equivalent uninterrupted run, not of the remainder).
   Result run(std::size_t max_deliveries = 1'000'000);
+
+  /// Arms (or, with nullopt, disarms) a cooperative wall-clock deadline for
+  /// run(): checked every few thousand deliveries, an expired deadline makes
+  /// run() throw DeadlineExceeded between two events.  Purely an execution
+  /// guard — it never influences virtual-time behavior — so unlike the
+  /// set_* configuration it may be changed at any point.
+  void set_deadline(std::optional<std::chrono::steady_clock::time_point> deadline);
+
+  // --- checkpoint / restore ---------------------------------------------------
+
+  /// Snapshots the engine's complete deterministic state — pending events
+  /// (the fault-script cursor lives in them), per-node RIBs/best/FIB, stale
+  /// flags and GR generations, session epochs and FIFO clocks, MRAI holds,
+  /// link state with the IGP epoch history, every log, all counters, and
+  /// the cumulative deliveries/end_time of the run so far.  Callable
+  /// between run() calls (never concurrently with one).  The snapshot is
+  /// plain data: serialize it with ckpt::engine_state_json (ibgp-ckpt-v1).
+  ///
+  /// Not captured (by design): the delay function, fault injector, metrics
+  /// registry, and trace sink — non-serializable attachments the restoring
+  /// caller must re-create identically (fault/campaign.cpp rebuilds them
+  /// from the cell's script and options); and the volatile
+  /// max-queue-depth gauge input.
+  [[nodiscard]] EngineState capture() const;
+
+  /// Rebuilds the captured state into this engine, which must be freshly
+  /// constructed over the *same* instance and protocol and still unsealed —
+  /// configure set_mrai/set_stale_timer-equivalents via the state itself
+  /// (restore overwrites both), but attach delay/injector/metrics/trace
+  /// BEFORE calling restore, which seals the engine.  The next run() then
+  /// continues bit-for-bit where capture() left off: resume ≡ uninterrupted.
+  /// Throws std::logic_error when already sealed, std::runtime_error when
+  /// the state does not match this instance/protocol or is malformed.
+  void restore(const EngineState& state);
 
   // --- inspection -------------------------------------------------------------
 
@@ -460,6 +510,10 @@ class EventEngine {
     SimTime time = 0;
     std::uint64_t fingerprint = 0;  ///< ShortestPaths::fingerprint() of the epoch
     std::shared_ptr<const netsim::ShortestPaths> igp;
+    /// The effective-cost vector that keyed this epoch.  Checkpoints store
+    /// it so restore can re-materialize the epoch through the instance's
+    /// memoized SPF cache (pointer-identical for the same vector).
+    std::vector<Cost> effective;
   };
   [[nodiscard]] std::span<const IgpRecord> igp_log() const { return igp_log_; }
 
@@ -611,6 +665,15 @@ class EventEngine {
   std::vector<bool> ebgp_live_;  // per path: E-BGP origin currently announcing
   std::uint64_t next_seq_ = 0;
   std::uint64_t session_msg_seq_ = 0;
+  // Checkpoint continuation: a restored engine starts its next run()'s
+  // deliveries/end_time from these (consumed once); the end of every run()
+  // records its cumulative totals so a later capture() can carry them.
+  std::size_t resume_deliveries_ = 0;
+  SimTime resume_end_time_ = 0;
+  std::size_t last_run_deliveries_ = 0;
+  SimTime last_run_end_time_ = 0;
+  // Cooperative wall-clock guard (see set_deadline); never part of a hash.
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::size_t updates_sent_ = 0;
   std::size_t best_flips_ = 0;
   std::size_t messages_dropped_ = 0;
@@ -678,5 +741,113 @@ class EventEngine {
 /// shared across sweep workers acquires its (insertion-ordered) layout
 /// deterministically on the main thread before fan-out.  Idempotent.
 void register_event_engine_metrics(obs::MetricsRegistry& registry);
+
+/// Complete deterministic engine state, as captured by EventEngine::capture
+/// and rebuilt by EventEngine::restore.  Plain data by design: src/ckpt/
+/// serializes it to the versioned ibgp-ckpt-v1 JSON format.  The identity
+/// fields pin which (instance, protocol) the snapshot belongs to; restore
+/// refuses a mismatch rather than silently corrupting state.
+///
+/// Two state families are deliberately absent: RNG cursors (every FaultScript
+/// consumes its RNG at construction time and schedules all actions up front,
+/// so the "script cursor" is exactly the pending fault events in `queue`;
+/// ScriptInjector classifies messages as a pure hash of (seed, from, to,
+/// seq), so it is stateless) and process attachments (delay fn, injector,
+/// metrics, trace — re-created by the restoring caller).
+struct EngineState {
+  // --- identity guard ---
+  std::string instance;
+  std::string protocol;
+  std::uint64_t node_count = 0;
+  std::uint64_t path_count = 0;
+  std::uint64_t link_count = 0;
+
+  // --- frozen configuration (restore installs these) ---
+  SimTime mrai = 0;
+  SimTime stale_timer = 0;
+
+  /// One pending event, mirroring the engine's private Event struct.
+  /// `kind` is the raw EventKind value; restore validates the range.
+  struct PendingEvent {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    std::uint8_t kind = 0;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    PathId path = kNoPath;
+    bool announce = true;
+    std::uint64_t epoch = 0;
+    Cost cost = 0;
+  };
+  /// Pending events in ascending (time, seq) order — (time, seq) keys are
+  /// unique, so re-pushing them rebuilds a heap with identical pop order.
+  std::vector<PendingEvent> queue;
+
+  struct NodeSnapshot {
+    std::vector<std::vector<NodeId>> holders;  // per path, ascending
+    std::vector<std::vector<NodeId>> stale;    // per path, ascending
+    std::vector<bool> own;                     // per path
+    bool has_best = false;
+    PathId best_path = kNoPath;
+    Cost best_metric = kInfCost;
+    BgpId best_learned_from = 0;
+    bool best_is_ebgp = false;
+    std::vector<std::vector<PathId>> advertised_out;  // per peer index
+    std::vector<std::vector<PathId>> desired_out;
+    std::vector<SimTime> mrai_ready;
+    std::vector<bool> flush_scheduled;
+  };
+  std::vector<NodeSnapshot> nodes;
+
+  std::vector<SimTime> session_last_delivery;
+  std::vector<std::uint64_t> session_epoch;
+  std::vector<bool> session_admin_down;
+  std::vector<bool> node_up;
+  std::vector<bool> graceful_down;
+  std::vector<std::uint64_t> gr_generation;
+  std::vector<PathId> fib;
+  std::vector<bool> fib_frozen;
+  std::vector<bool> ebgp_live;
+
+  // --- IGP underlay: configured costs + down flags; the epoch history is
+  // re-materialized through the instance's memoized SPF cache on restore ---
+  std::vector<Cost> link_cost;
+  std::vector<bool> link_down;
+  struct IgpSnapshot {
+    SimTime time = 0;
+    std::vector<Cost> effective;
+  };
+  std::vector<IgpSnapshot> igp_log;
+
+  std::uint64_t next_seq = 0;
+  std::uint64_t session_msg_seq = 0;
+
+  // --- cumulative counters ---
+  std::uint64_t updates_sent = 0;
+  std::uint64_t best_flips = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t deliveries_voided = 0;
+  std::uint64_t eor_sent = 0;
+  std::uint64_t stale_retained = 0;
+  std::uint64_t stale_swept_eor = 0;
+  std::uint64_t stale_swept_expired = 0;
+  std::uint64_t igp_swaps = 0;
+  std::uint64_t decisions_total = 0;
+  std::uint64_t decisions_empty = 0;
+  std::uint64_t mrai_deferrals = 0;
+  std::array<std::uint64_t, bgp::kSelectionRuleCount> decisions_by_rule{};
+  std::vector<std::array<std::uint64_t, bgp::kSelectionRuleCount>> decisions_by_node;
+  std::vector<std::uint64_t> flips_by_node;
+
+  // --- logs (trace hashes and continuity replay read these) ---
+  std::vector<EventEngine::FlapRecord> flap_log;
+  std::vector<EventEngine::FaultRecord> fault_log;
+  std::vector<EventEngine::FibRecord> fib_log;
+
+  // --- Result continuation: cumulative deliveries/end_time so far ---
+  std::uint64_t deliveries = 0;
+  SimTime end_time = 0;
+};
 
 }  // namespace ibgp::engine

@@ -22,26 +22,32 @@ constexpr std::array<core::ProtocolKind, kCorpusProtocols> kProtocols = {
     core::ProtocolKind::kStandard, core::ProtocolKind::kWalton,
     core::ProtocolKind::kModified};
 
+// Field-level failures from the helpers below; parse_corpus_entry catches
+// this (and only this) to attach the source:line prefix.
+struct CorpusFieldError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 engine::RunStatus parse_status(std::string_view word) {
   for (const auto status : {engine::RunStatus::kConverged, engine::RunStatus::kCycleDetected,
                             engine::RunStatus::kStepLimit}) {
     if (word == engine::run_status_name(status)) return status;
   }
-  throw std::runtime_error("corpus: unknown run status '" + std::string(word) + "'");
+  throw CorpusFieldError("unknown run status '" + std::string(word) + "'");
 }
 
 std::size_t protocol_index(std::string_view word) {
   for (std::size_t i = 0; i < kProtocols.size(); ++i) {
     if (word == core::protocol_name(kProtocols[i])) return i;
   }
-  throw std::runtime_error("corpus: unknown protocol '" + std::string(word) + "'");
+  throw CorpusFieldError("unknown protocol '" + std::string(word) + "'");
 }
 
 engine::RunStatus parse_schedule_field(std::string_view token, std::string_view key) {
   if (!token.starts_with(key) || token.size() <= key.size() ||
       token[key.size()] != '=') {
-    throw std::runtime_error("corpus: expected " + std::string(key) + "=STATUS, got '" +
-                             std::string(token) + "'");
+    throw CorpusFieldError("expected " + std::string(key) + "=STATUS, got '" +
+                           std::string(token) + "'");
   }
   return parse_status(token.substr(key.size() + 1));
 }
@@ -65,51 +71,70 @@ std::string write_corpus_entry(const CorpusEntry& entry) {
 }
 
 CorpusEntry parse_corpus_entry(std::string_view text, std::string_view name) {
+  // Diagnostics carry "SOURCE:LINE:" like the topo parser, so a broken
+  // checked-in entry pinpoints the offending header line.
+  const std::string source = name.empty() ? std::string("<corpus>") : std::string(name);
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& message) -> void {
+    throw std::runtime_error(source + ":" + std::to_string(line_no) +
+                             ": corpus parse error: " + message);
+  };
+
   CorpusEntry entry;
   entry.name = std::string(name);
   bool magic_seen = false;
+  bool any_body = false;
   std::array<bool, kCorpusProtocols> signature_seen{};
   std::ostringstream body;
 
   for (std::string_view line : util::split(text, '\n')) {
+    ++line_no;
     if (!line.starts_with("#!")) {
+      // Body-presence check strips '#' comments the same way the DSL does.
+      if (!util::split_ws(line.substr(0, line.find('#'))).empty()) any_body = true;
       body << line << "\n";
       continue;
     }
     const auto tokens = util::split_ws(line.substr(2));
     if (tokens.empty()) continue;
-    if (tokens[0] == kMagic) {
-      magic_seen = true;
-    } else if (tokens[0] == "max-steps" && tokens.size() == 2) {
-      const auto value = util::parse_u64(tokens[1]);
-      if (!value || *value == 0) throw std::runtime_error("corpus: bad max-steps");
-      entry.max_steps = static_cast<std::size_t>(*value);
-    } else if (tokens[0] == "tag" && tokens.size() == 2) {
-      if (tokens[1] == "med-induced") {
-        entry.med_induced = true;
-      } else if (tokens[1] == "hybrid") {
-        entry.hybrid = true;
+    try {
+      if (tokens[0] == kMagic) {
+        magic_seen = true;
+      } else if (tokens[0] == "max-steps" && tokens.size() == 2) {
+        const auto value = util::parse_u64(tokens[1]);
+        if (!value || *value == 0) {
+          fail("max-steps must be a positive integer, got '" + std::string(tokens[1]) + "'");
+        }
+        entry.max_steps = static_cast<std::size_t>(*value);
+      } else if (tokens[0] == "tag" && tokens.size() == 2) {
+        if (tokens[1] == "med-induced") {
+          entry.med_induced = true;
+        } else if (tokens[1] == "hybrid") {
+          entry.hybrid = true;
+        } else {
+          fail("unknown tag '" + std::string(tokens[1]) + "'");
+        }
+      } else if (tokens[0] == "signature" && tokens.size() == 4) {
+        const std::size_t index = protocol_index(tokens[1]);
+        entry.signatures[index].round_robin = parse_schedule_field(tokens[2], "round-robin");
+        entry.signatures[index].synchronous = parse_schedule_field(tokens[3], "synchronous");
+        signature_seen[index] = true;
       } else {
-        throw std::runtime_error("corpus: unknown tag '" + std::string(tokens[1]) + "'");
+        fail("unrecognized header line '" + std::string(line) + "'");
       }
-    } else if (tokens[0] == "signature" && tokens.size() == 4) {
-      const std::size_t index = protocol_index(tokens[1]);
-      entry.signatures[index].round_robin = parse_schedule_field(tokens[2], "round-robin");
-      entry.signatures[index].synchronous = parse_schedule_field(tokens[3], "synchronous");
-      signature_seen[index] = true;
-    } else {
-      throw std::runtime_error("corpus: unrecognized header line '" + std::string(line) +
-                               "'");
+    } catch (const CorpusFieldError& e) {
+      fail(e.what());  // helper errors get the source:line prefix attached
     }
   }
 
-  if (!magic_seen) throw std::runtime_error("corpus: missing '#! ibgp-corpus-v1' header");
+  // Trailer checks point at the end of the document (no single bad line).
+  if (!magic_seen) fail("missing '#! ibgp-corpus-v1' header");
   for (std::size_t i = 0; i < kProtocols.size(); ++i) {
     if (!signature_seen[i]) {
-      throw std::runtime_error(std::string("corpus: missing signature line for ") +
-                               core::protocol_name(kProtocols[i]));
+      fail(std::string("missing signature line for ") + core::protocol_name(kProtocols[i]));
     }
   }
+  if (!any_body) fail("truncated entry: headers present but no topo body");
   entry.topo_text = body.str();
   // The line join appended exactly one '\n' beyond the original body (either
   // after a final unterminated line, or for the empty field a trailing '\n'
@@ -149,7 +174,13 @@ std::vector<CorpusEntry> load_corpus_dir(const std::string& dir) {
     if (!in) throw std::runtime_error("corpus: cannot open " + path.string());
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    entries.push_back(parse_corpus_entry(buffer.str(), path.stem().string()));
+    try {
+      entries.push_back(parse_corpus_entry(buffer.str(), path.stem().string()));
+    } catch (const std::runtime_error& e) {
+      // The entry-level diagnostic names the stem; prepend the directory
+      // part so the message is an openable path.
+      throw std::runtime_error(path.string() + ": " + e.what());
+    }
   }
   return entries;
 }
@@ -171,7 +202,7 @@ ReplayReport replay_corpus(std::span<const CorpusEntry> entries, std::size_t job
     const CorpusEntry& entry = entries[i];
     ReplayRow& row = report.rows[i];
     row.name = entry.name;
-    const core::Instance inst = topo::parse_topo(entry.topo_text);
+    const core::Instance inst = topo::parse_topo(entry.topo_text, entry.name);
     bool match = true;
     for (std::size_t p = 0; p < kProtocols.size(); ++p) {
       row.replayed[p] = analysis::classify(inst, kProtocols[p], entry.max_steps);

@@ -27,6 +27,7 @@
 // --jobs N reproduces --jobs 1 exactly.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/finder.hpp"
@@ -41,7 +42,11 @@ struct ExploreConfig {
   core::ProtocolKind attack = core::ProtocolKind::kStandard;
 
   std::uint64_t seed = 1;
-  std::size_t budget = 2000;        ///< mutants to evaluate in total
+  /// Mutants to evaluate in total.  Rounds always run as full batches, so
+  /// the search stops at the first round boundary at or past the budget
+  /// (evaluated may exceed budget by up to batch-1); this keeps every round
+  /// a pure function of (seed, round, batch) for checkpoint/resume.
+  std::size_t budget = 2000;
   std::size_t batch = 64;           ///< parallel evaluation batch size
   std::size_t max_steps = 4000;     ///< schedule-engine budget per classify
   std::size_t max_deliveries = 20000;  ///< event-engine budget per coverage run
@@ -60,6 +65,20 @@ struct ExploreConfig {
   /// Confederation-derived hybrid seeds: rfc3345_confederation() plus
   /// hybrid_seeds-1 random confederations.
   std::size_t hybrid_seeds = 2;
+
+  /// Resumable search frontier.  With a non-empty checkpoint_path, the full
+  /// search state — round counter, stats, frontier specs, coverage/hit
+  /// dedup sets, accumulated hits — is written atomically to that path
+  /// after every completed round ("ibgp-explore-ckpt-v1").  With resume
+  /// also set, a matching checkpoint (same seed, attack protocol, and
+  /// batch — the determinism-critical parameters) is loaded and the search
+  /// continues at the next round, bit-for-bit as if never interrupted:
+  /// mutant i of round r is a pure function of the seed and r*batch+i, so
+  /// a resumed budget-256 run equals an uninterrupted budget-256 run
+  /// (tests/test_explore.cpp pins this).  A missing, torn, or mismatched
+  /// checkpoint starts from scratch — never an error.
+  std::string checkpoint_path;
+  bool resume = false;
 };
 
 struct ExploreHit {

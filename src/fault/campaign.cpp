@@ -71,18 +71,18 @@ void register_campaign_metrics(obs::MetricsRegistry& registry) {
   engine::register_event_engine_metrics(registry);
 }
 
-CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind protocol,
-                            const FaultScript& script, const CampaignOptions& options) {
-  engine::EventEngine engine(inst, protocol, options.delay);
-  if (options.mrai > 0) engine.set_mrai(options.mrai);
-  if (script.stale_timer > 0) engine.set_stale_timer(script.stale_timer);
-  if (options.metrics != nullptr) engine.set_metrics(options.metrics);
-  if (options.trace != nullptr) engine.set_trace(options.trace);
-  ScriptInjector injector(script);
-  engine.set_fault_injector(&injector);
-  engine.inject_all_exits(0);
-  apply_script(script, engine);
+namespace {
 
+// Everything downstream of the engine run — verdicts, fingerprint, metric
+// aggregates, the trace record — shared verbatim between the uninterrupted
+// path (run_campaign) and the restored path (resume_campaign) so the two
+// compute their results through identical code.
+CampaignResult finish_campaign(engine::EventEngine& engine, const core::Instance& inst,
+                               core::ProtocolKind protocol, const FaultScript& script,
+                               const CampaignOptions& options) {
+  if (options.deadline.count() > 0) {
+    engine.set_deadline(std::chrono::steady_clock::now() + options.deadline);
+  }
   CampaignResult campaign;
   campaign.run = engine.run(options.max_deliveries);
   campaign.invariants = analysis::check_invariants(engine);
@@ -129,6 +129,79 @@ CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind proto
     }
   }
   return campaign;
+}
+
+// Builds and scripts a fresh engine exactly the way run_campaign always has.
+void script_engine(engine::EventEngine& engine, const FaultScript& script,
+                   const CampaignOptions& options, ScriptInjector& injector) {
+  if (options.mrai > 0) engine.set_mrai(options.mrai);
+  if (script.stale_timer > 0) engine.set_stale_timer(script.stale_timer);
+  if (options.metrics != nullptr) engine.set_metrics(options.metrics);
+  if (options.trace != nullptr) engine.set_trace(options.trace);
+  engine.set_fault_injector(&injector);
+  engine.inject_all_exits(0);
+  apply_script(script, engine);
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind protocol,
+                            const FaultScript& script, const CampaignOptions& options) {
+  engine::EventEngine engine(inst, protocol, options.delay);
+  ScriptInjector injector(script);
+  script_engine(engine, script, options, injector);
+  return finish_campaign(engine, inst, protocol, script, options);
+}
+
+engine::EngineState campaign_checkpoint(const core::Instance& inst,
+                                        core::ProtocolKind protocol,
+                                        const FaultScript& script,
+                                        const CampaignOptions& options,
+                                        std::size_t deliveries_before_kill) {
+  engine::EventEngine engine(inst, protocol, options.delay);
+  ScriptInjector injector(script);
+  // A partial run must not flush partial counters into the registry — the
+  // resumed engine pushes the cumulative totals instead (delta flush), so
+  // the registry an uninterrupted run would have produced appears only
+  // after resume_campaign.
+  CampaignOptions partial = options;
+  partial.metrics = nullptr;
+  script_engine(engine, script, partial, injector);
+  if (options.deadline.count() > 0) {
+    engine.set_deadline(std::chrono::steady_clock::now() + options.deadline);
+  }
+  (void)engine.run(deliveries_before_kill);
+  engine::EngineState state = engine.capture();
+  if (options.trace != nullptr && options.trace->enabled()) {
+    util::json::Object fields;
+    fields.emplace_back("seed", script.seed);
+    fields.emplace_back("deliveries", state.deliveries);
+    options.trace->emit(state.end_time, "checkpoint", std::move(fields));
+  }
+  return state;
+}
+
+CampaignResult resume_campaign(const core::Instance& inst, core::ProtocolKind protocol,
+                               const FaultScript& script,
+                               const engine::EngineState& state,
+                               const CampaignOptions& options) {
+  engine::EventEngine engine(inst, protocol, options.delay);
+  ScriptInjector injector(script);
+  // Attachments go on before restore() seals the engine; MRAI and the
+  // stale timer come back from the state itself.  The script is NOT
+  // re-applied: its actions (and its RNG draws) live in the captured
+  // pending-event queue.
+  if (options.metrics != nullptr) engine.set_metrics(options.metrics);
+  if (options.trace != nullptr) engine.set_trace(options.trace);
+  engine.set_fault_injector(&injector);
+  engine.restore(state);
+  if (options.trace != nullptr && options.trace->enabled()) {
+    util::json::Object fields;
+    fields.emplace_back("seed", script.seed);
+    fields.emplace_back("deliveries", state.deliveries);
+    options.trace->emit(state.end_time, "resume", std::move(fields));
+  }
+  return finish_campaign(engine, inst, protocol, script, options);
 }
 
 }  // namespace ibgp::fault

@@ -11,8 +11,10 @@
 // routing — so two runs agree on the hash iff they behaved identically,
 // which is how the `same seed -> same trace` guarantee is enforced.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "analysis/continuity.hpp"
 #include "analysis/invariants.hpp"
@@ -38,6 +40,21 @@ struct CampaignOptions {
   /// (flight-recorder semantics).
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSink* trace = nullptr;
+  /// Wall-clock budget for the engine run; zero disables.  Cooperative:
+  /// checked between events (EventEngine::set_deadline), an expired budget
+  /// makes run_campaign throw engine::DeadlineExceeded.  Purely an
+  /// execution guard — it never influences virtual-time behavior — used by
+  /// the sweep supervisor (fault/supervisor.hpp) to fence runaway cells.
+  std::chrono::milliseconds deadline{0};
+};
+
+/// Structured failure record for one supervised sweep cell: the campaign
+/// threw instead of completing.  Under the supervisor's default (non-strict)
+/// policy this record replaces the result — the rest of the sweep survives.
+struct CellError {
+  std::string message;         ///< the exception's what() text
+  std::uint32_t attempts = 1;  ///< total attempts, retries included
+  bool timed_out = false;      ///< DeadlineExceeded (vs a deterministic throw)
 };
 
 struct CampaignResult {
@@ -58,7 +75,11 @@ struct CampaignResult {
   /// the last fault itself), while nullopt means "never settled" (budget
   /// truncation) — aggregators must not fold the two together.
   std::optional<engine::SimTime> settle_time;
+  /// Engaged only on a supervised cell whose campaign threw (timeout or
+  /// deterministic exception); every other field is then default-valued.
+  std::optional<CellError> error;
 
+  [[nodiscard]] bool failed() const { return error.has_value(); }
   [[nodiscard]] bool reconverged() const { return run.converged; }
   [[nodiscard]] bool healthy() const { return run.converged && invariants.clean(); }
   /// The delivery budget cut the campaign short: the history (and every
@@ -70,6 +91,33 @@ struct CampaignResult {
 /// policy applied, engine run to quiescence or the delivery budget.
 CampaignResult run_campaign(const core::Instance& inst, core::ProtocolKind protocol,
                             const FaultScript& script, const CampaignOptions& options = {});
+
+/// Runs the same campaign as run_campaign but stops after
+/// `deliveries_before_kill` deliveries and captures the engine state — the
+/// "kill at this tick" half of the checkpoint/restore oracle (serialize the
+/// state with ckpt::save_checkpoint).  Emits a "checkpoint" ibgp-trace-v1
+/// marker when a trace sink is attached.  The metrics registry is
+/// deliberately NOT attached to the partial run: counters flush on resume,
+/// so the resumed registry matches the uninterrupted one exactly.
+engine::EngineState campaign_checkpoint(const core::Instance& inst,
+                                        core::ProtocolKind protocol,
+                                        const FaultScript& script,
+                                        const CampaignOptions& options,
+                                        std::size_t deliveries_before_kill);
+
+/// Resumes a campaign from a captured state: rebuilds the engine over the
+/// same instance/protocol, re-creates the script's message policy, restores,
+/// and runs to quiescence or the ORIGINAL budget (options.max_deliveries
+/// counts cumulative deliveries, so pass the same options as the
+/// uninterrupted run).  Guarantee (pinned by tests/test_ckpt.cpp): the
+/// returned CampaignResult — Result, trace hash, invariants, continuity,
+/// settle time — is identical to the uninterrupted run_campaign's, and a
+/// fresh metrics registry ends up byte-identical too.  Emits a "resume"
+/// marker when a trace sink is attached.
+CampaignResult resume_campaign(const core::Instance& inst, core::ProtocolKind protocol,
+                               const FaultScript& script,
+                               const engine::EngineState& state,
+                               const CampaignOptions& options);
 
 /// Fingerprint of an engine's observable history (flap log, fault log,
 /// final best routes, message-fate counters, decision-provenance tallies).

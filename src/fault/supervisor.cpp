@@ -1,0 +1,409 @@
+#include "fault/supervisor.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+
+#include "bgp/selection.hpp"
+#include "util/parallel.hpp"
+
+namespace ibgp::fault {
+
+namespace {
+
+using util::json::Array;
+using util::json::Object;
+using util::json::Value;
+
+// Same volatile per-cell wall-clock buckets the plain sweep has always used
+// (microseconds; see sweep.cpp for rationale).
+const std::vector<std::int64_t> kCellWallBoundsUs = {100,    300,    1'000,   3'000,
+                                                     10'000, 30'000, 100'000, 300'000,
+                                                     1'000'000};
+
+// --- CampaignResult round-trip ----------------------------------------------
+
+template <typename T>
+Array num_array(const std::vector<T>& values) {
+  Array out;
+  out.reserve(values.size());
+  for (const auto v : values) out.emplace_back(static_cast<std::uint64_t>(v));
+  return out;
+}
+
+Array rule_array(const std::array<std::uint64_t, bgp::kSelectionRuleCount>& rules) {
+  Array out;
+  out.reserve(rules.size());
+  for (const auto v : rules) out.emplace_back(v);
+  return out;
+}
+
+Object run_json(const engine::EventEngine::Result& run) {
+  Object out;
+  out.emplace_back("converged", run.converged);
+  out.emplace_back("budget_exhausted", run.budget_exhausted);
+  out.emplace_back("events_pending", run.events_pending);
+  out.emplace_back("faults_pending", run.faults_pending);
+  out.emplace_back("next_fault_time", run.next_fault_time);
+  out.emplace_back("deliveries", run.deliveries);
+  out.emplace_back("updates_sent", run.updates_sent);
+  out.emplace_back("end_time", run.end_time);
+  out.emplace_back("best_flips", run.best_flips);
+  out.emplace_back("final_best", num_array(run.final_best));
+  out.emplace_back("messages_dropped", run.messages_dropped);
+  out.emplace_back("messages_duplicated", run.messages_duplicated);
+  out.emplace_back("deliveries_voided", run.deliveries_voided);
+  out.emplace_back("faults_applied", run.faults_applied);
+  out.emplace_back("eor_markers_sent", run.eor_markers_sent);
+  out.emplace_back("stale_retained", run.stale_retained);
+  out.emplace_back("stale_swept_eor", run.stale_swept_eor);
+  out.emplace_back("stale_swept_expired", run.stale_swept_expired);
+  out.emplace_back("igp_epoch_swaps", run.igp_epoch_swaps);
+  out.emplace_back("decisions_total", run.decisions_total);
+  out.emplace_back("decisions_empty", run.decisions_empty);
+  out.emplace_back("mrai_deferrals", run.mrai_deferrals);
+  out.emplace_back("decisions_by_rule", rule_array(run.decisions_by_rule));
+  {
+    Array by_node;
+    by_node.reserve(run.decisions_by_node.size());
+    for (const auto& rules : run.decisions_by_node) by_node.emplace_back(rule_array(rules));
+    out.emplace_back("decisions_by_node", std::move(by_node));
+  }
+  return out;
+}
+
+Object invariants_json(const analysis::InvariantReport& inv) {
+  Object out;
+  out.emplace_back("stale_best", inv.stale_best);
+  out.emplace_back("unsupported_best", inv.unsupported_best);
+  out.emplace_back("stale_rib_entries", inv.stale_rib_entries);
+  out.emplace_back("missing_rib_entries", inv.missing_rib_entries);
+  out.emplace_back("forwarding_loops", inv.forwarding_loops);
+  out.emplace_back("unswept_stale", inv.unswept_stale);
+  out.emplace_back("igp_mismatch", inv.igp_mismatch);
+  out.emplace_back("stale_retained", inv.stale_retained);
+  {
+    Array violations;
+    violations.reserve(inv.violations.size());
+    for (const auto& v : inv.violations) violations.emplace_back(v);
+    out.emplace_back("violations", std::move(violations));
+  }
+  return out;
+}
+
+Object continuity_json(const analysis::ContinuityReport& cont) {
+  Object out;
+  out.emplace_back("horizon", cont.horizon);
+  out.emplace_back("intervals", cont.intervals);
+  out.emplace_back("ok_ticks", cont.ok_ticks);
+  out.emplace_back("stale_ticks", cont.stale_ticks);
+  out.emplace_back("blackhole_ticks", cont.blackhole_ticks);
+  out.emplace_back("loop_ticks", cont.loop_ticks);
+  out.emplace_back("deflection_ticks", cont.deflection_ticks);
+  out.emplace_back("max_blackhole_window", cont.max_blackhole_window);
+  out.emplace_back("max_deflection_window", cont.max_deflection_window);
+  {
+    Array events;
+    events.reserve(cont.churn_events.size());
+    for (const auto& e : cont.churn_events) {
+      Array tuple;
+      tuple.emplace_back(e.time);
+      tuple.emplace_back(static_cast<std::uint64_t>(e.kind));
+      tuple.emplace_back(static_cast<std::uint64_t>(e.a));
+      tuple.emplace_back(static_cast<std::uint64_t>(e.b));
+      tuple.emplace_back(e.loop_ticks);
+      tuple.emplace_back(e.blackhole_ticks);
+      tuple.emplace_back(e.deflection_ticks);
+      events.emplace_back(std::move(tuple));
+    }
+    out.emplace_back("churn_events", std::move(events));
+  }
+  return out;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("ibgp-journal-v1: " + what);
+}
+
+const Value& field(const Value& doc, std::string_view key) {
+  const Value* v = doc.find(key);
+  if (v == nullptr) bad("missing field '" + std::string(key) + "'");
+  return *v;
+}
+
+std::uint64_t get_uint(const Value& doc, std::string_view key) {
+  try {
+    return field(doc, key).as_uint();
+  } catch (const std::runtime_error&) {
+    bad("field '" + std::string(key) + "' is not a non-negative integer");
+  }
+}
+
+template <typename T>
+std::vector<T> get_nums(const Value& doc, std::string_view key) {
+  std::vector<T> out;
+  for (const auto& v : field(doc, key).as_array()) out.push_back(static_cast<T>(v.as_uint()));
+  return out;
+}
+
+std::array<std::uint64_t, bgp::kSelectionRuleCount> get_rules(const Value& value) {
+  const auto& arr = value.as_array();
+  if (arr.size() != bgp::kSelectionRuleCount) bad("selection-rule histogram length mismatch");
+  std::array<std::uint64_t, bgp::kSelectionRuleCount> out{};
+  for (std::size_t i = 0; i < arr.size(); ++i) out[i] = arr[i].as_uint();
+  return out;
+}
+
+engine::EventEngine::Result parse_run(const Value& doc) {
+  engine::EventEngine::Result run;
+  run.converged = field(doc, "converged").as_bool();
+  run.budget_exhausted = field(doc, "budget_exhausted").as_bool();
+  run.events_pending = get_uint(doc, "events_pending");
+  run.faults_pending = get_uint(doc, "faults_pending");
+  run.next_fault_time = get_uint(doc, "next_fault_time");
+  run.deliveries = get_uint(doc, "deliveries");
+  run.updates_sent = get_uint(doc, "updates_sent");
+  run.end_time = get_uint(doc, "end_time");
+  run.best_flips = get_uint(doc, "best_flips");
+  run.final_best = get_nums<PathId>(doc, "final_best");
+  run.messages_dropped = get_uint(doc, "messages_dropped");
+  run.messages_duplicated = get_uint(doc, "messages_duplicated");
+  run.deliveries_voided = get_uint(doc, "deliveries_voided");
+  run.faults_applied = get_uint(doc, "faults_applied");
+  run.eor_markers_sent = get_uint(doc, "eor_markers_sent");
+  run.stale_retained = get_uint(doc, "stale_retained");
+  run.stale_swept_eor = get_uint(doc, "stale_swept_eor");
+  run.stale_swept_expired = get_uint(doc, "stale_swept_expired");
+  run.igp_epoch_swaps = get_uint(doc, "igp_epoch_swaps");
+  run.decisions_total = get_uint(doc, "decisions_total");
+  run.decisions_empty = get_uint(doc, "decisions_empty");
+  run.mrai_deferrals = get_uint(doc, "mrai_deferrals");
+  run.decisions_by_rule = get_rules(field(doc, "decisions_by_rule"));
+  for (const auto& rules : field(doc, "decisions_by_node").as_array()) {
+    run.decisions_by_node.push_back(get_rules(rules));
+  }
+  return run;
+}
+
+analysis::InvariantReport parse_invariants(const Value& doc) {
+  analysis::InvariantReport inv;
+  inv.stale_best = get_uint(doc, "stale_best");
+  inv.unsupported_best = get_uint(doc, "unsupported_best");
+  inv.stale_rib_entries = get_uint(doc, "stale_rib_entries");
+  inv.missing_rib_entries = get_uint(doc, "missing_rib_entries");
+  inv.forwarding_loops = get_uint(doc, "forwarding_loops");
+  inv.unswept_stale = get_uint(doc, "unswept_stale");
+  inv.igp_mismatch = get_uint(doc, "igp_mismatch");
+  inv.stale_retained = get_uint(doc, "stale_retained");
+  for (const auto& v : field(doc, "violations").as_array()) {
+    inv.violations.push_back(v.as_string());
+  }
+  return inv;
+}
+
+analysis::ContinuityReport parse_continuity(const Value& doc) {
+  analysis::ContinuityReport cont;
+  cont.horizon = get_uint(doc, "horizon");
+  cont.intervals = get_uint(doc, "intervals");
+  cont.ok_ticks = get_uint(doc, "ok_ticks");
+  cont.stale_ticks = get_uint(doc, "stale_ticks");
+  cont.blackhole_ticks = get_uint(doc, "blackhole_ticks");
+  cont.loop_ticks = get_uint(doc, "loop_ticks");
+  cont.deflection_ticks = get_uint(doc, "deflection_ticks");
+  cont.max_blackhole_window = get_uint(doc, "max_blackhole_window");
+  cont.max_deflection_window = get_uint(doc, "max_deflection_window");
+  for (const auto& entry : field(doc, "churn_events").as_array()) {
+    const auto& tuple = entry.as_array();
+    if (tuple.size() != 7) bad("churn_events entry: expected 7 elements");
+    analysis::ChurnEventCost e;
+    e.time = tuple[0].as_uint();
+    const std::uint64_t kind = tuple[1].as_uint();
+    if (kind > static_cast<std::uint64_t>(engine::FaultKind::kLinkUp)) {
+      bad("churn_events entry kind out of range");
+    }
+    e.kind = static_cast<engine::FaultKind>(kind);
+    e.a = static_cast<NodeId>(tuple[2].as_uint());
+    e.b = static_cast<NodeId>(tuple[3].as_uint());
+    e.loop_ticks = tuple[4].as_uint();
+    e.blackhole_ticks = tuple[5].as_uint();
+    e.deflection_ticks = tuple[6].as_uint();
+    cont.churn_events.push_back(e);
+  }
+  return cont;
+}
+
+}  // namespace
+
+std::string journal_cell_path(const std::string& journal_dir, std::size_t index) {
+  return journal_dir + "/cell-" + std::to_string(index) + ".json";
+}
+
+util::json::Value journal_cell_json(std::size_t index, const SweepCell& cell,
+                                    const CampaignResult& result) {
+  Object doc;
+  doc.emplace_back("schema", kJournalSchema);
+  doc.emplace_back("index", index);
+  doc.emplace_back("group", cell.group);
+  doc.emplace_back("seed", cell.seed);
+  doc.emplace_back("protocol", core::protocol_name(cell.protocol));
+  doc.emplace_back("instance", cell.instance->name());
+  doc.emplace_back("trace_hash", result.trace_hash);
+  doc.emplace_back("last_fault_time", result.last_fault_time);
+  doc.emplace_back("settle_time",
+                   result.settle_time ? Value(*result.settle_time) : Value(nullptr));
+  doc.emplace_back("run", run_json(result.run));
+  doc.emplace_back("invariants", invariants_json(result.invariants));
+  doc.emplace_back("continuity", continuity_json(result.continuity));
+  return Value(std::move(doc));
+}
+
+CampaignResult parse_journal_cell(const util::json::Value& doc) {
+  if (!doc.is_object()) bad("document is not an object");
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != kJournalSchema) {
+    bad("schema mismatch (want '" + std::string(kJournalSchema) + "')");
+  }
+  CampaignResult result;
+  result.trace_hash = get_uint(doc, "trace_hash");
+  result.last_fault_time = get_uint(doc, "last_fault_time");
+  const Value& settle = field(doc, "settle_time");
+  if (!settle.is_null()) result.settle_time = settle.as_uint();
+  result.run = parse_run(field(doc, "run"));
+  result.invariants = parse_invariants(field(doc, "invariants"));
+  result.continuity = parse_continuity(field(doc, "continuity"));
+  return result;
+}
+
+bool write_journal_cell(const std::string& journal_dir, std::size_t index,
+                        const SweepCell& cell, const CampaignResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(journal_dir, ec);
+  if (ec) return false;
+  return util::json::write_file_atomic(journal_cell_path(journal_dir, index),
+                                       journal_cell_json(index, cell, result));
+}
+
+std::optional<CampaignResult> load_journal_cell(const std::string& journal_dir,
+                                                std::size_t index, const SweepCell& cell) {
+  const auto doc = util::json::read_file(journal_cell_path(journal_dir, index));
+  if (!doc) return std::nullopt;
+  try {
+    // Identity guard: a journal written for a different sweep layout (cells
+    // reordered, reseeded, re-protocoled) must not masquerade as this cell.
+    if (field(*doc, "index").as_uint() != index) return std::nullopt;
+    if (field(*doc, "group").as_string() != cell.group) return std::nullopt;
+    if (field(*doc, "seed").as_uint() != cell.seed) return std::nullopt;
+    if (field(*doc, "protocol").as_string() != core::protocol_name(cell.protocol)) {
+      return std::nullopt;
+    }
+    if (field(*doc, "instance").as_string() != cell.instance->name()) return std::nullopt;
+    return parse_journal_cell(*doc);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+void register_supervisor_metrics(obs::MetricsRegistry& registry) {
+  registry.counter("supervisor.cell_errors", obs::MetricClass::kVolatile);
+  registry.counter("supervisor.cell_timeouts", obs::MetricClass::kVolatile);
+  registry.counter("supervisor.cell_retries", obs::MetricClass::kVolatile);
+  registry.counter("supervisor.journal_hits", obs::MetricClass::kVolatile);
+  registry.counter("supervisor.journal_writes", obs::MetricClass::kVolatile);
+  register_sweep_metrics(registry);
+}
+
+SweepResult run_sweep(std::span<const SweepCell> cells, const SweepOptions& options) {
+  SweepResult result;
+  result.jobs = util::resolve_jobs(options.jobs);
+  result.cells.resize(cells.size());
+
+  const auto bump = [&](std::string_view name) {
+    if (options.metrics != nullptr) {
+      options.metrics->counter(name, obs::MetricClass::kVolatile).increment();
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // Resume pass: journaled cells load back; only the rest fan out.
+  std::vector<std::size_t> todo;
+  todo.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (options.resume && !options.journal_dir.empty()) {
+      if (auto loaded = load_journal_cell(options.journal_dir, i, cells[i])) {
+        result.cells[i] = *std::move(loaded);
+        bump("supervisor.journal_hits");
+        continue;
+      }
+    }
+    todo.push_back(i);
+  }
+
+  util::parallel_for(todo.size(), result.jobs, [&](std::size_t k) {
+    const std::size_t i = todo[k];
+    const SweepCell& cell = cells[i];
+    if (cell.options.trace != nullptr && cell.options.trace->enabled()) {
+      Object fields;
+      fields.emplace_back("index", i);
+      fields.emplace_back("group", cell.group);
+      fields.emplace_back("protocol", core::protocol_name(cell.protocol));
+      fields.emplace_back("seed", cell.seed);
+      cell.options.trace->emit(0, "cell", std::move(fields));
+    }
+    const auto cell_start = std::chrono::steady_clock::now();
+
+    CampaignOptions opts = cell.options;
+    if (options.cell_deadline.count() > 0) opts.deadline = options.cell_deadline;
+    std::uint32_t attempts = 0;
+    for (;;) {
+      ++attempts;
+      try {
+        result.cells[i] = run_campaign(*cell.instance, cell.protocol, cell.script, opts);
+        break;
+      } catch (const engine::DeadlineExceeded& e) {
+        bump("supervisor.cell_timeouts");
+        if (attempts <= options.max_retries) {
+          // Backoff by doubling the budget: transient load clears, a cell
+          // that is genuinely too big converges to a timed_out error.
+          bump("supervisor.cell_retries");
+          opts.deadline *= 2;
+          continue;
+        }
+        if (options.strict) throw;
+        CampaignResult failed;
+        failed.error = CellError{e.what(), attempts, /*timed_out=*/true};
+        result.cells[i] = std::move(failed);
+        bump("supervisor.cell_errors");
+        break;
+      } catch (const std::exception& e) {
+        // Deterministic throw: retrying replays the same failure, so don't.
+        if (options.strict) throw;
+        CampaignResult failed;
+        failed.error = CellError{e.what(), attempts, /*timed_out=*/false};
+        result.cells[i] = std::move(failed);
+        bump("supervisor.cell_errors");
+        break;
+      }
+    }
+
+    if (cell.options.metrics != nullptr) {
+      const auto cell_elapsed = std::chrono::steady_clock::now() - cell_start;
+      cell.options.metrics
+          ->histogram("sweep.cell_wall_us", kCellWallBoundsUs, obs::MetricClass::kVolatile)
+          .observe(static_cast<std::int64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(cell_elapsed).count()));
+    }
+    if (!options.journal_dir.empty() && !result.cells[i].failed()) {
+      if (write_journal_cell(options.journal_dir, i, cell, result.cells[i])) {
+        bump("supervisor.journal_writes");
+      }
+    }
+  });
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  result.wall_seconds = std::chrono::duration<double>(elapsed).count();
+  result.fingerprint = sweep_fingerprint(result.cells);
+  return result;
+}
+
+}  // namespace ibgp::fault

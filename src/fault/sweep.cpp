@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bgp/selection.hpp"
+#include "fault/supervisor.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
 
@@ -27,36 +28,12 @@ const std::vector<std::int64_t> kCellWallBoundsUs = {100,    300,    1'000,   3'
 }  // namespace
 
 SweepResult run_sweep(std::span<const SweepCell> cells, std::size_t jobs) {
-  SweepResult result;
-  result.jobs = util::resolve_jobs(jobs);
-  result.cells.resize(cells.size());
-
-  const auto start = std::chrono::steady_clock::now();
-  util::parallel_for(cells.size(), result.jobs, [&](std::size_t i) {
-    const SweepCell& cell = cells[i];
-    if (cell.options.trace != nullptr && cell.options.trace->enabled()) {
-      util::json::Object fields;
-      fields.emplace_back("index", i);
-      fields.emplace_back("group", cell.group);
-      fields.emplace_back("protocol", core::protocol_name(cell.protocol));
-      fields.emplace_back("seed", cell.seed);
-      cell.options.trace->emit(0, "cell", std::move(fields));
-    }
-    const auto cell_start = std::chrono::steady_clock::now();
-    result.cells[i] =
-        run_campaign(*cell.instance, cell.protocol, cell.script, cell.options);
-    if (cell.options.metrics != nullptr) {
-      const auto cell_elapsed = std::chrono::steady_clock::now() - cell_start;
-      cell.options.metrics
-          ->histogram("sweep.cell_wall_us", kCellWallBoundsUs, obs::MetricClass::kVolatile)
-          .observe(static_cast<std::int64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(cell_elapsed).count()));
-    }
-  });
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  result.wall_seconds = std::chrono::duration<double>(elapsed).count();
-  result.fingerprint = sweep_fingerprint(result.cells);
-  return result;
+  // Thin wrapper over the supervised runner with its defaults: non-strict
+  // error containment (a throwing cell becomes a CellError record instead
+  // of sinking every completed cell), no deadline, no journal.
+  SweepOptions options;
+  options.jobs = jobs;
+  return run_sweep(cells, options);
 }
 
 std::uint64_t sweep_fingerprint(std::span<const CampaignResult> cells) {
@@ -90,6 +67,18 @@ util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult
     row.emplace_back("trace_hash", hex64(campaign.trace_hash));
     row.emplace_back("reconverged", campaign.reconverged());
     row.emplace_back("clean", campaign.invariants.clean());
+    // v4: structured per-cell failure record (null on the happy path).  A
+    // supervised cell whose campaign threw carries only this — every other
+    // field of the row is default-valued.
+    if (campaign.error) {
+      Object error;
+      error.emplace_back("message", campaign.error->message);
+      error.emplace_back("attempts", campaign.error->attempts);
+      error.emplace_back("timed_out", campaign.error->timed_out);
+      row.emplace_back("error", std::move(error));
+    } else {
+      row.emplace_back("error", Value(nullptr));
+    }
     row.emplace_back("truncated", campaign.truncated());
     row.emplace_back("settle_time", campaign.settle_time
                                         ? Value(*campaign.settle_time)
@@ -128,7 +117,7 @@ util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult
   }
 
   Object doc;
-  doc.emplace_back("schema", "ibgp-sweep-v3");
+  doc.emplace_back("schema", "ibgp-sweep-v4");
   doc.emplace_back("cell_count", result.cells.size());
   doc.emplace_back("fingerprint", hex64(result.fingerprint));
   if (include_timing) {

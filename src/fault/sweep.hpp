@@ -56,7 +56,10 @@ struct SweepResult {
 
 /// Runs every cell (jobs == 0 means one worker per hardware thread; 1 runs
 /// serially inline).  Results are deterministic per cell and aggregated in
-/// index order regardless of which worker ran what.
+/// index order regardless of which worker ran what.  A cell whose campaign
+/// throws becomes a structured CellError result and the rest of the sweep
+/// survives; fault/supervisor.hpp has the full supervised overload
+/// (strict mode, per-cell deadlines, the resume journal).
 SweepResult run_sweep(std::span<const SweepCell> cells, std::size_t jobs = 1);
 
 /// The fingerprint fold alone, for callers comparing serial vs parallel.
@@ -68,9 +71,11 @@ std::uint64_t sweep_fingerprint(std::span<const CampaignResult> cells);
 /// fan-out.  Idempotent.
 void register_sweep_metrics(obs::MetricsRegistry& registry);
 
-/// Stable JSON document for a finished sweep ("ibgp-sweep-v3" schema —
+/// Stable JSON document for a finished sweep ("ibgp-sweep-v4" schema —
 /// v3 added per-cell decision provenance: `decisions`, `decisions_empty`,
-/// `mrai_deferrals` and the per-rule `decided_by` breakdown).
+/// `mrai_deferrals` and the per-rule `decided_by` breakdown; v4 added the
+/// per-cell `error` field, null unless a supervised cell failed, see
+/// fault/supervisor.hpp).
 /// Run-dependent outputs (jobs, wall-clock) are grouped under a single
 /// "volatile" sub-object so regenerated documents diff fingerprint-only;
 /// with include_timing false the sub-object is omitted entirely and two

@@ -14,22 +14,50 @@ namespace {
 using util::parse_i64;
 using util::parse_u64;
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
-  throw std::runtime_error("topo parse error at line " + std::to_string(line_no) + ": " +
-                           message);
+// Clusters index a per-cluster membership table, so an absurd id from a
+// hostile/corrupt file would translate into an absurd allocation.  Real
+// instances use a handful of clusters; 4096 is beyond generous.
+constexpr std::uint64_t kMaxClusterId = 4096;
+
+// Where an error happened: the source label (file path, corpus entry name,
+// or "<topo>" for inline text) plus the 1-based line.
+struct LineRef {
+  std::string_view source;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(const LineRef& at, const std::string& message) {
+  throw std::runtime_error(std::string(at.source) + ":" + std::to_string(at.line) +
+                           ": topo parse error: " + message);
 }
 
-std::int64_t need_int(std::size_t line_no, std::string_view token, const char* what) {
+std::int64_t need_int(const LineRef& at, std::string_view token, const char* what) {
   const auto value = parse_i64(token);
-  if (!value) fail(line_no, std::string("expected integer for ") + what);
+  if (!value) {
+    fail(at, std::string("expected integer for ") + what + ", got '" + std::string(token) +
+                 "'");
+  }
   return *value;
 }
 
-bgp::MedMode need_med_mode(std::size_t line_no, std::string_view token) {
+// Unsigned fields (node/cluster indices, ids, attribute values) reject
+// negatives and anything that would wrap the 32-bit representation instead
+// of silently truncating through a cast.
+std::uint32_t need_u32(const LineRef& at, std::string_view token, const char* what,
+                       std::uint64_t max = 0xFFFFFFFFull) {
+  const auto value = parse_u64(token);
+  if (!value || *value > max) {
+    fail(at, std::string(what) + " must be an integer in [0, " + std::to_string(max) +
+                 "], got '" + std::string(token) + "'");
+  }
+  return static_cast<std::uint32_t>(*value);
+}
+
+bgp::MedMode need_med_mode(const LineRef& at, std::string_view token) {
   if (token == "per-as") return bgp::MedMode::kPerNeighborAs;
   if (token == "always") return bgp::MedMode::kAlwaysCompare;
   if (token == "ignore") return bgp::MedMode::kIgnore;
-  fail(line_no, "unknown med mode (want per-as|always|ignore)");
+  fail(at, "unknown med mode (want per-as|always|ignore)");
 }
 
 const char* med_mode_name(bgp::MedMode mode) {
@@ -42,14 +70,14 @@ const char* med_mode_name(bgp::MedMode mode) {
 }
 
 // Parses "1,3,17" into a community bitmask (tags are bit positions 0-31).
-std::uint32_t need_comm_list(std::size_t line_no, std::string_view token) {
+std::uint32_t need_comm_list(const LineRef& at, std::string_view token) {
   std::uint32_t mask = 0;
   for (std::string_view part : util::split(token, ',')) {
     const auto tag = parse_u64(part);
-    if (!tag || *tag >= 32) fail(line_no, "community tag must be an integer in [0, 32)");
+    if (!tag || *tag >= 32) fail(at, "community tag must be an integer in [0, 32)");
     mask |= 1u << *tag;
   }
-  if (mask == 0) fail(line_no, "empty community list");
+  if (mask == 0) fail(at, "empty community list");
   return mask;
 }
 
@@ -66,15 +94,15 @@ std::string comm_list(std::uint32_t mask) {
 
 }  // namespace
 
-core::Instance parse_topo(std::string_view text) {
+core::Instance parse_topo(std::string_view text, std::string_view source) {
   InstanceBuilder builder;
   std::string instance_name = "unnamed";
   bgp::SelectionPolicy policy;
-  std::size_t line_no = 0;
+  LineRef at{source, 0};
   bool any_node = false;
 
   for (std::string_view raw_line : util::split(text, '\n')) {
-    ++line_no;
+    ++at.line;
     std::string_view line = raw_line;
     if (const auto hash = line.find('#'); hash != std::string_view::npos) {
       line = line.substr(0, hash);
@@ -85,7 +113,7 @@ core::Instance parse_topo(std::string_view text) {
 
     try {
     if (directive == "instance") {
-      if (tokens.size() != 2) fail(line_no, "usage: instance NAME");
+      if (tokens.size() != 2) fail(at, "usage: instance NAME");
       instance_name = std::string(tokens[1]);
     } else if (directive == "policy") {
       for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
@@ -95,73 +123,72 @@ core::Instance parse_topo(std::string_view text) {
           } else if (tokens[i + 1] == "igp-first") {
             policy.order = bgp::RuleOrder::kIgpCostFirst;
           } else {
-            fail(line_no, "unknown order (want ebgp-first|igp-first)");
+            fail(at, "unknown order (want ebgp-first|igp-first)");
           }
         } else if (tokens[i] == "med") {
-          policy.med = need_med_mode(line_no, tokens[i + 1]);
+          policy.med = need_med_mode(at, tokens[i + 1]);
         } else {
-          fail(line_no, "unknown policy key '" + std::string(tokens[i]) + "'");
+          fail(at, "unknown policy key '" + std::string(tokens[i]) + "'");
         }
       }
     } else if (directive == "med-override") {
-      if (tokens.size() != 3) fail(line_no, "usage: med-override AS per-as|always|ignore");
+      if (tokens.size() != 3) fail(at, "usage: med-override AS per-as|always|ignore");
       bgp::MedOverride override;
-      override.as = static_cast<AsId>(need_int(line_no, tokens[1], "as"));
-      override.mode = need_med_mode(line_no, tokens[2]);
+      override.as = need_u32(at, tokens[1], "as");
+      override.mode = need_med_mode(at, tokens[2]);
       policy.med_overrides.push_back(override);
     } else if (directive == "node") {
-      if (tokens.size() < 4) fail(line_no, "usage: node LABEL reflector|client CLUSTER");
+      if (tokens.size() < 4) fail(at, "usage: node LABEL reflector|client CLUSTER");
       const std::string label(tokens[1]);
       const auto cluster =
-          static_cast<netsim::ClusterId>(need_int(line_no, tokens[3], "cluster"));
+          static_cast<netsim::ClusterId>(need_u32(at, tokens[3], "cluster", kMaxClusterId));
       NodeId v = kNoNode;
       if (tokens[2] == "reflector") {
         v = builder.reflector(label, cluster);
       } else if (tokens[2] == "client") {
         v = builder.client(label, cluster);
       } else {
-        fail(line_no, "node role must be reflector|client");
+        fail(at, "node role must be reflector|client");
       }
       (void)v;
       any_node = true;
       for (std::size_t i = 4; i + 1 < tokens.size(); i += 2) {
         if (tokens[i] == "bgp-id") {
-          builder.bgp_id(label, static_cast<BgpId>(need_int(line_no, tokens[i + 1], "bgp-id")));
+          builder.bgp_id(label, need_u32(at, tokens[i + 1], "bgp-id"));
         } else {
-          fail(line_no, "unknown node option '" + std::string(tokens[i]) + "'");
+          fail(at, "unknown node option '" + std::string(tokens[i]) + "'");
         }
       }
     } else if (directive == "link") {
-      if (tokens.size() != 4) fail(line_no, "usage: link A B COST");
-      builder.link(tokens[1], tokens[2], need_int(line_no, tokens[3], "cost"));
+      if (tokens.size() != 4) fail(at, "usage: link A B COST");
+      builder.link(tokens[1], tokens[2], need_int(at, tokens[3], "cost"));
     } else if (directive == "session") {
-      if (tokens.size() != 3) fail(line_no, "usage: session A B");
+      if (tokens.size() != 3) fail(at, "usage: session A B");
       builder.client_session(tokens[1], tokens[2]);
     } else if (directive == "exit") {
       // exit NAME at LABEL as AS [med M] [lp L] [len K] [cost C] [peer P]
       if (tokens.size() < 6 || tokens[2] != "at" || tokens[4] != "as") {
-        fail(line_no, "usage: exit NAME at LABEL as AS [med M] [lp L] [len K] [cost C] [peer P]");
+        fail(at, "usage: exit NAME at LABEL as AS [med M] [lp L] [len K] [cost C] [peer P]");
       }
       ExitSpec spec;
       spec.name = std::string(tokens[1]);
       spec.at = std::string(tokens[3]);
-      spec.next_as = static_cast<AsId>(need_int(line_no, tokens[5], "as"));
+      spec.next_as = need_u32(at, tokens[5], "as");
       for (std::size_t i = 6; i + 1 < tokens.size(); i += 2) {
         if (tokens[i] == "med") {
-          spec.med = static_cast<Med>(need_int(line_no, tokens[i + 1], "med"));
+          spec.med = need_u32(at, tokens[i + 1], "med");
         } else if (tokens[i] == "lp") {
-          spec.local_pref = static_cast<LocalPref>(need_int(line_no, tokens[i + 1], "lp"));
+          spec.local_pref = need_u32(at, tokens[i + 1], "lp");
         } else if (tokens[i] == "len") {
-          spec.as_path_length =
-              static_cast<std::uint32_t>(need_int(line_no, tokens[i + 1], "len"));
+          spec.as_path_length = need_u32(at, tokens[i + 1], "len");
         } else if (tokens[i] == "cost") {
-          spec.exit_cost = need_int(line_no, tokens[i + 1], "cost");
+          spec.exit_cost = need_int(at, tokens[i + 1], "cost");
         } else if (tokens[i] == "peer") {
-          spec.ebgp_peer = static_cast<BgpId>(need_int(line_no, tokens[i + 1], "peer"));
+          spec.ebgp_peer = need_u32(at, tokens[i + 1], "peer");
         } else if (tokens[i] == "comm") {
-          spec.communities = need_comm_list(line_no, tokens[i + 1]);
+          spec.communities = need_comm_list(at, tokens[i + 1]);
         } else {
-          fail(line_no, "unknown exit option '" + std::string(tokens[i]) + "'");
+          fail(at, "unknown exit option '" + std::string(tokens[i]) + "'");
         }
       }
       builder.exit(std::move(spec));
@@ -169,39 +196,43 @@ core::Instance parse_topo(std::string_view text) {
       // route-map LABEL [match-as A] [match-comm LIST] [set-lp L] [set-med M]
       //                 [add-comm LIST]
       if (tokens.size() < 4 || tokens.size() % 2 != 0) {
-        fail(line_no,
+        fail(at,
              "usage: route-map LABEL [match-as A] [match-comm LIST] [set-lp L] [set-med M] "
              "[add-comm LIST]");
       }
       bgp::RouteMapClause clause;
       for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
         if (tokens[i] == "match-as") {
-          clause.match_as = static_cast<AsId>(need_int(line_no, tokens[i + 1], "match-as"));
+          clause.match_as = need_u32(at, tokens[i + 1], "match-as");
         } else if (tokens[i] == "match-comm") {
-          clause.match_communities = need_comm_list(line_no, tokens[i + 1]);
+          clause.match_communities = need_comm_list(at, tokens[i + 1]);
         } else if (tokens[i] == "set-lp") {
-          clause.set_local_pref =
-              static_cast<LocalPref>(need_int(line_no, tokens[i + 1], "set-lp"));
+          clause.set_local_pref = need_u32(at, tokens[i + 1], "set-lp");
         } else if (tokens[i] == "set-med") {
-          clause.set_med = static_cast<Med>(need_int(line_no, tokens[i + 1], "set-med"));
+          clause.set_med = need_u32(at, tokens[i + 1], "set-med");
         } else if (tokens[i] == "add-comm") {
-          clause.add_communities = need_comm_list(line_no, tokens[i + 1]);
+          clause.add_communities = need_comm_list(at, tokens[i + 1]);
         } else {
-          fail(line_no, "unknown route-map option '" + std::string(tokens[i]) + "'");
+          fail(at, "unknown route-map option '" + std::string(tokens[i]) + "'");
         }
       }
       builder.route_map(tokens[1], std::move(clause));
     } else {
-      fail(line_no, "unknown directive '" + std::string(directive) + "'");
+      fail(at, "unknown directive '" + std::string(directive) + "'");
     }
     } catch (const std::invalid_argument& e) {
       // Builder errors (unknown labels, duplicate nodes, bad links) get the
-      // line number attached; our own fail() errors pass through unchanged.
-      fail(line_no, e.what());
+      // source:line attached; our own fail() errors pass through unchanged.
+      fail(at, e.what());
+    } catch (const std::out_of_range& e) {
+      fail(at, e.what());
     }
   }
 
-  if (!any_node) throw std::runtime_error("topo parse error: no nodes defined");
+  if (!any_node) {
+    throw std::runtime_error(std::string(source) + ": topo parse error: no nodes defined" +
+                             (text.empty() ? " (empty input)" : ""));
+  }
   return builder.build(instance_name, policy);
 }
 
@@ -210,7 +241,7 @@ core::Instance load_topo_file(const std::string& path) {
   if (!in) throw std::runtime_error("cannot open topo file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_topo(buffer.str());
+  return parse_topo(buffer.str(), path);
 }
 
 std::string write_topo(const core::Instance& inst) {

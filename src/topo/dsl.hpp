@@ -20,10 +20,15 @@
 // (pre-route-map) configuration; the parser re-applies the maps, so
 // round-trips preserve config rather than its consequence.
 //
-// parse_topo throws std::runtime_error with a line-numbered message on any
-// malformed input; write_topo produces text that parses back to an
-// equivalent instance, and re-serializing that parse is byte-identical
-// (round-trip tested).
+// parse_topo throws std::runtime_error with a source:line-prefixed message
+// on any malformed input (`source` defaults to "<topo>"; load_topo_file
+// passes the file path, so errors read like compiler diagnostics).
+// Unsigned fields — cluster, bgp-id, as, med, lp, len, peer — are
+// range-validated at parse time: negatives and values that would wrap the
+// 32-bit representation are rejected instead of silently truncated, and
+// cluster ids are capped (they index a membership table).  write_topo
+// produces text that parses back to an equivalent instance, and
+// re-serializing that parse is byte-identical (round-trip tested).
 
 #include <string>
 #include <string_view>
@@ -32,8 +37,9 @@
 
 namespace ibgp::topo {
 
-/// Parses the DSL into a finalized instance.
-core::Instance parse_topo(std::string_view text);
+/// Parses the DSL into a finalized instance.  `source` labels diagnostics
+/// (file path, corpus entry name, ...).
+core::Instance parse_topo(std::string_view text, std::string_view source = "<topo>");
 
 /// Loads and parses a .topo file.
 core::Instance load_topo_file(const std::string& path);

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <stdexcept>
 
 namespace ibgp::util::json {
 
@@ -153,6 +155,402 @@ bool write_file(const std::string& path, const Value& value) {
   const std::string text = value.dump();
   const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
   return (std::fclose(file) == 0) && ok;
+}
+
+bool write_file_atomic(const std::string& path, const Value& value) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::string text = value.dump();
+  bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  ok = (std::fflush(file) == 0) && ok;
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- typed accessors ---
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::runtime_error(std::string("json: value is not ") + wanted);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) type_error("a bool");
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUint:
+      if (uint_ > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+        type_error("an int64-representable number");
+      return static_cast<std::int64_t>(uint_);
+    case Kind::kDouble: {
+      const auto i = static_cast<std::int64_t>(double_);
+      if (static_cast<double>(i) != double_) type_error("an integral number");
+      return i;
+    }
+    default: type_error("a number");
+  }
+}
+
+std::uint64_t Value::as_uint() const {
+  switch (kind_) {
+    case Kind::kUint: return uint_;
+    case Kind::kInt:
+      if (int_ < 0) type_error("a non-negative number");
+      return static_cast<std::uint64_t>(int_);
+    case Kind::kDouble: {
+      if (double_ < 0) type_error("a non-negative number");
+      const auto u = static_cast<std::uint64_t>(double_);
+      if (static_cast<double>(u) != double_) type_error("an integral number");
+      return u;
+    }
+    default: type_error("a number");
+  }
+}
+
+double Value::as_double() const {
+  switch (kind_) {
+    case Kind::kDouble: return double_;
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    default: type_error("a number");
+  }
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) type_error("a string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray || !array_) {
+    static const Array kEmpty;
+    if (kind_ == Kind::kArray) return kEmpty;
+    type_error("an array");
+  }
+  return *array_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject || !object_) {
+    static const Object kEmpty;
+    if (kind_ == Kind::kObject) return kEmpty;
+    type_error("an object");
+  }
+  return *object_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject || !object_) return nullptr;
+  for (const auto& [name, value] : *object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+// --- parser ---
+
+namespace {
+
+// Strict RFC 8259 recursive-descent parser.  Depth-bounded so corrupt
+// checkpoints cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    try {
+      skip_ws();
+      Value v = parse_value(0);
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing garbage after document");
+      return v;
+    } catch (const std::runtime_error& e) {
+      if (error != nullptr) *error = e.what();
+      return std::nullopt;
+    }
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value(nullptr);
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case '"': return Value(parse_string());
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          const unsigned code = parse_hex4();
+          append_utf8(out, decode_surrogate(code));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  unsigned decode_surrogate(unsigned code) {
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+        fail("unpaired high surrogate");
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+      return 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+    if (code >= 0xDC00 && code <= 0xDFFF) fail("unpaired low surrogate");
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) fail("bad number");
+    const std::size_t first_digit = text_[start] == '-' ? start + 1 : start;
+    if (pos_ - first_digit > 1 && text_[first_digit] == '0')
+      fail("leading zero in number");
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == frac) fail("bad number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == exp) fail("bad number");
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (token[0] == '-') {
+        std::int64_t i = 0;
+        const auto [p, ec] = std::from_chars(token.begin(), token.end(), i);
+        if (ec == std::errc{} && p == token.end()) return Value(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto [p, ec] = std::from_chars(token.begin(), token.end(), u);
+        if (ec == std::errc{} && p == token.end()) return Value(u);
+      }
+      // Out-of-range integers degrade to double, matching common readers.
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(token.begin(), token.end(), d);
+    if (ec != std::errc{} || p != token.end()) fail("bad number");
+    return Value(d);
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      out.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+std::optional<Value> read_file(const std::string& path, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  std::array<char, 65536> buf;
+  std::size_t got = 0;
+  while ((got = std::fread(buf.data(), 1, buf.size(), file)) > 0) {
+    text.append(buf.data(), got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    if (error != nullptr) *error = "read error on " + path;
+    return std::nullopt;
+  }
+  std::string parse_error;
+  auto value = parse(text, &parse_error);
+  if (!value && error != nullptr) *error = path + ": " + parse_error;
+  return value;
 }
 
 }  // namespace ibgp::util::json

@@ -1,15 +1,18 @@
 #pragma once
-// Minimal JSON document builder for machine-readable bench output.
+// Minimal JSON document builder + reader for machine-readable artifacts.
 //
 // The BENCH_*.json trajectory files need a stable, diffable serialization:
 // object keys keep insertion order, numbers print with no locale or
 // precision surprises (integers exactly, doubles via shortest round-trip),
-// and dump() emits deterministic two-space-indented text.  Only writing is
-// supported — the repo produces these files, CI and external tooling
-// consume them — so there is deliberately no parser here.
+// and dump() emits deterministic two-space-indented text.  The checkpoint
+// layer (ibgp-ckpt-v1, sweep journals) additionally needs to read its own
+// output back, so a strict RFC 8259 parser and typed accessors live here
+// too — the parser accepts exactly what the builder emits (plus arbitrary
+// standard JSON) and rejects everything else with a position diagnostic.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -48,6 +51,36 @@ class Value {
   /// line-oriented formats such as the ibgp-trace-v1 JSONL stream.
   [[nodiscard]] std::string dump_compact() const;
 
+  // --- reading back (used by checkpoint restore and journal resume) ---
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+
+  /// Typed reads.  Integer accessors accept any numeric kind whose value is
+  /// exactly representable in the target type; everything else throws
+  /// std::runtime_error naming the expected type.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup (first match in insertion order); nullptr when
+  /// absent or when this value is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Object member lookup that throws std::runtime_error when the key is
+  /// missing — restore paths want loud failures, not defaults.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
  private:
   enum class Kind : std::uint8_t {
     kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject,
@@ -72,5 +105,20 @@ std::string escape(std::string_view text);
 /// Writes `value.dump()` to `path`.  Returns false (and leaves no partial
 /// file guarantee) when the file cannot be opened or written.
 bool write_file(const std::string& path, const Value& value);
+
+/// Crash-consistent write: dumps to `path + ".tmp"`, flushes, then renames
+/// over `path`.  A reader therefore only ever observes the old complete
+/// file or the new complete file, never a torn write — the property the
+/// checkpoint/journal layer's kill-at-any-instant guarantee rests on.
+bool write_file_atomic(const std::string& path, const Value& value);
+
+/// Parses a complete JSON document.  On failure returns std::nullopt and,
+/// when `error` is non-null, stores a "offset N: reason" diagnostic.
+/// Trailing garbage after the document is an error.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Reads and parses a whole file.  std::nullopt on open/read/parse failure
+/// (diagnostic includes the path when `error` is non-null).
+std::optional<Value> read_file(const std::string& path, std::string* error = nullptr);
 
 }  // namespace ibgp::util::json

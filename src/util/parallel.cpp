@@ -1,6 +1,8 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -10,9 +12,20 @@
 namespace ibgp::util {
 
 std::size_t resolve_jobs(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  return std::clamp<std::size_t>(requested, 1, kMaxJobs);
+}
+
+std::optional<std::size_t> parse_jobs(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) return std::nullopt;
+  if (value > kMaxJobs) return std::nullopt;
+  return value;
 }
 
 void parallel_for(std::size_t count, std::size_t jobs,

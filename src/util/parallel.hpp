@@ -18,12 +18,25 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
+#include <string_view>
 
 namespace ibgp::util {
 
+/// Upper bound resolve_jobs() clamps to.  Requests beyond this are almost
+/// always a mistyped flag (e.g. "--jobs 88888"); spawning that many threads
+/// would thrash or abort rather than help.
+inline constexpr std::size_t kMaxJobs = 1024;
+
 /// Resolves a --jobs request: 0 means "one per hardware thread" (at least
-/// 1); any other value is returned unchanged.
+/// 1); any other value is clamped into [1, kMaxJobs].
 std::size_t resolve_jobs(std::size_t requested);
+
+/// Strict parser for --jobs flag values: accepts only a non-negative base-10
+/// integer with no sign, suffix, or embedded garbage, and rejects values
+/// beyond kMaxJobs.  Returns std::nullopt on any violation so CLIs can fail
+/// loudly instead of silently treating "-4" or "abc" as 0 (= all cores).
+std::optional<std::size_t> parse_jobs(std::string_view text);
 
 /// Runs fn(i) for every i in [0, count), using up to `jobs` threads
 /// (`jobs` <= 1 runs inline on the calling thread, spawning nothing).

@@ -114,5 +114,57 @@ TEST(Corpus, ParserRejectsMalformedEntries) {
                std::runtime_error);
 }
 
+// Asserts the parse fails AND the diagnostic contains `needle` (typically a
+// "source:line:" prefix), so broken checked-in entries are pinpointable.
+void expect_corpus_error(std::string_view text, std::string_view needle) {
+  try {
+    parse_corpus_entry(text, "entry");
+    FAIL() << "expected parse error containing '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(Corpus, MalformedHeadersCarrySourceAndLine) {
+  // Unknown tag on line 2.
+  expect_corpus_error("#! ibgp-corpus-v1\n#! tag bogus\n", "entry:2:");
+  // Garbage header line keeps its line number.
+  expect_corpus_error("#! ibgp-corpus-v1\n\n#! frobnicate\n", "entry:3:");
+  // Bad max-steps names the field and the offending token.
+  expect_corpus_error("#! ibgp-corpus-v1\n#! max-steps zero\n", "max-steps");
+  expect_corpus_error("#! ibgp-corpus-v1\n#! max-steps 0\n", "entry:2:");
+  // Signature field errors surface the line, not just the helper message.
+  expect_corpus_error(
+      "#! ibgp-corpus-v1\n#! signature standard round-robin=maybe synchronous=converged\n",
+      "entry:2:");
+  expect_corpus_error(
+      "#! ibgp-corpus-v1\n#! signature ospf round-robin=converged synchronous=converged\n",
+      "unknown protocol");
+}
+
+TEST(Corpus, TruncatedBodyIsDiagnosed) {
+  // All headers present but the topo text is missing entirely (the classic
+  // torn-write shape): must say "truncated", not fail later in the DSL.
+  const std::string headers =
+      "#! ibgp-corpus-v1\n"
+      "#! signature standard round-robin=oscillates synchronous=oscillates\n"
+      "#! signature walton round-robin=converged synchronous=converged\n"
+      "#! signature modified round-robin=converged synchronous=converged\n";
+  expect_corpus_error(headers, "truncated entry");
+  // Comment-only bodies are still truncated — comments are not topology.
+  expect_corpus_error(headers + "# generated by ibgp-rr\n", "truncated entry");
+  // A real body line clears the check (and then fails on missing nodes or
+  // parses fine — either way, not as "truncated").
+  const auto entry = parse_corpus_entry(headers + "instance t\nnode A reflector 0\n", "e");
+  EXPECT_NE(entry.topo_text.find("node A"), std::string::npos);
+}
+
+TEST(Corpus, MissingMagicIsDiagnosed) {
+  expect_corpus_error(
+      "#! signature standard round-robin=converged synchronous=converged\n"
+      "instance t\nnode A reflector 0\n",
+      "missing '#! ibgp-corpus-v1'");
+}
+
 }  // namespace
 }  // namespace ibgp::explore

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -57,7 +58,7 @@ TEST(Dsl, ErrorsCarryLineNumbers) {
     parse_topo("instance x\nnode A reflector 0\nlink A B 5\n");
     FAIL() << "expected parse error";
   } catch (const std::exception& e) {
-    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("<topo>:3:"), std::string::npos) << e.what();
   }
 }
 
@@ -330,6 +331,59 @@ TEST(Random, RespectsExitPlacementFlag) {
       EXPECT_TRUE(inst.clusters().is_client(path.exit_point)) << seed;
     }
   }
+}
+
+// Asserts the parse fails AND the diagnostic contains `needle`.
+void expect_topo_error(std::string_view text, std::string_view needle) {
+  try {
+    parse_topo(text);
+    FAIL() << "expected parse error containing '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(Dsl, RejectsOutOfRangeIndices) {
+  // Negative and oversized values used to wrap silently through a
+  // static_cast; now they are diagnosed with the offending line.
+  expect_topo_error("node A reflector -1\n", "<topo>:1:");
+  expect_topo_error("node A reflector -1\n", "cluster");
+  expect_topo_error("node A reflector 99999999\n", "cluster");  // > kMaxClusterId
+  expect_topo_error("node A reflector 0 bgp-id -7\n", "bgp-id");
+  expect_topo_error("node A reflector 0 bgp-id 4294967296\n", "bgp-id");  // 2^32
+  expect_topo_error("node A reflector 0\nexit r at A as -1\n", "<topo>:2:");
+  expect_topo_error("node A reflector 0\nexit r at A as 1 med -3\n", "med");
+  expect_topo_error("node A reflector 0\nexit r at A as 1 lp -3\n", "lp");
+  expect_topo_error("node A reflector 0\nexit r at A as 1 peer -3\n", "peer");
+  expect_topo_error("node A reflector 0\nroute-map A set-lp -1\n", "set-lp");
+  expect_topo_error("med-override -1 ignore\nnode A reflector 0\n", "as");
+}
+
+TEST(Dsl, RejectsNonNumericFields) {
+  expect_topo_error("node A reflector zero\n", "cluster");
+  expect_topo_error("node A reflector 0\nlink A A x\n", "cost");
+  expect_topo_error("node A reflector 0\nexit r at A as one\n", "as");
+}
+
+TEST(Dsl, EmptyInputIsDiagnosed) {
+  expect_topo_error("", "no nodes defined");
+  expect_topo_error("# only a comment\n", "no nodes defined");
+}
+
+TEST(Dsl, FileErrorsNameThePath) {
+  const std::string path = testing::TempDir() + "ibgp_dsl_bad.topo";
+  {
+    std::ofstream out(path);
+    out << "instance broken\nnode A emperor 0\n";
+  }
+  try {
+    load_topo_file(path);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    // The diagnostic reads like a compiler error: PATH:LINE: message.
+    EXPECT_NE(std::string(e.what()).find(path + ":2:"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

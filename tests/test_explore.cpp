@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "analysis/finder.hpp"
@@ -296,6 +298,112 @@ TEST(Explorer, DeterministicAcrossJobs) {
   EXPECT_EQ(serial.stats.evaluated, parallel.stats.evaluated);
   EXPECT_EQ(serial.stats.new_coverage, parallel.stats.new_coverage);
   EXPECT_EQ(serial.stats.hits_raw, parallel.stats.hits_raw);
+}
+
+TEST(Explorer, ResumedRunEqualsUninterruptedRun) {
+  // The checkpoint contract: an interrupted search resumed from disk must be
+  // bit-for-bit the run that was never interrupted.  Run budget 128 with a
+  // checkpoint, then resume with budget 256, and compare against a straight
+  // budget-256 run.
+  ExploreConfig config;
+  config.seed = 11;
+  config.batch = 50;
+  config.max_steps = 1000;
+  config.max_deliveries = 5000;
+  config.random_seeds = 4;
+  config.hybrid_seeds = 1;
+
+  config.budget = 256;
+  const auto uninterrupted = explore(config);
+
+  const std::string path =
+      std::string(testing::TempDir()) + "/explore_resume_ckpt.json";
+  std::remove(path.c_str());
+  config.checkpoint_path = path;
+  config.budget = 128;
+  config.resume = false;
+  const auto partial = explore(config);
+  EXPECT_LE(partial.stats.evaluated, 128u + config.batch);
+
+  config.budget = 256;
+  config.resume = true;
+  const auto resumed = explore(config);
+
+  EXPECT_EQ(resumed.stats.evaluated, uninterrupted.stats.evaluated);
+  EXPECT_EQ(resumed.stats.invalid, uninterrupted.stats.invalid);
+  EXPECT_EQ(resumed.stats.new_coverage, uninterrupted.stats.new_coverage);
+  EXPECT_EQ(resumed.stats.hits_raw, uninterrupted.stats.hits_raw);
+  EXPECT_EQ(resumed.stats.truncated_runs, uninterrupted.stats.truncated_runs);
+  ASSERT_EQ(resumed.hits.size(), uninterrupted.hits.size());
+  for (std::size_t i = 0; i < resumed.hits.size(); ++i) {
+    EXPECT_EQ(resumed.hits[i].fingerprint, uninterrupted.hits[i].fingerprint);
+    EXPECT_EQ(resumed.hits[i].med_induced, uninterrupted.hits[i].med_induced);
+    EXPECT_EQ(resumed.hits[i].hybrid, uninterrupted.hits[i].hybrid);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Explorer, MismatchedCheckpointStartsFresh) {
+  // A checkpoint written under a different seed must be ignored (identity
+  // guard), not loaded into a differently-seeded search.
+  ExploreConfig config;
+  config.seed = 11;
+  config.budget = 60;
+  config.batch = 20;
+  config.max_steps = 500;
+  config.max_deliveries = 2000;
+  config.random_seeds = 2;
+  config.hybrid_seeds = 1;
+
+  const std::string path =
+      std::string(testing::TempDir()) + "/explore_mismatch_ckpt.json";
+  std::remove(path.c_str());
+  config.checkpoint_path = path;
+  const auto first = explore(config);
+  (void)first;
+
+  config.seed = 12;  // identity mismatch: checkpoint must be discarded
+  config.resume = true;
+  const auto fresh = explore(config);
+  config.checkpoint_path.clear();
+  config.resume = false;
+  const auto reference = explore(config);
+  EXPECT_EQ(fresh.stats.evaluated, reference.stats.evaluated);
+  EXPECT_EQ(fresh.stats.new_coverage, reference.stats.new_coverage);
+  EXPECT_EQ(fresh.stats.hits_raw, reference.stats.hits_raw);
+  ASSERT_EQ(fresh.hits.size(), reference.hits.size());
+  for (std::size_t i = 0; i < fresh.hits.size(); ++i) {
+    EXPECT_EQ(fresh.hits[i].fingerprint, reference.hits[i].fingerprint);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Explorer, TornCheckpointStartsFresh) {
+  // Half a checkpoint (torn write) must never crash or poison the search.
+  ExploreConfig config;
+  config.seed = 5;
+  config.budget = 40;
+  config.batch = 20;
+  config.max_steps = 500;
+  config.max_deliveries = 2000;
+  config.random_seeds = 2;
+  config.hybrid_seeds = 1;
+
+  const std::string path =
+      std::string(testing::TempDir()) + "/explore_torn_ckpt.json";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema\": \"ibgp-explore-ckpt-v1\", \"round\": 3, \"fron";
+  }
+  config.checkpoint_path = path;
+  config.resume = true;
+  const auto resumed = explore(config);
+  config.checkpoint_path.clear();
+  config.resume = false;
+  const auto reference = explore(config);
+  EXPECT_EQ(resumed.stats.evaluated, reference.stats.evaluated);
+  EXPECT_EQ(resumed.stats.hits_raw, reference.stats.hits_raw);
+  std::remove(path.c_str());
 }
 
 // --- mutated-spec DSL round-trip (byte identity under the new knobs) -----------------

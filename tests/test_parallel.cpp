@@ -68,6 +68,30 @@ TEST(ParallelFor, SerialPathPropagatesToo) {
       std::logic_error);
 }
 
+TEST(ParallelFor, ResolveJobsClampsToMaxJobs) {
+  EXPECT_EQ(util::resolve_jobs(util::kMaxJobs), util::kMaxJobs);
+  EXPECT_EQ(util::resolve_jobs(util::kMaxJobs + 1), util::kMaxJobs);
+  EXPECT_EQ(util::resolve_jobs(5000), util::kMaxJobs);
+  EXPECT_EQ(util::resolve_jobs(static_cast<std::size_t>(-1)), util::kMaxJobs);
+}
+
+TEST(ParallelFor, ParseJobsAcceptsPlainNonNegativeIntegers) {
+  EXPECT_EQ(util::parse_jobs("0"), std::size_t{0});  // 0 = all cores, valid
+  EXPECT_EQ(util::parse_jobs("1"), std::size_t{1});
+  EXPECT_EQ(util::parse_jobs("16"), std::size_t{16});
+  EXPECT_EQ(util::parse_jobs("1024"), util::kMaxJobs);
+}
+
+TEST(ParallelFor, ParseJobsRejectsGarbage) {
+  // Anything a CLI should refuse instead of silently coercing: signs,
+  // suffixes, non-digits, empty strings, whitespace, and > kMaxJobs.
+  for (const char* bad : {"-1", "-4", "+2", "abc", "12x", "x12", "", " ", " 4",
+                          "4 ", "1.5", "0x10", "1025", "88888",
+                          "99999999999999999999999999"}) {
+    EXPECT_FALSE(util::parse_jobs(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
 // --- sweep determinism -------------------------------------------------------------
 
 std::vector<fault::SweepCell> make_cells(const core::Instance& fig1a,

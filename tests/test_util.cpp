@@ -5,12 +5,14 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <map>
 #include <numeric>
 #include <set>
 
 #include "util/flags.hpp"
 #include "util/hash.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -269,6 +271,106 @@ TEST(Log, ParseLevelNames) {
   EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
   EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
   EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+}
+
+// --- json parser ------------------------------------------------------------
+
+TEST(Json, ParsesEverythingTheBuilderEmits) {
+  json::Object inner;
+  inner.emplace_back("s", "quote \" backslash \\ newline \n tab \t");
+  inner.emplace_back("i", std::int64_t{-42});
+  inner.emplace_back("u", std::uint64_t{18446744073709551615ull});
+  inner.emplace_back("d", 1.5);
+  inner.emplace_back("t", true);
+  inner.emplace_back("n", nullptr);
+  json::Array arr;
+  arr.emplace_back(1);
+  arr.emplace_back("two");
+  arr.emplace_back(json::Array{});
+  json::Object top;
+  top.emplace_back("inner", std::move(inner));
+  top.emplace_back("arr", std::move(arr));
+  const json::Value doc{std::move(top)};
+
+  for (const std::string text : {doc.dump(), doc.dump_compact()}) {
+    const auto parsed = json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->dump(), doc.dump());
+    const auto& in = parsed->at("inner");
+    EXPECT_EQ(in.at("s").as_string(), "quote \" backslash \\ newline \n tab \t");
+    EXPECT_EQ(in.at("i").as_int(), -42);
+    EXPECT_EQ(in.at("u").as_uint(), 18446744073709551615ull);
+    EXPECT_EQ(in.at("d").as_double(), 1.5);
+    EXPECT_TRUE(in.at("t").as_bool());
+    EXPECT_TRUE(in.at("n").is_null());
+    EXPECT_EQ(parsed->at("arr").as_array().size(), 3u);
+  }
+}
+
+TEST(Json, ParsesStandardConstructs) {
+  const auto v = json::parse(R"(  {"a": [1, 2.5e2, -3], "b": {"c": "A😀"}} )");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at("a").as_array()[1].as_double(), 250.0);
+  EXPECT_EQ(v->at("a").as_array()[2].as_int(), -3);
+  EXPECT_EQ(v->at("b").at("c").as_string(), "A\xF0\x9F\x98\x80");  // UTF-8 😀
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  std::string error;
+  for (const char* bad : {
+           "",                    // empty
+           "{",                   // truncated object
+           "[1, 2",               // truncated array
+           "{\"a\": }",           // missing value
+           "{\"a\": 1,}",         // trailing comma
+           "{'a': 1}",            // single quotes
+           "{\"a\": 1} trailing", // garbage after document
+           "nul",                 // bad literal
+           "01",                  // leading zero
+           "1.",                  // bare decimal point
+           "\"unterminated",      // unterminated string
+           "\"bad \\x escape\"",  // invalid escape
+           "{\"a\" 1}",           // missing colon
+       }) {
+    error.clear();
+    EXPECT_FALSE(json::parse(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find("offset"), std::string::npos) << bad << " -> " << error;
+  }
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const auto v = json::parse(R"({"s": "x", "n": 3.5, "neg": -1})").value();
+  EXPECT_THROW((void)v.at("s").as_int(), std::runtime_error);
+  EXPECT_THROW((void)v.at("n").as_int(), std::runtime_error);     // not integral
+  EXPECT_THROW((void)v.at("neg").as_uint(), std::runtime_error);  // negative
+  EXPECT_THROW((void)v.at("s").as_array(), std::runtime_error);
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_NE(v.find("s"), nullptr);
+}
+
+TEST(Json, IntegerAccessorsAcceptExactCrossKindValues) {
+  // A parsed non-negative integer may land as uint; as_int must accept it
+  // while it fits, and vice versa.
+  const auto v = json::parse(R"({"u": 7, "big": 9223372036854775808})").value();
+  EXPECT_EQ(v.at("u").as_int(), 7);
+  EXPECT_EQ(v.at("u").as_uint(), 7u);
+  EXPECT_EQ(v.at("big").as_uint(), 9223372036854775808ull);
+  EXPECT_THROW((void)v.at("big").as_int(), std::runtime_error);  // > int64 max
+}
+
+TEST(Json, AtomicWriteRoundTrips) {
+  const std::string path = testing::TempDir() + "ibgp_json_atomic.json";
+  json::Object o;
+  o.emplace_back("k", "v");
+  ASSERT_TRUE(json::write_file_atomic(path, json::Value{std::move(o)}));
+  std::string error;
+  const auto back = json::read_file(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->at("k").as_string(), "v");
+  std::remove(path.c_str());
+  EXPECT_FALSE(json::read_file(path, &error).has_value());
+  EXPECT_NE(error.find(path), std::string::npos);
 }
 
 }  // namespace
