@@ -1,0 +1,69 @@
+// wire_client — deterministic ibgp-wire-v1 stream generator for ibgpd.
+//
+//   $ ./wire_client --figure fig1a --protocol modified --seed 7 --records 80 > stream.jsonl
+//   $ ./wire_client --figure fig1a --seed 7 --records 80 --skip 25 > tail.jsonl
+//
+// The same seed always produces the same byte stream; --skip K re-emits
+// the hello and then everything *after* the first K post-hello lines —
+// exactly the tail a resumed daemon needs after being SIGKILLed at reply
+// number K+1 (hello-ok + K line replies flushed).  The chaos gate in CI
+// leans on both properties.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "daemon/stream.hpp"
+#include "topo/figures.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibgp;
+
+  util::Flags flags("wire_client", "seeded ibgp-wire-v1 stream generator");
+  flags.add_string("figure", "fig1a", "figure instance");
+  flags.add_string("protocol", "modified", "standard|walton|modified");
+  flags.add_int("seed", 1, "stream seed");
+  flags.add_int("records", 64, "state records to generate");
+  flags.add_double("query-rate", 0.4, "probability of a query between records");
+  flags.add_double("fault-rate", 0.3, "probability a record is a fault");
+  flags.add_int("skip", 0, "re-emit hello, then skip the first N post-hello lines");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),
+                 flags.help_text().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help_text().c_str());
+    return 0;
+  }
+
+  std::optional<core::Instance> instance;
+  for (auto& [label, figure] : topo::all_figures()) {
+    if (label == flags.get_string("figure")) instance = std::move(figure);
+  }
+  if (!instance) {
+    std::fprintf(stderr, "wire_client: unknown figure '%s'\n",
+                 std::string(flags.get_string("figure")).c_str());
+    return 2;
+  }
+
+  core::ProtocolKind protocol = core::ProtocolKind::kModified;
+  if (flags.get_string("protocol") == "standard") protocol = core::ProtocolKind::kStandard;
+  else if (flags.get_string("protocol") == "walton") protocol = core::ProtocolKind::kWalton;
+
+  daemon::StreamOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.state_records = static_cast<std::size_t>(flags.get_int("records"));
+  options.query_rate = flags.get_double("query-rate");
+  options.fault_rate = flags.get_double("fault-rate");
+
+  const auto lines = daemon::generate_stream(*instance, protocol, options);
+  const std::size_t skip = static_cast<std::size_t>(flags.get_int("skip"));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i != 0 && i <= skip) continue;  // line 0 is the hello; always re-emit it
+    std::fputs(lines[i].c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}

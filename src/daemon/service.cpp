@@ -1,0 +1,165 @@
+#include "daemon/service.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace ibgp::daemon {
+
+int DaemonService::drain_pipe_write_fd = -1;
+
+DaemonService::DaemonService(Daemon& daemon, int in_fd, std::FILE* out,
+                             ServiceOptions options)
+    : daemon_(daemon),
+      in_fd_(in_fd),
+      out_(out),
+      options_(options),
+      queue_(options.queue_capacity),
+      watchdog_(&daemon.metrics(), options.watchdog) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    drain_pipe_read_fd_ = fds[0];
+    drain_pipe_write_fd = fds[1];
+  }
+}
+
+DaemonService::~DaemonService() {
+  if (drain_pipe_read_fd_ >= 0) ::close(drain_pipe_read_fd_);
+  if (drain_pipe_write_fd >= 0) {
+    ::close(drain_pipe_write_fd);
+    drain_pipe_write_fd = -1;
+  }
+}
+
+void DaemonService::request_drain() {
+  // Async-signal-safe: a single write.  Level-triggered on the reader's
+  // poll(), so a request before run() still drains immediately.
+  if (drain_pipe_write_fd >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t ignored = ::write(drain_pipe_write_fd, &byte, 1);
+  }
+}
+
+void DaemonService::reader_loop() {
+  std::string pending;          // bytes read but not yet newline-terminated
+  bool discarding = false;      // inside an over-limit line: count, don't store
+  bool drain = false;
+  char buf[65536];
+  while (!drain) {
+    pollfd fds[2];
+    fds[0].fd = in_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = drain_pipe_read_fd_;
+    fds[1].events = POLLIN;
+    const int n = ::poll(fds, drain_pipe_read_fd_ >= 0 ? 2 : 1, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (drain_pipe_read_fd_ >= 0 && (fds[1].revents & POLLIN) != 0) {
+      drain = true;  // stop intake; what's already queued still answers
+      break;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    ssize_t got = -1;
+    do {
+      got = ::read(in_fd_, buf, sizeof buf);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) break;  // EOF or hard error: end of intake
+    for (ssize_t i = 0; i < got; ++i) {
+      const char c = buf[i];
+      if (c == '\n') {
+        if (!discarding) {
+          if (!pending.empty()) {
+            const bool is_query = classify_query(pending);
+            queue_.push(std::move(pending), is_query);
+          }
+        } else {
+          // The oversized prefix was already enqueued (and will be
+          // answered with a structured oversize error); the rest of the
+          // line was dropped unread.
+          discarding = false;
+        }
+        pending.clear();
+        continue;
+      }
+      if (discarding) continue;
+      pending += c;
+      if (pending.size() > kMaxLineBytes) {
+        // Bound memory against endless unterminated lines: ship the
+        // over-limit prefix now, skip bytes until the newline.
+        queue_.push(std::move(pending), /*is_query=*/true);
+        pending.clear();
+        discarding = true;
+      }
+    }
+  }
+  if (!drain && !pending.empty() && !discarding) {
+    // Final line without trailing newline still deserves a reply.
+    const bool is_query = classify_query(pending);
+    queue_.push(std::move(pending), is_query);
+  }
+  queue_.push_eos();
+}
+
+int DaemonService::run() {
+  if (options_.watchdog_enabled) watchdog_.start();
+  daemon_.set_health_source([this] {
+    util::json::Object service;
+    service.emplace_back("queue_depth", static_cast<std::uint64_t>(queue_.depth()));
+    service.emplace_back("queue_capacity", static_cast<std::uint64_t>(options_.queue_capacity));
+    service.emplace_back("sheds", static_cast<std::uint64_t>(queue_.sheds()));
+    service.emplace_back("watchdog_stalls", watchdog_.stalls());
+    service.emplace_back("heartbeat_age_ms",
+                         static_cast<std::int64_t>(watchdog_.heartbeat_age().count()));
+    return service;
+  });
+
+  std::thread reader([this] { reader_loop(); });
+
+  std::uint64_t replies = 0;
+  auto emit = [&](const std::string& reply) {
+    std::fwrite(reply.data(), 1, reply.size(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    ++replies;
+    if (options_.kill_after != 0 && replies >= options_.kill_after) {
+      // Chaos-gate hook: die hard at an exact reply boundary.  Everything
+      // acknowledged so far is fsync'd in the WAL; nothing else may be.
+      std::raise(SIGKILL);
+    }
+  };
+
+  while (true) {
+    IngestItem item = queue_.pop();
+    if (item.eos) break;
+    if (item.shed) {
+      daemon_.metrics().counter("daemon.sheds", obs::MetricClass::kVolatile).increment();
+      emit(error_reply(item.shed_code, item.shed_code == ErrorCode::kOverload
+                                           ? "ingest queue full of route state; query refused"
+                                           : "query shed under overload (oldest first)"));
+      continue;
+    }
+    watchdog_.begin_record();
+    const std::string reply = daemon_.handle_line(item.line);
+    watchdog_.end_record();
+    emit(reply);
+  }
+
+  // Graceful drain: intake is closed and every queued line has answered;
+  // flush the engine, cut the final checkpoint, and say goodbye.  When the
+  // stream already ended with an explicit `drain` record this is a no-op
+  // apart from re-emitting the (byte-identical) drained line.
+  if (daemon_.hello_done() && !daemon_.drained()) emit(daemon_.drain());
+
+  reader.join();
+  watchdog_.stop();
+  daemon_.set_health_source(nullptr);
+  return 0;
+}
+
+}  // namespace ibgp::daemon

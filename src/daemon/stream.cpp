@@ -1,0 +1,157 @@
+#include "daemon/stream.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "daemon/wire.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace ibgp::daemon {
+
+namespace json = util::json;
+
+namespace {
+
+std::string render(json::Object fields) { return json::Value(std::move(fields)).dump_compact(); }
+
+}  // namespace
+
+std::vector<std::string> generate_stream(const core::Instance& instance,
+                                         core::ProtocolKind protocol,
+                                         const StreamOptions& options) {
+  util::Xoshiro256 rng(options.seed);
+  std::vector<std::string> lines;
+  lines.reserve(options.state_records * 2 + 4);
+
+  {
+    json::Object hello;
+    hello.emplace_back("ev", "hello");
+    hello.emplace_back("schema", kWireSchema);
+    hello.emplace_back("instance", instance.name());
+    hello.emplace_back("protocol", core::protocol_name(protocol));
+    lines.push_back(render(std::move(hello)));
+  }
+
+  const std::size_t nodes = instance.node_count();
+  const std::size_t paths = instance.exits().size();
+  const auto sessions = instance.sessions().edges();
+  const auto links = instance.physical().links();
+
+  // Alternation state so faults mostly pair up (down then up, crash then
+  // restart) instead of piling error replies; the generator stays valid
+  // against the live topology without talking to the daemon.
+  std::vector<bool> node_down(nodes, false);
+  std::vector<bool> session_down(sessions.size(), false);
+  std::vector<bool> link_down(links.size(), false);
+  std::vector<bool> path_live(paths, false);
+
+  auto push_query = [&] {
+    json::Object q;
+    q.emplace_back("ev", "query");
+    switch (rng.below(5)) {
+      case 0:
+        q.emplace_back("q", "best");
+        q.emplace_back("node", static_cast<std::uint64_t>(rng.below(nodes)));
+        break;
+      case 1:
+        q.emplace_back("q", "path");
+        q.emplace_back("node", static_cast<std::uint64_t>(rng.below(nodes)));
+        break;
+      case 2:
+        q.emplace_back("q", "status");
+        break;
+      case 3:
+        q.emplace_back("q", "stats");
+        break;
+      default: {
+        // Sandboxed what-if; same shapes as the fault generator below but
+        // with no state to track (nothing is applied).
+        q.emplace_back("q", "whatif");
+        const std::uint64_t pick = rng.below(3);
+        if (pick == 0 && !sessions.empty()) {
+          const auto& edge = sessions[rng.below(sessions.size())];
+          q.emplace_back("kind", "session-down");
+          q.emplace_back("a", static_cast<std::uint64_t>(edge.u));
+          q.emplace_back("b", static_cast<std::uint64_t>(edge.v));
+        } else if (pick == 1 && !links.empty()) {
+          const auto& link = links[rng.below(links.size())];
+          q.emplace_back("kind", "link-cost");
+          q.emplace_back("a", static_cast<std::uint64_t>(link.a));
+          q.emplace_back("b", static_cast<std::uint64_t>(link.b));
+          q.emplace_back("cost", static_cast<std::int64_t>(1 + rng.below(100)));
+        } else {
+          q.emplace_back("kind", "crash");
+          q.emplace_back("a", static_cast<std::uint64_t>(rng.below(nodes)));
+        }
+        break;
+      }
+    }
+    lines.push_back(render(std::move(q)));
+  };
+
+  SimTime t = 0;
+  for (std::uint64_t seq = 1; seq <= options.state_records; ++seq) {
+    t += rng.below(options.max_step + 1);
+
+    json::Object rec;
+    const bool want_fault = rng.chance(options.fault_rate) || paths == 0;
+    if (!want_fault) {
+      const std::size_t p = rng.below(paths);
+      const char* ev = path_live[p] && rng.chance(0.4) ? "withdraw" : "announce";
+      path_live[p] = (ev[0] == 'a');
+      rec.emplace_back("ev", ev);
+      rec.emplace_back("seq", seq);
+      rec.emplace_back("t", t);
+      rec.emplace_back("path", static_cast<std::uint64_t>(p));
+    } else {
+      rec.emplace_back("ev", "fault");
+      rec.emplace_back("seq", seq);
+      rec.emplace_back("t", t);
+      const std::uint64_t family = rng.below(3);
+      if (family == 0 && !sessions.empty()) {
+        const std::size_t s = rng.below(sessions.size());
+        rec.emplace_back("kind", session_down[s] ? "session-up" : "session-down");
+        session_down[s] = !session_down[s];
+        rec.emplace_back("a", static_cast<std::uint64_t>(sessions[s].u));
+        rec.emplace_back("b", static_cast<std::uint64_t>(sessions[s].v));
+      } else if (family == 1 && !links.empty()) {
+        const std::size_t l = rng.below(links.size());
+        if (rng.chance(0.5)) {
+          rec.emplace_back("kind", "link-cost");
+          rec.emplace_back("a", static_cast<std::uint64_t>(links[l].a));
+          rec.emplace_back("b", static_cast<std::uint64_t>(links[l].b));
+          rec.emplace_back("cost", static_cast<std::int64_t>(1 + rng.below(200)));
+        } else {
+          rec.emplace_back("kind", link_down[l] ? "link-up" : "link-down");
+          link_down[l] = !link_down[l];
+          rec.emplace_back("a", static_cast<std::uint64_t>(links[l].a));
+          rec.emplace_back("b", static_cast<std::uint64_t>(links[l].b));
+        }
+      } else {
+        const NodeId v = static_cast<NodeId>(rng.below(nodes));
+        rec.emplace_back("kind", node_down[v] ? "restart" : "crash");
+        node_down[v] = !node_down[v];
+        rec.emplace_back("a", static_cast<std::uint64_t>(v));
+      }
+    }
+    lines.push_back(render(std::move(rec)));
+
+    if (rng.chance(options.query_rate)) push_query();
+  }
+
+  {
+    json::Object stats;
+    stats.emplace_back("ev", "query");
+    stats.emplace_back("q", "stats");
+    lines.push_back(render(std::move(stats)));
+  }
+  {
+    json::Object drain;
+    drain.emplace_back("ev", "drain");
+    lines.push_back(render(std::move(drain)));
+  }
+  return lines;
+}
+
+}  // namespace ibgp::daemon

@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic ibgp-wire-v1 stream generator.
+//
+// Produces, from one 64-bit seed, a reproducible client session: hello,
+// then `state_records` timestamped announces/withdraws/faults (strictly
+// increasing seq, non-decreasing t, every fault aimed at a real session,
+// link, or node of the instance) with read-only queries interleaved, and
+// finally a `stats` query and `drain`.  The same seed always yields the
+// same byte stream, which is what lets the chaos gate and the
+// kill-at-every-record oracle diff replies between an interrupted and an
+// uninterrupted run.
+//
+// Health queries are deliberately never generated: their replies carry
+// volatile service numbers (queue depth, heartbeat age) and would break
+// byte-identity across runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "daemon/wire.hpp"
+
+namespace ibgp::daemon {
+
+struct StreamOptions {
+  std::uint64_t seed = 1;
+  /// Number of state records (announce / withdraw / fault).
+  std::size_t state_records = 64;
+  /// Probability of emitting a query between consecutive state records.
+  double query_rate = 0.4;
+  /// Probability that a state record is a fault rather than an
+  /// announce/withdraw.
+  double fault_rate = 0.3;
+  /// Maximum timestamp advance between state records (t is non-decreasing;
+  /// a zero advance — two records at the same instant — is deliberately
+  /// possible and legal).
+  SimTime max_step = 40;
+};
+
+/// Generates the full session as wire lines (no trailing newlines).
+/// Line 0 is always the hello.
+std::vector<std::string> generate_stream(const core::Instance& instance,
+                                         core::ProtocolKind protocol,
+                                         const StreamOptions& options);
+
+}  // namespace ibgp::daemon

@@ -1,0 +1,80 @@
+#include "daemon/watchdog.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibgp::daemon {
+
+Watchdog::Watchdog(obs::MetricsRegistry* registry, Options options)
+    : options_(options), last_beat_ms_(now_ms()) {
+  if (registry != nullptr) {
+    stall_counter_ =
+        &registry->counter("daemon.watchdog_stalls", obs::MetricClass::kVolatile);
+  }
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::int64_t Watchdog::now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Watchdog::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::begin_record() {
+  last_beat_ms_.store(now_ms(), std::memory_order_relaxed);
+  busy_.store(true, std::memory_order_release);
+}
+
+void Watchdog::end_record() {
+  busy_.store(false, std::memory_order_release);
+  last_beat_ms_.store(now_ms(), std::memory_order_relaxed);
+}
+
+std::chrono::milliseconds Watchdog::heartbeat_age() const {
+  return std::chrono::milliseconds(now_ms() - last_beat_ms_.load(std::memory_order_relaxed));
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, options_.interval, [&] { return stop_requested_; });
+    if (stop_requested_) break;
+    if (!busy_.load(std::memory_order_acquire)) {
+      stall_reported_ = false;  // idle: the next stall is a fresh one
+      continue;
+    }
+    const auto age = heartbeat_age();
+    if (age < options_.stall_after) continue;
+    if (stall_reported_) continue;  // keep reporting one stall per stuck record
+    stall_reported_ = true;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (stall_counter_ != nullptr) stall_counter_->increment();
+    std::fprintf(stderr,
+                 "ibgpd watchdog: record in flight for %lld ms (threshold %lld ms)\n",
+                 static_cast<long long>(age.count()),
+                 static_cast<long long>(options_.stall_after.count()));
+    if (options_.fatal) {
+      std::fprintf(stderr, "ibgpd watchdog: fatal mode, aborting\n");
+      std::abort();
+    }
+  }
+}
+
+}  // namespace ibgp::daemon

@@ -1,0 +1,67 @@
+#pragma once
+// Liveness watchdog for the daemon's processing thread.
+//
+// The processing thread beats the watchdog around every line it handles;
+// a background thread wakes on `interval` and, when a line has been *in
+// flight* (busy) for longer than `stall_after`, records a stall — as the
+// volatile metric "daemon.watchdog_stalls", a stderr warning, and
+// optionally (fatal mode) an abort so an external supervisor can restart
+// the process and exercise the crash-recovery path.  Idle time never
+// counts as a stall: only a heartbeat that stopped *mid-record* does.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace ibgp::daemon {
+
+class Watchdog {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{200};
+    std::chrono::milliseconds stall_after{5000};
+    bool fatal = false;  ///< abort() on stall (external-supervisor restart mode)
+  };
+
+  /// `registry` may be nullptr (no metric mirroring).  Construction does
+  /// not start the thread; call start().
+  Watchdog(obs::MetricsRegistry* registry, Options options);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start();
+  void stop();
+
+  /// Processing thread: mark a record in flight / completed.  beat() is
+  /// called on both edges so heartbeat_age() is fresh either way.
+  void begin_record();
+  void end_record();
+
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::chrono::milliseconds heartbeat_age() const;
+
+ private:
+  void run();
+  static std::int64_t now_ms();
+
+  Options options_;
+  obs::Counter* stall_counter_ = nullptr;
+  std::atomic<std::int64_t> last_beat_ms_;
+  std::atomic<bool> busy_{false};
+  std::atomic<std::uint64_t> stalls_{0};
+  bool stall_reported_ = false;  // watchdog thread only: one report per stall
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ibgp::daemon

@@ -855,6 +855,16 @@ void EventEngine::apply_link_fault(EventKind kind, NodeId a, NodeId b, Cost cost
 }
 
 EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
+  return run_impl(max_deliveries, std::nullopt);
+}
+
+EventEngine::Result EventEngine::run_until(SimTime horizon,
+                                           std::size_t max_deliveries) {
+  return run_impl(max_deliveries, horizon);
+}
+
+EventEngine::Result EventEngine::run_impl(std::size_t max_deliveries,
+                                          std::optional<SimTime> horizon) {
   sealed_ = true;
   Result result;
   // A restored engine continues the captured run: deliveries/end_time start
@@ -866,6 +876,7 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
   resume_deliveries_ = 0;
   resume_end_time_ = 0;
   while (!queue_.empty() && result.deliveries < max_deliveries) {
+    if (horizon && queue_.top().time > *horizon) break;
     if (deadline_ && (result.deliveries & 0xFFF) == 0 &&
         std::chrono::steady_clock::now() >= *deadline_) {
       throw DeadlineExceeded("EventEngine::run: wall-clock deadline exceeded");
@@ -982,7 +993,8 @@ EventEngine::Result EventEngine::run(std::size_t max_deliveries) {
     }
   }
 
-  result.converged = queue_.empty();
+  result.converged =
+      queue_.empty() || (horizon && queue_.top().time > *horizon);
   result.budget_exhausted = result.deliveries >= max_deliveries;
   result.events_pending = queue_.size();
   if (!queue_.empty()) {

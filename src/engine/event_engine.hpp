@@ -373,6 +373,17 @@ class EventEngine {
   /// of the equivalent uninterrupted run, not of the remainder).
   Result run(std::size_t max_deliveries = 1'000'000);
 
+  /// Like run(), but also stops (without draining) as soon as the next
+  /// pending event lies strictly after `horizon` — the cooperative stepping
+  /// hook a long-lived service needs to interleave ingest with processing.
+  /// Events AT the horizon are processed.  The returned Result's
+  /// `converged` means "quiescent up to and including horizon": either the
+  /// queue drained or everything left is scheduled later.  Repeated calls
+  /// with increasing horizons are equivalent to one call with the final
+  /// horizon (same deterministic (time, seq) order), which is what makes
+  /// daemon replay-after-crash byte-identical to an uninterrupted run.
+  Result run_until(SimTime horizon, std::size_t max_deliveries = 1'000'000);
+
   /// Arms (or, with nullopt, disarms) a cooperative wall-clock deadline for
   /// run(): checked every few thousand deliveries, an expired deadline makes
   /// run() throw DeadlineExceeded between two events.  Purely an execution
@@ -631,6 +642,7 @@ class EventEngine {
   /// Pushes the counters accumulated since the last flush into metrics_
   /// (deltas, so repeated run() calls never double-count).
   void flush_metrics(const Result& result);
+  Result run_impl(std::size_t max_deliveries, std::optional<SimTime> horizon);
   void emit_trace_preamble();
   void apply_session_down(NodeId u, NodeId v, SimTime now);
   void apply_session_up(NodeId u, NodeId v, SimTime now);

@@ -55,6 +55,10 @@ struct CellError {
   std::string message;         ///< the exception's what() text
   std::uint32_t attempts = 1;  ///< total attempts, retries included
   bool timed_out = false;      ///< DeadlineExceeded (vs a deterministic throw)
+  /// Deadline budget (ms) granted to each attempt, in order — the
+  /// supervisor's doubling-backoff history, so a timed-out cell is
+  /// diagnosable from the sweep JSON alone ("failed even at 8x").
+  std::vector<std::uint64_t> deadlines_tried;
 };
 
 struct CampaignResult {

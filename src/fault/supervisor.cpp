@@ -355,8 +355,11 @@ SweepResult run_sweep(std::span<const SweepCell> cells, const SweepOptions& opti
     CampaignOptions opts = cell.options;
     if (options.cell_deadline.count() > 0) opts.deadline = options.cell_deadline;
     std::uint32_t attempts = 0;
+    std::vector<std::uint64_t> deadlines_tried;
     for (;;) {
       ++attempts;
+      deadlines_tried.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(opts.deadline).count()));
       try {
         result.cells[i] = run_campaign(*cell.instance, cell.protocol, cell.script, opts);
         break;
@@ -371,7 +374,8 @@ SweepResult run_sweep(std::span<const SweepCell> cells, const SweepOptions& opti
         }
         if (options.strict) throw;
         CampaignResult failed;
-        failed.error = CellError{e.what(), attempts, /*timed_out=*/true};
+        failed.error = CellError{e.what(), attempts, /*timed_out=*/true,
+                                 deadlines_tried};
         result.cells[i] = std::move(failed);
         bump("supervisor.cell_errors");
         break;
@@ -379,7 +383,8 @@ SweepResult run_sweep(std::span<const SweepCell> cells, const SweepOptions& opti
         // Deterministic throw: retrying replays the same failure, so don't.
         if (options.strict) throw;
         CampaignResult failed;
-        failed.error = CellError{e.what(), attempts, /*timed_out=*/false};
+        failed.error = CellError{e.what(), attempts, /*timed_out=*/false,
+                                 deadlines_tried};
         result.cells[i] = std::move(failed);
         bump("supervisor.cell_errors");
         break;

@@ -75,6 +75,12 @@ util::json::Value sweep_json(std::span<const SweepCell> cells, const SweepResult
       error.emplace_back("message", campaign.error->message);
       error.emplace_back("attempts", campaign.error->attempts);
       error.emplace_back("timed_out", campaign.error->timed_out);
+      // Additive within v4: per-attempt deadline budgets (ms), in order.
+      Array tried;
+      for (const std::uint64_t ms : campaign.error->deadlines_tried) {
+        tried.emplace_back(ms);
+      }
+      error.emplace_back("deadlines_tried", std::move(tried));
       row.emplace_back("error", std::move(error));
     } else {
       row.emplace_back("error", Value(nullptr));

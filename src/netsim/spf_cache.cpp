@@ -17,8 +17,9 @@ std::shared_ptr<const ShortestPaths> SpfCache::get(std::span<const Cost> effecti
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++stats_.hits;
+    it->second.last_use = ++use_tick_;
     if (hits_ != nullptr) hits_->increment();
-    return it->second;
+    return it->second.spf;
   }
   ++stats_.misses;
   ++stats_.inserts;
@@ -34,13 +35,43 @@ std::shared_ptr<const ShortestPaths> SpfCache::get(std::span<const Cost> effecti
     if (key[i] != kInfCost) churned.add_link(links[i].a, links[i].b, key[i]);
   }
   auto spf = std::make_shared<const ShortestPaths>(churned);
-  cache_.emplace(std::move(key), spf);
+  if (capacity_ != 0 && cache_.size() >= capacity_) evict_lru_locked();
+  Entry entry;
+  entry.spf = spf;
+  entry.last_use = ++use_tick_;
+  entry.pinned = cache_.empty();  // first key ever inserted = base epoch
+  cache_.emplace(std::move(key), std::move(entry));
   return spf;
+}
+
+void SpfCache::evict_lru_locked() {
+  auto victim = cache_.end();
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->second.pinned) continue;
+    if (victim == cache_.end() || it->second.last_use < victim->second.last_use) {
+      victim = it;
+    }
+  }
+  if (victim == cache_.end()) return;  // only the pinned base left
+  cache_.erase(victim);
+  ++stats_.evictions;
+  if (evictions_ != nullptr) evictions_->increment();
 }
 
 std::size_t SpfCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.size();
+}
+
+void SpfCache::set_capacity(std::size_t max_epochs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = max_epochs;
+  if (capacity_ == 0) return;
+  while (cache_.size() > capacity_) {
+    const std::size_t before = cache_.size();
+    evict_lru_locked();
+    if (cache_.size() == before) break;  // nothing evictable remains
+  }
 }
 
 SpfCacheStats SpfCache::stats() const {
@@ -51,12 +82,13 @@ SpfCacheStats SpfCache::stats() const {
 void SpfCache::attach_metrics(obs::MetricsRegistry* registry) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (registry == nullptr) {
-    hits_ = misses_ = inserts_ = nullptr;
+    hits_ = misses_ = inserts_ = evictions_ = nullptr;
     return;
   }
   hits_ = &registry->counter("spf.hits", obs::MetricClass::kVolatile);
   misses_ = &registry->counter("spf.misses", obs::MetricClass::kVolatile);
   inserts_ = &registry->counter("spf.inserts", obs::MetricClass::kVolatile);
+  evictions_ = &registry->counter("spf.evictions", obs::MetricClass::kVolatile);
 }
 
 }  // namespace ibgp::netsim

@@ -36,7 +36,8 @@ namespace ibgp::netsim {
 struct SpfCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t inserts = 0;  ///< == misses: every miss materializes an epoch
+  std::uint64_t inserts = 0;   ///< == misses: every miss materializes an epoch
+  std::uint64_t evictions = 0; ///< LRU evictions (0 while unbounded)
 };
 
 class SpfCache {
@@ -53,6 +54,19 @@ class SpfCache {
   /// Distinct epochs materialized so far (>= 1 once the base was queried).
   [[nodiscard]] std::size_t size() const;
 
+  /// Bounds the number of memoized epochs.  0 (the default) means
+  /// unbounded — the batch/sweep contract, where "reverting to previously
+  /// seen costs returns the identical object" must hold forever.  A
+  /// long-lived daemon under IGP churn sets a cap instead: when a miss
+  /// would exceed it, the least-recently-used epoch is evicted (counted in
+  /// stats().evictions and the volatile metric "spf.evictions").  The
+  /// *base* epoch — the first key ever inserted, primed by the owning
+  /// Instance — is never evicted, so the steady-state graph stays warm and
+  /// pointer-stable.  Engines keep their current epoch alive via
+  /// shared_ptr, so eviction never invalidates an in-use epoch; a revisit
+  /// after eviction simply recomputes the same pure value.
+  void set_capacity(std::size_t max_epochs);
+
   /// Lookup counters since construction.  The base epoch is computed when
   /// the owning Instance primes the cache, so it costs exactly one miss at
   /// construction time and every later base-vector lookup is a hit (tested
@@ -65,13 +79,24 @@ class SpfCache {
   void attach_metrics(obs::MetricsRegistry* registry);
 
  private:
+  struct Entry {
+    std::shared_ptr<const ShortestPaths> spf;
+    std::uint64_t last_use = 0;  ///< tick of the most recent get() touch
+    bool pinned = false;         ///< base epoch: never evicted
+  };
+
+  void evict_lru_locked();  // requires mutex_ held; skips pinned entries
+
   PhysicalGraph base_;
   mutable std::mutex mutex_;
-  std::map<std::vector<Cost>, std::shared_ptr<const ShortestPaths>> cache_;
+  std::map<std::vector<Cost>, Entry> cache_;
   SpfCacheStats stats_;  // guarded by mutex_
+  std::size_t capacity_ = 0;   // 0 = unbounded
+  std::uint64_t use_tick_ = 0; // monotonically increasing LRU clock
   obs::Counter* hits_ = nullptr;
   obs::Counter* misses_ = nullptr;
   obs::Counter* inserts_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 }  // namespace ibgp::netsim

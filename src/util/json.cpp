@@ -1,6 +1,10 @@
 #include "util/json.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -157,14 +161,60 @@ bool write_file(const std::string& path, const Value& value) {
   return (std::fclose(file) == 0) && ok;
 }
 
+namespace {
+
+// write(2) the whole buffer, retrying short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::write(fd, data + done, size - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+bool fsync_retry(int fd) {
+  int rc = -1;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  return rc == 0;
+}
+
+// fsync the directory holding `path` so a completed rename survives power
+// loss.  Best effort: some filesystems refuse O_RDONLY directory fds, and a
+// failure here leaves the file itself already complete and renamed.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = open_retry(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  fsync_retry(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 bool write_file_atomic(const std::string& path, const Value& value) {
   const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) return false;
+  const int fd = open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
   const std::string text = value.dump();
-  bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
-  ok = (std::fflush(file) == 0) && ok;
-  ok = (std::fclose(file) == 0) && ok;
+  bool ok = write_all(fd, text.data(), text.size());
+  ok = fsync_retry(fd) && ok;
+  ok = (::close(fd) == 0) && ok;
   if (!ok) {
     std::remove(tmp.c_str());
     return false;
@@ -173,6 +223,7 @@ bool write_file_atomic(const std::string& path, const Value& value) {
     std::remove(tmp.c_str());
     return false;
   }
+  fsync_parent_dir(path);
   return true;
 }
 
@@ -279,7 +330,8 @@ namespace {
 // checkpoints cannot blow the stack.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
 
   std::optional<Value> run(std::string* error) {
     try {
@@ -295,8 +347,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 96;
-
   [[noreturn]] void fail(const std::string& why) const {
     throw std::runtime_error("offset " + std::to_string(pos_) + ": " + why);
   }
@@ -325,8 +375,8 @@ class Parser {
     return true;
   }
 
-  Value parse_value(int depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
+  Value parse_value(std::size_t depth) {
+    if (depth > options_.max_depth) fail("nesting too deep");
     switch (peek()) {
       case 'n':
         if (!consume_literal("null")) fail("bad literal");
@@ -465,7 +515,7 @@ class Parser {
     return Value(d);
   }
 
-  Value parse_array(int depth) {
+  Value parse_array(std::size_t depth) {
     expect('[');
     Array out;
     skip_ws();
@@ -490,7 +540,7 @@ class Parser {
     }
   }
 
-  Value parse_object(int depth) {
+  Value parse_object(std::size_t depth) {
     expect('{');
     Object out;
     skip_ws();
@@ -501,6 +551,11 @@ class Parser {
     while (true) {
       skip_ws();
       std::string key = parse_string();
+      if (options_.reject_duplicate_keys) {
+        for (const auto& [name, ignored] : out) {
+          if (name == key) fail("duplicate object key \"" + key + "\"");
+        }
+      }
       skip_ws();
       expect(':');
       skip_ws();
@@ -520,13 +575,19 @@ class Parser {
   }
 
   std::string_view text_;
+  ParseOptions options_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 std::optional<Value> parse(std::string_view text, std::string* error) {
-  return Parser(text).run(error);
+  return Parser(text, ParseOptions{}).run(error);
+}
+
+std::optional<Value> parse(std::string_view text, const ParseOptions& options,
+                           std::string* error) {
+  return Parser(text, options).run(error);
 }
 
 std::optional<Value> read_file(const std::string& path, std::string* error) {

@@ -106,16 +106,34 @@ std::string escape(std::string_view text);
 /// file guarantee) when the file cannot be opened or written.
 bool write_file(const std::string& path, const Value& value);
 
-/// Crash-consistent write: dumps to `path + ".tmp"`, flushes, then renames
-/// over `path`.  A reader therefore only ever observes the old complete
-/// file or the new complete file, never a torn write — the property the
-/// checkpoint/journal layer's kill-at-any-instant guarantee rests on.
+/// Crash-consistent write: dumps to `path + ".tmp"`, writes with short-write
+/// and EINTR retry, fsyncs the temp file, renames over `path`, then fsyncs
+/// the containing directory so the rename itself is durable.  A reader
+/// therefore only ever observes the old complete file or the new complete
+/// file, never a torn write — and after a successful return the new file
+/// survives power loss, the property the checkpoint/journal layer's
+/// kill-at-any-instant guarantee rests on.
 bool write_file_atomic(const std::string& path, const Value& value);
+
+/// Parser knobs for hostile input (wire ingest, fuzz corpora).  The
+/// defaults match what `parse(text, error)` always enforced, plus
+/// duplicate-key rejection: every internal writer emits unique keys, so a
+/// duplicate can only come from a corrupt or adversarial document and is
+/// rejected loudly rather than silently shadowed.
+struct ParseOptions {
+  std::size_t max_depth = 96;         ///< max container nesting before "nesting too deep"
+  bool reject_duplicate_keys = true;  ///< duplicate object key -> parse error
+};
 
 /// Parses a complete JSON document.  On failure returns std::nullopt and,
 /// when `error` is non-null, stores a "offset N: reason" diagnostic.
 /// Trailing garbage after the document is an error.
 std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Same, with explicit limits — the wire ingest path parses untrusted lines
+/// with a much smaller depth bound than checkpoint documents need.
+std::optional<Value> parse(std::string_view text, const ParseOptions& options,
+                           std::string* error = nullptr);
 
 /// Reads and parses a whole file.  std::nullopt on open/read/parse failure
 /// (diagnostic includes the path when `error` is non-null).

@@ -524,6 +524,22 @@ TEST(Supervisor, DeadlineTimeoutBecomesStructuredErrorAfterRetries) {
   EXPECT_EQ(registry.counter_value("supervisor.cell_timeouts"), 3u);
   EXPECT_EQ(registry.counter_value("supervisor.cell_retries"), 2u);
   EXPECT_EQ(registry.counter_value("supervisor.cell_errors"), 1u);
+
+  // Retry telemetry: the deadline doubles on every attempt, and the whole
+  // history lands in the error row of the sweep JSON.
+  const auto& tried = result.cells[0].error->deadlines_tried;
+  ASSERT_EQ(tried.size(), 3u);
+  EXPECT_EQ(tried[0], 1u);
+  EXPECT_EQ(tried[1], 2u);
+  EXPECT_EQ(tried[2], 4u);
+
+  const auto doc = sweep_json(cells, result, /*include_timing=*/false);
+  const auto parsed = parse_json(doc.dump());
+  const auto& error_row = parsed.at("cells").as_array().at(0).at("error");
+  const auto& json_tried = error_row.at("deadlines_tried").as_array();
+  ASSERT_EQ(json_tried.size(), 3u);
+  EXPECT_EQ(json_tried.at(0).as_uint(), 1u);
+  EXPECT_EQ(json_tried.at(2).as_uint(), 4u);
 }
 
 }  // namespace

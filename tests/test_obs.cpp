@@ -505,6 +505,57 @@ TEST(SpfCacheMetrics, BaseEpochNeverCountsAsAMiss) {
   inst.spf_cache().attach_metrics(nullptr);
 }
 
+TEST(SpfCacheMetrics, BoundedLruEvictsColdEpochsButNeverTheBase) {
+  const auto inst = topo::fig1a();
+  auto& cache = inst.spf_cache();
+  MetricsRegistry reg;
+  cache.attach_metrics(&reg);
+  cache.set_capacity(3);  // base + 2 churn epochs
+
+  std::vector<Cost> base_costs;
+  for (const auto& link : inst.physical().links()) base_costs.push_back(link.cost);
+  const auto base_epoch = inst.igp_handle();
+
+  auto churned = [&](Cost delta) {
+    auto costs = base_costs;
+    costs.front() += delta;
+    return costs;
+  };
+
+  const auto e1 = cache.get(churned(1));
+  const auto e2 = cache.get(churned(2));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch e1 so e2 is the LRU victim when a fourth epoch arrives.
+  EXPECT_EQ(cache.get(churned(1)).get(), e1.get());
+  const auto e3 = cache.get(churned(3));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(reg.counter_value("spf.evictions"), 1u);
+
+  // e1 survived (still the identical object); e2 was evicted, so asking
+  // again recomputes — a fresh miss, not a corrupted epoch.
+  EXPECT_EQ(cache.get(churned(1)).get(), e1.get());
+  const auto before = cache.stats().misses;
+  const auto e2_again = cache.get(churned(2));
+  EXPECT_EQ(cache.stats().misses, before + 1);
+  EXPECT_EQ(e2_again->cost(0, 1), e2->cost(0, 1));
+
+  // The base epoch is pinned: however much churn flows through, base costs
+  // still resolve to the primed object.
+  for (Cost delta = 10; delta < 30; ++delta) (void)cache.get(churned(delta));
+  EXPECT_EQ(cache.get(base_costs).get(), base_epoch.get());
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Shrinking the cap evicts down to it immediately; the base survives.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(base_costs).get(), base_epoch.get());
+  cache.set_capacity(0);
+  cache.attach_metrics(nullptr);
+}
+
 // --- log level env & single write path ---------------------------------------
 
 TEST(Log, EnvLevelParsingIsCaseInsensitive) {

@@ -373,5 +373,55 @@ TEST(Json, AtomicWriteRoundTrips) {
   EXPECT_NE(error.find(path), std::string::npos);
 }
 
+TEST(Json, AtomicWriteReplacesExistingContent) {
+  const std::string path = testing::TempDir() + "ibgp_json_atomic_overwrite.json";
+  json::Object first;
+  first.emplace_back("gen", 1);
+  ASSERT_TRUE(json::write_file_atomic(path, json::Value{std::move(first)}));
+  json::Object second;
+  second.emplace_back("gen", 2);
+  ASSERT_TRUE(json::write_file_atomic(path, json::Value{std::move(second)}));
+  const auto back = json::read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->at("gen").as_int(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(Json, NestingDepthIsBounded) {
+  // 100 nested arrays: fine under the default limit (96 is plenty for every
+  // schema this repo emits — deeper input is hostile), fatal under a tight one.
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 40; ++i) deep += ']';
+  EXPECT_TRUE(json::parse(deep).has_value());
+
+  json::ParseOptions tight;
+  tight.max_depth = 8;
+  std::string error;
+  EXPECT_FALSE(json::parse(deep, tight, &error).has_value());
+  EXPECT_NE(error.find("too deep"), std::string::npos) << error;
+
+  // Objects count against the same budget.
+  std::string deep_obj = R"({"a": {"a": {"a": {"a": {"a": {"a": {"a": {"a": {"a": 1}}}}}}}}})";
+  EXPECT_TRUE(json::parse(deep_obj).has_value());
+  EXPECT_FALSE(json::parse(deep_obj, tight, &error).has_value());
+}
+
+TEST(Json, DuplicateObjectKeysAreRejectedByDefault) {
+  std::string error;
+  EXPECT_FALSE(json::parse(R"({"a": 1, "a": 2})", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  // Nested duplicates too.
+  EXPECT_FALSE(json::parse(R"({"outer": {"x": 1, "x": 2}})").has_value());
+
+  // Opt-out keeps last-wins legacy behavior available for foreign input.
+  json::ParseOptions lax;
+  lax.reject_duplicate_keys = false;
+  const auto v = json::parse(R"({"a": 1, "a": 2})", lax);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_object().size(), 2u);
+}
+
 }  // namespace
 }  // namespace ibgp::util
