@@ -180,6 +180,7 @@ void report() {
 
   std::printf("\ndecision provenance (whole sweep):\n");
   obs.print_decision_summary();
+  obs.print_span_summary();
 
   if (!bench::config().json_path.empty()) {
     util::json::Object doc;
@@ -188,6 +189,11 @@ void report() {
     doc.emplace_back("experiment", "E16");
     doc.emplace_back("mode", "full");
     doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
+    if (bench::config().profile) {
+      util::json::Object vol;
+      vol.emplace_back("spans", obs.span_volatile_json());
+      doc.emplace_back("volatile", util::json::Value(std::move(vol)));
+    }
     doc.emplace_back("sweep", fault::sweep_json(cells, sweep));
     bench::write_json(util::json::Value(std::move(doc)));
   }
@@ -227,6 +233,7 @@ int smoke() {
                 serial.cells[i].run.igp_epoch_swaps);
   }
   obs.print_decision_summary();
+  obs.print_span_summary();
   const double speedup =
       parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds : 0;
   std::fprintf(stderr, "serial %.3fs, parallel %.3fs on %zu jobs (%.2fx)\n",
@@ -246,9 +253,12 @@ int smoke() {
   doc.emplace_back("bench", "bench_churn");
   doc.emplace_back("experiment", "E16");
   doc.emplace_back("mode", "smoke");
-  doc.emplace_back("volatile", bench::smoke_volatile_json(
-                                   serial.wall_seconds, parallel.wall_seconds,
-                                   parallel.jobs, speedup));
+  util::json::Object vol =
+      bench::smoke_volatile_json(serial.wall_seconds, parallel.wall_seconds,
+                                 parallel.jobs, speedup)
+          .as_object();
+  if (bench::config().profile) vol.emplace_back("spans", obs.span_volatile_json());
+  doc.emplace_back("volatile", util::json::Value(std::move(vol)));
   doc.emplace_back("fingerprint_match", ok);
   doc.emplace_back("metrics_fingerprint", obs.fingerprint_hex());
   doc.emplace_back("sweep", fault::sweep_json(cells, parallel));

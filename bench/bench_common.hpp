@@ -23,6 +23,7 @@
 #include "fault/supervisor.hpp"
 #include "fault/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -50,6 +51,10 @@ namespace ibgp::bench {
 ///                  then degrade to a structured per-cell error record
 ///   --strict       abort the whole sweep on the first failing cell
 ///                  (restores the historical lowest-index-wins policy)
+///   --profile      enable engine.span.* hot-path profiler spans (delivery,
+///                  choose_best, transfer); p50/p95/p99 summaries go to
+///                  stderr + the volatile JSON section — never to stdout,
+///                  which stays byte-identical to a run without the flag
 struct BenchConfig {
   std::size_t jobs = 0;
   std::string json_path;
@@ -60,6 +65,7 @@ struct BenchConfig {
   bool resume = false;
   bool strict = false;
   bool smoke = false;
+  bool profile = false;
   bool json_written = false;  ///< a report already produced its document
 };
 
@@ -88,6 +94,8 @@ inline void strip_common_flags(int& argc, char** argv) {
       config().resume = true;
     } else if (arg == "--strict") {
       config().strict = true;
+    } else if (arg == "--profile") {
+      config().profile = true;
     } else if (const char* jobs = value_of("--jobs")) {
       // Strict parse: "0" means one worker per hardware thread, anything
       // non-numeric, negative, suffixed, or beyond util::kMaxJobs is a
@@ -222,6 +230,9 @@ struct ObsSession {
   void wire(std::vector<fault::SweepCell>& cells, bool with_metrics, bool with_trace) {
     for (auto& cell : cells) {
       cell.options.metrics = with_metrics ? &registry : nullptr;
+      // Spans need a registry to land in; profile rides whichever pass
+      // carries the metrics.
+      cell.options.profile = with_metrics && config().profile;
       cell.options.trace = with_trace ? &trace : nullptr;
     }
   }
@@ -241,6 +252,42 @@ struct ObsSession {
       const auto count = registry.counter_value("engine.decided." + name);
       std::printf("    decided-by %-18s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(count));
+    }
+  }
+
+  /// The span histograms a --profile run populates, in summary order.
+  static constexpr const char* kSpanNames[] = {
+      "engine.span.delivery_ns", "engine.span.decision_ns",
+      "engine.span.transfer_ns", "spf.recompute_ns"};
+
+  /// Volatile JSON object of per-span {count, sum_ns, p50/p95/p99_ns}
+  /// summaries; empty without --profile.  Belongs under a "volatile" key —
+  /// wall time must never land in fingerprinted or diffed output.
+  [[nodiscard]] util::json::Value span_volatile_json() {
+    util::json::Object spans;
+    if (config().profile) {
+      for (const char* name : kSpanNames) {
+        spans.emplace_back(name,
+                           obs::span_summary_json(obs::span_histogram(registry, name)));
+      }
+    }
+    return util::json::Value(std::move(spans));
+  }
+
+  /// Prints the --profile span quantiles to *stderr* — stdout stays
+  /// byte-identical with profiling off (the CI smoke diff and the overhead
+  /// gate both depend on that).  No-op without --profile.
+  void print_span_summary() {
+    if (!config().profile) return;
+    std::fprintf(stderr, "profiler spans (ns):\n");
+    for (const char* name : kSpanNames) {
+      const auto& hist = obs::span_histogram(registry, name);
+      std::fprintf(stderr,
+                   "  %-24s count=%llu p50=%.0f p95=%.0f p99=%.0f\n", name,
+                   static_cast<unsigned long long>(hist.total()),
+                   obs::histogram_quantile(hist, 0.50),
+                   obs::histogram_quantile(hist, 0.95),
+                   obs::histogram_quantile(hist, 0.99));
     }
   }
 

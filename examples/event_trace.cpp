@@ -3,7 +3,7 @@
 //
 //   $ ./event_trace --figure fig3 --scenario churn
 //   $ ./event_trace --figure fig1a --protocol standard --max-deliveries 60
-//   $ ./event_trace --figure fig3 --trace-json /tmp/fig3.jsonl   # ibgp-trace-v1
+//   $ ./event_trace --figure fig3 --trace-json /tmp/fig3.jsonl   # ibgp-trace-v2
 
 #include <cstdio>
 #include <string>
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   flags.add_string("protocol", "standard", "standard|walton|modified");
   flags.add_string("scenario", "all-at-once", "all-at-once|staggered|churn");
   flags.add_int("max-deliveries", 4000, "event budget");
-  flags.add_string("trace-json", "", "write the ibgp-trace-v1 event stream here");
+  flags.add_string("trace-json", "", "write the ibgp-trace-v2 event stream here");
   flags.add_string("log-level", "", "trace|debug|info|warn|error|off (any case)");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),

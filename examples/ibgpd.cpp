@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
   flags.add_int("watchdog-stall-ms", 5000, "in-flight time before a stall is recorded");
   flags.add_bool("watchdog-fatal", false, "abort() on stall (external-supervisor mode)");
   flags.add_int("kill-after", 0, "chaos hook: SIGKILL self after flushing reply #N (0 = off)");
+  flags.add_string("metrics-file", "", "write Prometheus text exposition here (atomic rewrite)");
+  flags.add_int("metrics-interval-ms", 1000, "exposition rewrite cadence for --metrics-file");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),
                  flags.help_text().c_str());
@@ -113,6 +115,8 @@ int main(int argc, char** argv) {
   sopts.watchdog.stall_after = std::chrono::milliseconds(flags.get_int("watchdog-stall-ms"));
   sopts.watchdog.fatal = flags.get_bool("watchdog-fatal");
   sopts.kill_after = static_cast<std::uint64_t>(flags.get_int("kill-after"));
+  sopts.metrics_file = std::string(flags.get_string("metrics-file"));
+  sopts.metrics_interval_ms = std::chrono::milliseconds(flags.get_int("metrics-interval-ms"));
 
   daemon::DaemonService service(*daemon, STDIN_FILENO, stdout, sopts);
 

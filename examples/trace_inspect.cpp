@@ -1,6 +1,6 @@
-// trace_inspect — offline analysis of an ibgp-trace-v1 JSONL stream.
+// trace_inspect — offline analysis of an ibgp-trace-v1/v2 JSONL stream.
 //
-//   trace_inspect TRACE.jsonl [--top N]
+//   trace_inspect TRACE.jsonl [--top N] [--blame]
 //
 // Reads a trace produced with --trace (bench binaries) or TraceSink
 // directly and prints:
@@ -17,6 +17,13 @@
 //   - top talkers (UPDATE senders, voided deliveries included), and
 //   - the fault census by kind.
 //
+// With --blame (needs a v2 trace carrying lid/pid causality): for every
+// oscillating node, walk the causal parent links back from its most recent
+// flip and print the minimal sustaining cycle of (node, session, rule)
+// hops — *which* update, relayed over *which* session, decided by *which*
+// rule keeps the orbit alive.  On Figure 3 this names the B:r3<->r4 and
+// C:r5<->r6 orbits directly.
+//
 // Node and path ids are labeled through the trace's own "node"/"path"
 // directory records (emitted by the engine preamble), so the instance
 // definition is not needed to read a trace.
@@ -30,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -66,18 +74,21 @@ std::size_t smallest_tail_period(const std::vector<std::int64_t>& seq) {
 int main(int argc, char** argv) {
   const char* path = nullptr;
   std::size_t top = 10;
+  bool blame = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--blame") == 0) {
+      blame = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: %s TRACE.jsonl [--top N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s TRACE.jsonl [--top N] [--blame]\n", argv[0]);
       return 2;
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s TRACE.jsonl [--top N]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s TRACE.jsonl [--top N] [--blame]\n", argv[0]);
     return 2;
   }
 
@@ -97,12 +108,14 @@ int main(int argc, char** argv) {
   // with "flip": true), so a repeating tail is a genuine orbit.
   std::map<std::int64_t, std::vector<std::int64_t>> flip_sequences;
 
+  ibgp::obs::CausalGraph graph;
   std::uint64_t lines = 0, bad = 0;
   bool saw_header = false;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ++lines;
+    if (blame) graph.add_line(line);
     const auto record = ibgp::obs::parse_trace_line(line);
     if (!record) {
       ++bad;
@@ -135,7 +148,7 @@ int main(int argc, char** argv) {
   std::printf("%s: %llu lines (%llu unparseable)%s\n", path,
               static_cast<unsigned long long>(lines),
               static_cast<unsigned long long>(bad),
-              saw_header ? "" : " [warning: no ibgp-trace-v1 header]");
+              saw_header ? "" : " [warning: no ibgp-trace header]");
 
   std::printf("\nevent census:\n");
   for (const auto& [ev, count] : event_census) {
@@ -194,6 +207,33 @@ int main(int argc, char** argv) {
     for (const auto& [kind, count] : fault_census) {
       std::printf("  %-16s %llu\n", kind.c_str(),
                   static_cast<unsigned long long>(count));
+    }
+  }
+
+  if (blame) {
+    const auto oscillating = graph.oscillating_nodes();
+    if (graph.update_count() == 0) {
+      std::printf("\nblame: trace carries no lid/pid causality "
+                  "(ibgp-trace-v1? regenerate with a v2 writer)\n");
+    } else if (oscillating.empty()) {
+      std::printf("\nblame: no oscillating nodes\n");
+    } else {
+      std::printf("\nblame chains (minimal sustaining causal cycle per "
+                  "oscillating node):\n");
+      for (const std::int64_t node : oscillating) {
+        const auto chain = graph.blame(node);
+        if (!chain) {
+          std::printf("  %-8s no periodic causal cycle within the walk window\n",
+                      graph.node_name(node).c_str());
+          continue;
+        }
+        std::printf("  %-8s period=%zu (over %zu causal hops):\n",
+                    graph.node_name(node).c_str(), chain->period,
+                    chain->chain_length);
+        for (const auto& hop : chain->cycle) {
+          std::printf("    %s\n", graph.format_hop(hop).c_str());
+        }
+      }
     }
   }
   return 0;

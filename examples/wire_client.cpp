@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   flags.add_double("query-rate", 0.4, "probability of a query between records");
   flags.add_double("fault-rate", 0.3, "probability a record is a fault");
   flags.add_int("skip", 0, "re-emit hello, then skip the first N post-hello lines");
+  flags.add_bool("health", false, "emit a fixed probe: hello, health query, metrics query, drain");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", std::string(flags.error()).c_str(),
                  flags.help_text().c_str());
@@ -51,6 +52,21 @@ int main(int argc, char** argv) {
   core::ProtocolKind protocol = core::ProtocolKind::kModified;
   if (flags.get_string("protocol") == "standard") protocol = core::ProtocolKind::kStandard;
   else if (flags.get_string("protocol") == "walton") protocol = core::ProtocolKind::kWalton;
+
+  if (flags.get_bool("health")) {
+    // Fixed liveness probe, independent of --seed: hello, one health query
+    // (queue depth/HWM, sheds, watchdog numbers), one metrics query (full
+    // registry snapshot), drain.  Pipe it through a running ibgpd to check
+    // the service is answering.
+    std::printf(
+        "{\"ev\":\"hello\",\"schema\":\"ibgp-wire-v1\",\"instance\":\"%s\","
+        "\"protocol\":\"%s\"}\n",
+        instance->name().c_str(), core::protocol_name(protocol));
+    std::printf("{\"ev\":\"query\",\"q\":\"health\"}\n");
+    std::printf("{\"ev\":\"query\",\"q\":\"metrics\"}\n");
+    std::printf("{\"ev\":\"drain\"}\n");
+    return 0;
+  }
 
   daemon::StreamOptions options;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));

@@ -143,7 +143,7 @@ util::json::Value engine_state_json(const engine::EngineState& state) {
     queue.reserve(state.queue.size());
     for (const auto& e : state.queue) {
       Array tuple;
-      tuple.reserve(9);
+      tuple.reserve(10);
       tuple.emplace_back(e.time);
       tuple.emplace_back(e.seq);
       tuple.emplace_back(static_cast<std::uint64_t>(e.kind));
@@ -153,6 +153,11 @@ util::json::Value engine_state_json(const engine::EngineState& state) {
       tuple.emplace_back(static_cast<std::uint64_t>(e.announce ? 1 : 0));
       tuple.emplace_back(e.epoch);
       tuple.emplace_back(static_cast<std::int64_t>(e.cost));
+      // 10th element (since the causal-lineage change): the causal parent
+      // seq, -1 for roots.  Readers accept the pre-lineage 9-tuple too.
+      tuple.emplace_back(e.pid == engine::kNoCause
+                             ? std::int64_t{-1}
+                             : static_cast<std::int64_t>(e.pid));
       queue.emplace_back(std::move(tuple));
     }
     doc.emplace_back("queue", std::move(queue));
@@ -296,7 +301,13 @@ engine::EngineState parse_engine_state(const util::json::Value& doc) {
   state.end_time = get_uint(doc, "end_time");
 
   for (const auto& entry : field(doc, "queue").as_array()) {
-    const auto& tuple = get_tuple(entry, 9, "queue entry");
+    // 9 elements = pre-lineage checkpoint (every pending event becomes a
+    // causal root on restore), 10 = with the trailing pid element.
+    const auto& tuple = entry.as_array();
+    if (tuple.size() != 9 && tuple.size() != 10) {
+      bad("queue entry: expected 9 or 10 elements, got " +
+          std::to_string(tuple.size()));
+    }
     engine::EngineState::PendingEvent e;
     e.time = tuple[0].as_uint();
     e.seq = tuple[1].as_uint();
@@ -309,6 +320,10 @@ engine::EngineState parse_engine_state(const util::json::Value& doc) {
     e.announce = tuple[6].as_uint() != 0;
     e.epoch = tuple[7].as_uint();
     e.cost = tuple[8].as_int();
+    if (tuple.size() == 10) {
+      const std::int64_t pid = tuple[9].as_int();
+      e.pid = pid < 0 ? engine::kNoCause : static_cast<std::uint64_t>(pid);
+    }
     state.queue.push_back(e);
   }
 

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
+#include <iterator>
 #include <stdexcept>
 #include <variant>
 #include <vector>
@@ -16,11 +17,25 @@
 #include "ckpt/checkpoint.hpp"
 #include "core/policy.hpp"
 #include "fault/campaign.hpp"
+#include "obs/span.hpp"
 #include "util/hash.hpp"
 
 namespace ibgp::daemon {
 
 namespace json = util::json;
+
+namespace {
+
+// Wire spelling of each QueryKind, used to name the per-query-kind latency
+// histograms ("daemon.latency.<kind>_ns").
+constexpr const char* kQueryLatencyMetric[] = {
+    "daemon.latency.best_ns",   "daemon.latency.path_ns",
+    "daemon.latency.status_ns", "daemon.latency.stats_ns",
+    "daemon.latency.health_ns", "daemon.latency.whatif_ns",
+    "daemon.latency.metrics_ns",
+};
+
+}  // namespace
 
 void register_daemon_metrics(obs::MetricsRegistry& registry) {
   // Deterministic stream counters: part of the registry fingerprint, so a
@@ -37,6 +52,10 @@ void register_daemon_metrics(obs::MetricsRegistry& registry) {
   registry.counter("daemon.checkpoints", obs::MetricClass::kVolatile);
   registry.counter("daemon.wal_replayed", obs::MetricClass::kVolatile);
   registry.counter("daemon.watchdog_stalls", obs::MetricClass::kVolatile);
+  // Service spans and per-query-kind latencies: wall time, always volatile.
+  obs::span_histogram(registry, "daemon.span.wal_fsync_ns");
+  obs::span_histogram(registry, "daemon.span.ckpt_write_ns");
+  for (const char* name : kQueryLatencyMetric) obs::span_histogram(registry, name);
 }
 
 namespace {
@@ -106,6 +125,12 @@ Daemon::Daemon(std::shared_ptr<core::Instance> instance, core::ProtocolKind prot
     instance_->spf_cache().set_capacity(options_.spf_cache_epochs);
   }
   instance_->spf_cache().attach_metrics(&metrics_);
+
+  wal_fsync_ns_ = &obs::span_histogram(metrics_, "daemon.span.wal_fsync_ns");
+  ckpt_write_ns_ = &obs::span_histogram(metrics_, "daemon.span.ckpt_write_ns");
+  for (std::size_t i = 0; i < std::size(kQueryLatencyMetric); ++i) {
+    query_latency_ns_[i] = &obs::span_histogram(metrics_, kQueryLatencyMetric[i]);
+  }
 
   engine_ = std::make_unique<engine::EventEngine>(*instance_, protocol_);
   engine_->set_metrics(&metrics_);
@@ -228,12 +253,17 @@ bool Daemon::wal_append(std::string_view line) {
   buf += '\n';
   if (!write_all_fd(wal_fd_, buf.data(), buf.size())) return false;
   // fsync BEFORE apply/ack: an acknowledged record is durable by contract.
+  // The span measures exactly the durability cost paid per accepted record.
+  const obs::Span span(wal_fsync_ns_);
   return fsync_retry_fd(wal_fd_);
 }
 
 // --- checkpoint -------------------------------------------------------------
 
 bool Daemon::write_checkpoint() {
+  // Serialization + atomic write, the full stall a checkpoint imposes on
+  // the single-threaded core.
+  const obs::Span span(ckpt_write_ns_);
   json::Object doc;
   doc.emplace_back("schema", kDaemonCkptSchema);
   doc.emplace_back("instance", instance_->name());
@@ -610,6 +640,9 @@ std::string Daemon::handle_state_record(const WireRecord& rec, std::string_view 
 
 std::string Daemon::handle_query(const WireRecord& rec) {
   metrics_.counter("daemon.queries", obs::MetricClass::kVolatile).increment();
+  const auto kind = static_cast<std::size_t>(rec.query);
+  const obs::Span latency_span(
+      kind < std::size(kQueryLatencyMetric) ? query_latency_ns_[kind] : nullptr);
   switch (rec.query) {
     case QueryKind::kBest: {
       if (rec.node >= instance_->node_count()) {
@@ -687,6 +720,20 @@ std::string Daemon::handle_query(const WireRecord& rec) {
       out.emplace_back("applied_seq", applied_seq_);
       if (health_source_) out.emplace_back("service", health_source_());
       out.emplace_back("volatile", metrics_.volatile_json());
+      return render_reply(out);
+    }
+    case QueryKind::kMetrics: {
+      // Full registry snapshot — the wire twin of the --metrics-file
+      // exporter.  Deterministic and volatile sections are both included;
+      // only the deterministic section backs the fingerprint.
+      json::Object out;
+      out.emplace_back("ev", "metrics");
+      out.emplace_back("schema", "ibgp-metrics-v1");
+      out.emplace_back("t", clock_);
+      out.emplace_back("applied_seq", applied_seq_);
+      out.emplace_back("deterministic", metrics_.deterministic_json());
+      out.emplace_back("volatile", metrics_.volatile_json());
+      out.emplace_back("metrics_fingerprint", hex64(metrics_.fingerprint()));
       return render_reply(out);
     }
     case QueryKind::kWhatIf:

@@ -154,6 +154,13 @@ class Daemon {
 
   int wal_fd_ = -1;
   std::function<util::json::Object()> health_source_;
+
+  // Always-on service span sinks (resolved once in the constructor): the
+  // daemon's hot path is I/O bound, so these are not gated like the
+  // engine's set_profile spans.  All volatile — never fingerprinted.
+  obs::Histogram* wal_fsync_ns_ = nullptr;
+  obs::Histogram* ckpt_write_ns_ = nullptr;
+  obs::Histogram* query_latency_ns_[7] = {};  // indexed by QueryKind
 };
 
 /// Pre-registers every daemon metric so registration order (and therefore

@@ -16,6 +16,7 @@
 // cache line and drain at memcpy speed, so they are deliberately not
 // counted against capacity.
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -79,6 +80,7 @@ class IngestQueue {
     item.is_query = is_query;
     items_.push_back(std::move(item));
     ++live_;
+    max_depth_ = std::max(max_depth_, live_);
     can_pop_.notify_one();
   }
 
@@ -113,12 +115,20 @@ class IngestQueue {
     return live_;
   }
 
+  /// High-water mark of live depth since construction — how close the
+  /// stream has come to the shedding cliff (reported in `health`).
+  [[nodiscard]] std::size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
   std::deque<IngestItem> items_;
   std::size_t live_ = 0;   // non-tombstone, non-eos items (capacity applies to these)
+  std::size_t max_depth_ = 0;
   std::size_t sheds_ = 0;
   std::size_t capacity_;
 };

@@ -4,11 +4,37 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 
+#include "obs/exposition.hpp"
+
 namespace ibgp::daemon {
+
+namespace {
+
+// Atomic text write for the exposition file: a scraper reading mid-update
+// sees either the previous complete snapshot or the new one, never a torn
+// half.  (No fsync — a metrics scrape file is not durability-critical.)
+bool write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int DaemonService::drain_pipe_write_fd = -1;
 
@@ -106,11 +132,29 @@ void DaemonService::reader_loop() {
   queue_.push_eos();
 }
 
+void DaemonService::export_metrics() {
+  (void)write_text_atomic(options_.metrics_file,
+                          obs::render_exposition(daemon_.metrics().snapshot()));
+}
+
+void DaemonService::exporter_loop() {
+  std::unique_lock<std::mutex> lock(exporter_mutex_);
+  while (!exporter_stop_) {
+    exporter_cv_.wait_for(lock, options_.metrics_interval_ms,
+                          [&] { return exporter_stop_; });
+    if (exporter_stop_) break;
+    lock.unlock();
+    export_metrics();
+    lock.lock();
+  }
+}
+
 int DaemonService::run() {
   if (options_.watchdog_enabled) watchdog_.start();
   daemon_.set_health_source([this] {
     util::json::Object service;
     service.emplace_back("queue_depth", static_cast<std::uint64_t>(queue_.depth()));
+    service.emplace_back("queue_depth_hwm", static_cast<std::uint64_t>(queue_.max_depth()));
     service.emplace_back("queue_capacity", static_cast<std::uint64_t>(options_.queue_capacity));
     service.emplace_back("sheds", static_cast<std::uint64_t>(queue_.sheds()));
     service.emplace_back("watchdog_stalls", watchdog_.stalls());
@@ -120,6 +164,11 @@ int DaemonService::run() {
   });
 
   std::thread reader([this] { reader_loop(); });
+  std::thread exporter;
+  if (!options_.metrics_file.empty()) {
+    export_metrics();  // scrape targets exist from the first instant
+    exporter = std::thread([this] { exporter_loop(); });
+  }
 
   std::uint64_t replies = 0;
   auto emit = [&](const std::string& reply) {
@@ -157,6 +206,15 @@ int DaemonService::run() {
   if (daemon_.hello_done() && !daemon_.drained()) emit(daemon_.drain());
 
   reader.join();
+  if (exporter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(exporter_mutex_);
+      exporter_stop_ = true;
+    }
+    exporter_cv_.notify_one();
+    exporter.join();
+    export_metrics();  // final snapshot reflects the fully drained stream
+  }
   watchdog_.stop();
   daemon_.set_health_source(nullptr);
   return 0;

@@ -17,8 +17,12 @@
 // number N the service raises SIGKILL against itself, which plants the
 // kill at an exact, reproducible record boundary.
 
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
 
 #include "daemon/daemon.hpp"
 #include "daemon/queue.hpp"
@@ -33,6 +37,12 @@ struct ServiceOptions {
   /// Testing hook: SIGKILL this process right after flushing reply #N
   /// (0 = disabled).
   std::uint64_t kill_after = 0;
+  /// When non-empty, a background thread rewrites this file (atomically:
+  /// tmp + rename) with the Prometheus text exposition of the daemon's
+  /// full metrics registry every `metrics_interval_ms`, plus one final
+  /// write at drain so the last scrape sees the completed stream.
+  std::string metrics_file;
+  std::chrono::milliseconds metrics_interval_ms{1000};
 };
 
 class DaemonService {
@@ -52,6 +62,8 @@ class DaemonService {
 
  private:
   void reader_loop();
+  void exporter_loop();
+  void export_metrics();
 
   Daemon& daemon_;
   int in_fd_;
@@ -59,6 +71,13 @@ class DaemonService {
   ServiceOptions options_;
   IngestQueue queue_;
   Watchdog watchdog_;
+
+  // Metrics-file exporter thread (only started when options_.metrics_file
+  // is set); the cv lets run() cut a final export and join without waiting
+  // out a full interval.
+  std::mutex exporter_mutex_;
+  std::condition_variable exporter_cv_;
+  bool exporter_stop_ = false;
 
   static int drain_pipe_write_fd;  // poked by request_drain()
   int drain_pipe_read_fd_ = -1;

@@ -310,10 +310,11 @@ std::variant<WireRecord, WireError> parse_record(std::string_view line) {
       rec.node = static_cast<NodeId>(*node);
       return rec;
     }
-    if (*q == "status" || *q == "stats" || *q == "health") {
-      rec.query = *q == "status" ? QueryKind::kStatus
-                  : *q == "stats" ? QueryKind::kStats
-                                  : QueryKind::kHealth;
+    if (*q == "status" || *q == "stats" || *q == "health" || *q == "metrics") {
+      rec.query = *q == "status"   ? QueryKind::kStatus
+                  : *q == "stats"  ? QueryKind::kStats
+                  : *q == "health" ? QueryKind::kHealth
+                                   : QueryKind::kMetrics;
       if (const auto bad = fields.unexpected({"ev", "q"})) {
         return make_error(ErrorCode::kBadField, "unexpected field '" + *bad + "'", *doc);
       }

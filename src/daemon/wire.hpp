@@ -74,6 +74,7 @@ enum class QueryKind : std::uint8_t {
   kStats,
   kHealth,
   kWhatIf,
+  kMetrics,  ///< full registry snapshot (deterministic + volatile)
 };
 
 /// One structurally valid wire record.  Fields beyond the record's kind

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/span.hpp"
+
 namespace ibgp::engine {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -110,6 +112,10 @@ void register_event_engine_metrics(obs::MetricsRegistry& registry) {
     registry.counter(rule_metric_name(rule));
   }
   registry.gauge("engine.queue_depth_max");  // schedule-dependent: volatile
+  // Profiler span sinks (set_profile): wall time is volatile by nature.
+  obs::span_histogram(registry, "engine.span.delivery_ns");
+  obs::span_histogram(registry, "engine.span.decision_ns");
+  obs::span_histogram(registry, "engine.span.transfer_ns");
 }
 
 void EventEngine::set_metrics(obs::MetricsRegistry* registry) {
@@ -119,6 +125,7 @@ void EventEngine::set_metrics(obs::MetricsRegistry* registry) {
   }
   metrics_ = registry;
   handles_ = MetricHandles{};
+  profile_ = ProfileHandles{};  // re-enable via set_profile after this call
   if (registry == nullptr) return;
   register_event_engine_metrics(*registry);
   handles_.deliveries = &registry->counter("engine.deliveries");
@@ -140,6 +147,18 @@ void EventEngine::set_metrics(obs::MetricsRegistry* registry) {
     handles_.decided[rule] = &registry->counter(rule_metric_name(rule));
   }
   handles_.queue_depth_max = &registry->gauge("engine.queue_depth_max");
+}
+
+void EventEngine::set_profile(bool enabled) {
+  if (sealed_) {
+    throw std::logic_error(
+        "EventEngine::set_profile: must be called before any event is scheduled");
+  }
+  profile_ = ProfileHandles{};
+  if (!enabled || metrics_ == nullptr) return;
+  profile_.delivery = &obs::span_histogram(*metrics_, "engine.span.delivery_ns");
+  profile_.decision = &obs::span_histogram(*metrics_, "engine.span.decision_ns");
+  profile_.transfer = &obs::span_histogram(*metrics_, "engine.span.transfer_ns");
 }
 
 void EventEngine::set_trace(obs::TraceSink* trace) {
@@ -224,6 +243,9 @@ void EventEngine::push_fault(EventKind kind, NodeId a, NodeId b, SimTime when,
   Event event;
   event.time = when;
   event.seq = next_seq_++;
+  // Script-time faults are lineage roots; repair faults scheduled from a
+  // FaultInjector::on_drop mid-delivery inherit the dropped message's cause.
+  event.pid = cause_;
   event.kind = kind;
   event.from = a;
   event.to = b;
@@ -360,6 +382,7 @@ void EventEngine::push_update(NodeId from, NodeId to, PathId path, bool announce
   event.path = path;
   event.announce = announce;
   event.seq = next_seq_++;
+  event.pid = cause_;  // the delivery being processed caused this send
   event.epoch = session_epoch_[sess(from, to)];
   const SimTime requested = now + delay_(from, to, msg_seq);
   // FIFO per directed session: never deliver before an earlier message on
@@ -411,8 +434,10 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
   // fault the same candidate set can pick a different exit purely because
   // the distances moved.
   bgp::SelectionProvenance provenance;
-  const auto decision =
-      core::decide(*inst_, *igp_, protocol_, u, candidates, &provenance);
+  const auto decision = [&] {
+    const obs::Span span(profile_.live_decision);
+    return core::decide(*inst_, *igp_, protocol_, u, candidates, &provenance);
+  }();
   if (provenance.selected) {
     ++decisions_total_;
     ++decisions_by_rule_[rule_index(provenance.decisive)];
@@ -437,6 +462,10 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
     fields.emplace_back("candidates",
                         static_cast<std::uint64_t>(provenance.candidates));
     fields.emplace_back("flip", old_best != new_best);
+    // Joins the decision into the causal DAG: lid = the delivery that
+    // triggered this reconsideration (decisions never spawn events
+    // themselves, so they carry no pid of their own).
+    if (cause_ != kNoCause) fields.emplace_back("lid", cause_);
     trace_->emit(now, "decision", std::move(fields));
   }
   node.best = decision.best;
@@ -468,6 +497,7 @@ void EventEngine::reconsider(NodeId u, SimTime now) {
 }
 
 void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
+  const obs::Span span(profile_.live_transfer);
   NodeState& node = nodes_[u];
   const NodeId peer = inst_->sessions().peers(u)[peer_index];
   if (!session_up(u, peer)) return;  // nothing flows on a downed session
@@ -482,6 +512,7 @@ void EventEngine::sync_peer(NodeId u, std::size_t peer_index, SimTime now) {
       event.to = peer;
       event.time = node.mrai_ready[peer_index];
       event.seq = next_seq_++;
+      event.pid = cause_;  // the deferral-triggering delivery is the cause
       // Stamped with the session epoch so a flush scheduled before a session
       // reset is voided instead of leaking a stale hold-down advertisement
       // into the re-established session (whose resync already replayed the
@@ -521,6 +552,8 @@ void EventEngine::record_fault(const FaultRecord& record) {
     fields.emplace_back("b", record.b == kNoNode ? std::int64_t{-1}
                                                  : std::int64_t{record.b});
     fields.emplace_back("cost", record.cost);
+    if (cause_ != kNoCause) fields.emplace_back("lid", cause_);
+    if (cause_parent_ != kNoCause) fields.emplace_back("pid", cause_parent_);
     trace_->emit(record.time, "fault", std::move(fields));
   }
 }
@@ -611,6 +644,7 @@ void EventEngine::send_end_of_rib(NodeId v, NodeId w, SimTime now) {
   event.from = v;
   event.to = w;
   event.seq = next_seq_++;
+  event.pid = cause_;  // caused by the restart delivery that replayed the table
   event.epoch = session_epoch_[sess(v, w)];
   const SimTime requested = now + delay_(v, w, session_msg_seq_++);
   SimTime& last = session_last_delivery_[sess(v, w)];
@@ -736,6 +770,7 @@ void EventEngine::apply_graceful_down(NodeId v, SimTime now) {
     Event event;
     event.time = now + stale_timer_;
     event.seq = next_seq_++;
+    event.pid = cause_;  // armed by the graceful-down delivery
     event.kind = EventKind::kStaleExpire;
     event.from = v;
     event.epoch = gr_generation_[v];
@@ -751,6 +786,8 @@ void EventEngine::apply_end_of_rib(NodeId v, NodeId w, std::uint64_t epoch, SimT
     fields.emplace_back("from", v);
     fields.emplace_back("to", w);
     fields.emplace_back("voided", epoch != session_epoch_[sess(v, w)]);
+    if (cause_ != kNoCause) fields.emplace_back("lid", cause_);
+    if (cause_parent_ != kNoCause) fields.emplace_back("pid", cause_parent_);
     trace_->emit(now, "eor", std::move(fields));
   }
   if (epoch != session_epoch_[sess(v, w)]) {
@@ -886,7 +923,18 @@ EventEngine::Result EventEngine::run_impl(std::size_t max_deliveries,
     queue_.pop();
     ++result.deliveries;
     result.end_time = event.time;
+    // Causal cursor for everything this delivery touches: records emitted
+    // during processing carry lid = this event's seq, and events scheduled
+    // during processing inherit it as their pid.
+    cause_ = event.seq;
+    cause_parent_ = event.pid;
 
+    // The switch is the last statement of the loop body, so this span times
+    // exactly one delivery (dispatch + all cascaded work).  arm() decides
+    // whether this delivery is one of the 1-in-64 samples; the nested
+    // decision/transfer spans follow the same verdict.
+    profile_.arm();
+    const obs::Span delivery_span(profile_.live_delivery);
     switch (event.kind) {
       case EventKind::kEbgpAnnounce:
         ebgp_live_[event.path] = true;
@@ -894,6 +942,7 @@ EventEngine::Result EventEngine::run_impl(std::size_t max_deliveries,
           util::json::Object fields;
           fields.emplace_back("path", event.path);
           fields.emplace_back("node", event.to);
+          fields.emplace_back("lid", event.seq);  // injection root: no pid
           trace_->emit(event.time, "ebgp-announce", std::move(fields));
         }
         if (node_up_[event.to]) {
@@ -907,6 +956,7 @@ EventEngine::Result EventEngine::run_impl(std::size_t max_deliveries,
           util::json::Object fields;
           fields.emplace_back("path", event.path);
           fields.emplace_back("node", event.to);
+          fields.emplace_back("lid", event.seq);  // injection root: no pid
           trace_->emit(event.time, "ebgp-withdraw", std::move(fields));
         }
         if (node_up_[event.to]) {
@@ -923,6 +973,8 @@ EventEngine::Result EventEngine::run_impl(std::size_t max_deliveries,
           fields.emplace_back("to", event.to);
           fields.emplace_back("path", event.path);
           fields.emplace_back("announce", event.announce);
+          fields.emplace_back("lid", event.seq);
+          if (event.pid != kNoCause) fields.emplace_back("pid", event.pid);
           trace_->emit(event.time, voided ? "update-voided" : "update",
                        std::move(fields));
         }
@@ -959,6 +1011,17 @@ EventEngine::Result EventEngine::run_impl(std::size_t max_deliveries,
           ++deliveries_voided_;
           break;
         }
+        if (tracing()) {
+          // v2-only record: updates sent by this flush carry pid = this
+          // event's seq, so the flush must appear as a live lid in the DAG
+          // (it is the causal relay between deferral and deferred send).
+          util::json::Object fields;
+          fields.emplace_back("from", event.from);
+          fields.emplace_back("to", event.to);
+          fields.emplace_back("lid", event.seq);
+          if (event.pid != kNoCause) fields.emplace_back("pid", event.pid);
+          trace_->emit(event.time, "mrai-flush", std::move(fields));
+        }
         const std::size_t peer_index = this->peer_index(event.from, event.to);
         nodes_[event.from].flush_scheduled[peer_index] = false;
         sync_peer(event.from, peer_index, event.time);
@@ -992,6 +1055,10 @@ EventEngine::Result EventEngine::run_impl(std::size_t max_deliveries,
         break;
     }
   }
+  // Between runs there is no "current delivery": anything scheduled from
+  // outside (daemon ingest, scripting against a resumed engine) is a root.
+  cause_ = kNoCause;
+  cause_parent_ = kNoCause;
 
   result.converged =
       queue_.empty() || (horizon && queue_.top().time > *horizon);
@@ -1107,6 +1174,7 @@ EngineState EventEngine::capture() const {
     EngineState::PendingEvent out;
     out.time = event.time;
     out.seq = event.seq;
+    out.pid = event.pid;
     out.kind = static_cast<std::uint8_t>(event.kind);
     out.from = event.from;
     out.to = event.to;
@@ -1315,6 +1383,7 @@ void EventEngine::restore(const EngineState& state) {
     Event event;
     event.time = pending.time;
     event.seq = pending.seq;
+    event.pid = pending.pid;
     event.kind = static_cast<EventKind>(pending.kind);
     event.from = pending.from;
     event.to = pending.to;

@@ -174,6 +174,12 @@ class DeadlineExceeded : public std::runtime_error {
 class EventEngine;
 struct EngineState;
 
+/// Causal-lineage sentinel: an event with pid == kNoCause is a root — it was
+/// scheduled from outside event processing (scenario script, daemon ingest)
+/// rather than caused by another delivery.  Trace records omit "pid" for
+/// roots, which is how ibgp-trace-v2 consumers recognize injection points.
+inline constexpr std::uint64_t kNoCause = ~std::uint64_t{0};
+
 /// Per-message fault policy: classify() is keyed on the same (from, to, seq)
 /// triple as DelayFn so implementations can be pure functions of a seed —
 /// fully deterministic regardless of call order.  on_drop() fires right
@@ -225,13 +231,32 @@ class EventEngine {
   void set_metrics(obs::MetricsRegistry* registry);
 
   /// Attaches a trace sink (non-owning; nullptr detaches).  When the sink
-  /// is enabled the engine emits ibgp-trace-v1 records for deliveries,
+  /// is enabled the engine emits ibgp-trace-v2 records for deliveries,
   /// E-BGP announce/withdraw, selection decisions (with the decisive rule),
-  /// fault applications, IGP epoch swaps, and End-of-RIB markers — plus a
-  /// meta/node/path preamble so downstream tools can label ids.  Disabled
-  /// or absent sinks cost one branch per site.  Same precondition as
-  /// set_mrai: must be called before any event is scheduled.
+  /// fault applications, IGP epoch swaps, MRAI flushes, and End-of-RIB
+  /// markers — plus a meta/node/path preamble so downstream tools can label
+  /// ids.  v2 adds causal lineage: each record carries "lid" (the event seq
+  /// being processed) and "pid" (the seq of the event that caused it;
+  /// omitted for injection roots), forming a per-run propagation DAG with
+  /// pid < lid by construction.  v1 consumers that skip unknown fields keep
+  /// working.  Disabled or absent sinks cost one branch per site.  Same
+  /// precondition as set_mrai: must be called before any event is scheduled.
   void set_trace(obs::TraceSink* trace);
+
+  /// Enables hot-path profiler spans: delivery, selection (core::decide),
+  /// and per-peer export/Transfer wall times observed into volatile
+  /// span histograms (engine.span.*_ns) on the attached registry.  Off by
+  /// default; when off the instrumented sites cost one null-pointer branch
+  /// and never read the clock, so the deterministic outputs stay
+  /// bit-identical (same bar as the provenance-sink specialization).
+  /// Enabled spans are *sampled*: 1 in 64 deliveries is timed (the first
+  /// always is), with the delivery's nested decision/transfer spans armed
+  /// together so per-sample nesting stays coherent.  The quantiles remain
+  /// statistically sound at churn rates while the amortized clock cost
+  /// keeps enabled overhead well under the 5% CI gate.
+  /// Requires set_metrics first (no-op sink otherwise).  Same precondition
+  /// as set_mrai: must be called before any event is scheduled.
+  void set_profile(bool enabled);
 
   /// Bounds stale-path retention per graceful restart: `ticks` after a
   /// graceful down, any entry from the restarting router that is still
@@ -560,6 +585,7 @@ class EventEngine {
   struct Event {
     SimTime time = 0;
     std::uint64_t seq = 0;  // global tie-break preserving enqueue order
+    std::uint64_t pid = kNoCause;  // seq of the causing event (kNoCause = root)
     EventKind kind = EventKind::kUpdate;
     NodeId from = kNoNode;  // kUpdate / kMraiFlush / session faults (endpoint a)
     NodeId to = kNoNode;
@@ -724,6 +750,35 @@ class EventEngine {
     std::array<obs::Counter*, bgp::kSelectionRuleCount> decided{};
     obs::Gauge* queue_depth_max = nullptr;
   } handles_;
+  /// Profiler span sinks (set_profile); null = off, sites never read the
+  /// clock.  The span sites read the `live_*` pointers, armed once per
+  /// delivery by arm(): every 64th delivery (and always the first) gets
+  /// real sinks, the rest get null.  Sampling the whole delivery — outer
+  /// span plus its nested decision/transfer spans — keeps each sample's
+  /// nesting coherent and bounds enabled overhead to a fraction of a
+  /// clock read per delivery.
+  struct ProfileHandles {
+    obs::Histogram* delivery = nullptr;
+    obs::Histogram* decision = nullptr;
+    obs::Histogram* transfer = nullptr;
+    static constexpr std::uint32_t kSampleMask = 63;
+    std::uint32_t tick = kSampleMask;  // first arm() samples
+    obs::Histogram* live_delivery = nullptr;
+    obs::Histogram* live_decision = nullptr;
+    obs::Histogram* live_transfer = nullptr;
+    void arm() {
+      if (delivery == nullptr) return;  // off: live_* stay null
+      const bool sample = (++tick & kSampleMask) == 0;
+      live_delivery = sample ? delivery : nullptr;
+      live_decision = sample ? decision : nullptr;
+      live_transfer = sample ? transfer : nullptr;
+    }
+  } profile_;
+  // Causal cursor: the (seq, pid) of the event currently being processed.
+  // Set right after the queue pop in run_impl, reset to kNoCause between
+  // runs so out-of-band injections (daemon ingest) become lineage roots.
+  std::uint64_t cause_ = kNoCause;
+  std::uint64_t cause_parent_ = kNoCause;
   /// Counter values already pushed into metrics_ (flush-delta state).
   struct Flushed {
     std::uint64_t updates_sent = 0;
@@ -783,6 +838,7 @@ struct EngineState {
   struct PendingEvent {
     SimTime time = 0;
     std::uint64_t seq = 0;
+    std::uint64_t pid = kNoCause;  // causal parent seq (kNoCause = root)
     std::uint8_t kind = 0;
     NodeId from = kNoNode;
     NodeId to = kNoNode;

@@ -137,6 +137,7 @@ void script_engine(engine::EventEngine& engine, const FaultScript& script,
   if (options.mrai > 0) engine.set_mrai(options.mrai);
   if (script.stale_timer > 0) engine.set_stale_timer(script.stale_timer);
   if (options.metrics != nullptr) engine.set_metrics(options.metrics);
+  if (options.profile) engine.set_profile(true);
   if (options.trace != nullptr) engine.set_trace(options.trace);
   engine.set_fault_injector(&injector);
   engine.inject_all_exits(0);
@@ -192,6 +193,7 @@ CampaignResult resume_campaign(const core::Instance& inst, core::ProtocolKind pr
   // re-applied: its actions (and its RNG draws) live in the captured
   // pending-event queue.
   if (options.metrics != nullptr) engine.set_metrics(options.metrics);
+  if (options.profile) engine.set_profile(true);
   if (options.trace != nullptr) engine.set_trace(options.trace);
   engine.set_fault_injector(&injector);
   engine.restore(state);

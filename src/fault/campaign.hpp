@@ -40,6 +40,11 @@ struct CampaignOptions {
   /// (flight-recorder semantics).
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSink* trace = nullptr;
+  /// Hot-path profiler spans (engine.span.*): delivery, choose_best, and
+  /// session-transfer wall time into volatile histograms of `metrics`.
+  /// No-op without a registry; off by default because even a monotonic
+  /// clock read per delivery is measurable on the microbenchmarks.
+  bool profile = false;
   /// Wall-clock budget for the engine run; zero disables.  Cooperative:
   /// checked between events (EventEngine::set_deadline), an expired budget
   /// makes run_campaign throw engine::DeadlineExceeded.  Purely an

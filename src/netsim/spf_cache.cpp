@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.hpp"
+
 namespace ibgp::netsim {
 
 SpfCache::SpfCache(const PhysicalGraph& base) : base_(base) {}
@@ -28,13 +30,19 @@ std::shared_ptr<const ShortestPaths> SpfCache::get(std::span<const Cost> effecti
 
   // Materialize the churned graph: base topology with the effective costs,
   // down links (kInfCost) omitted entirely.  Dijkstra then reports whatever
-  // became unreachable as kInfCost distances.
-  PhysicalGraph churned(base_.node_count());
-  const auto links = base_.links();
-  for (std::size_t i = 0; i < links.size(); ++i) {
-    if (key[i] != kInfCost) churned.add_link(links[i].a, links[i].b, key[i]);
+  // became unreachable as kInfCost distances.  The span times graph
+  // materialization + Dijkstra — the baseline the ROADMAP incremental-SPF
+  // item must beat (null sink when no registry is attached).
+  std::shared_ptr<const ShortestPaths> spf;
+  {
+    const obs::Span recompute_span(recompute_ns_);
+    PhysicalGraph churned(base_.node_count());
+    const auto links = base_.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (key[i] != kInfCost) churned.add_link(links[i].a, links[i].b, key[i]);
+    }
+    spf = std::make_shared<const ShortestPaths>(churned);
   }
-  auto spf = std::make_shared<const ShortestPaths>(churned);
   if (capacity_ != 0 && cache_.size() >= capacity_) evict_lru_locked();
   Entry entry;
   entry.spf = spf;
@@ -83,12 +91,14 @@ void SpfCache::attach_metrics(obs::MetricsRegistry* registry) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (registry == nullptr) {
     hits_ = misses_ = inserts_ = evictions_ = nullptr;
+    recompute_ns_ = nullptr;
     return;
   }
   hits_ = &registry->counter("spf.hits", obs::MetricClass::kVolatile);
   misses_ = &registry->counter("spf.misses", obs::MetricClass::kVolatile);
   inserts_ = &registry->counter("spf.inserts", obs::MetricClass::kVolatile);
   evictions_ = &registry->counter("spf.evictions", obs::MetricClass::kVolatile);
+  recompute_ns_ = &obs::span_histogram(*registry, "spf.recompute_ns");
 }
 
 }  // namespace ibgp::netsim

@@ -74,8 +74,10 @@ class SpfCache {
   [[nodiscard]] SpfCacheStats stats() const;
 
   /// Mirrors the counters into `registry` as the volatile metrics
-  /// "spf.hits" / "spf.misses" / "spf.inserts", from now on.  Pass nullptr
-  /// to detach.
+  /// "spf.hits" / "spf.misses" / "spf.inserts", from now on, and records
+  /// each miss's recompute wall time into the volatile span histogram
+  /// "spf.recompute_ns" — the measured baseline for the ROADMAP
+  /// incremental-SPF item.  Pass nullptr to detach.
   void attach_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -97,6 +99,7 @@ class SpfCache {
   obs::Counter* misses_ = nullptr;
   obs::Counter* inserts_ = nullptr;
   obs::Counter* evictions_ = nullptr;
+  obs::Histogram* recompute_ns_ = nullptr;  // miss-path wall time (volatile)
 };
 
 }  // namespace ibgp::netsim

@@ -1,0 +1,121 @@
+#pragma once
+// Causal propagation DAG over an ibgp-trace-v2 stream, and blame-chain
+// extraction for sustained oscillations.
+//
+// v2 records carry "lid" (the engine event seq being processed) and "pid"
+// (the seq of the event that caused it; absent on injection roots), so the
+// stream encodes a DAG: every UPDATE delivery points at the delivery whose
+// processing sent it, an "mrai-flush" relay points at the delivery that
+// scheduled it, and decisions join via their triggering lid.  pid < lid by
+// construction, so the graph is acyclic per run even while the *route
+// system* oscillates forever — an orbit shows up as an infinite causal
+// chain whose hop signatures repeat, not as a graph cycle.
+//
+// A blame chain makes that repetition explicit: starting from a node's most
+// recent best-route flip, walk pid links backward through the updates that
+// sustained it, label each hop with (session, path, announce, decisive
+// rule), and report the smallest period with which the hop signatures
+// repeat.  For the paper's Fig 3 that names the exact reflected
+// advertisements bouncing B between r3/r4 and C between r5/r6 — the causal
+// counterpart of trace_inspect's periodicity-only orbit census.
+//
+// Consumption is forward-compatible by construction: records whose "ev" is
+// not recognized are skipped, the discipline v2+ readers owe v3.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ibgp::obs {
+
+/// One causal hop: an UPDATE delivered on session from->to that triggered a
+/// decision at `to`.  `rule` is the decisive selection rule of that
+/// decision ("" when the stream carried no matching decision record).
+struct CausalHop {
+  std::int64_t lid = -1;   ///< delivery seq of this update
+  std::int64_t pid = -1;   ///< causal parent seq (-1 = injection root)
+  std::int64_t from = -1;
+  std::int64_t to = -1;
+  std::int64_t path = -1;
+  bool announce = true;
+  std::string rule;
+
+  /// Signature equality for period detection: same session, same payload,
+  /// same decisive rule — lids differ every lap by definition.
+  [[nodiscard]] bool same_signature(const CausalHop& other) const {
+    return from == other.from && to == other.to && path == other.path &&
+           announce == other.announce && rule == other.rule;
+  }
+};
+
+/// The minimal causal cycle sustaining one node's oscillation.
+struct BlameChain {
+  std::int64_t node = -1;
+  std::size_t period = 0;        ///< hops per lap (== cycle.size())
+  std::size_t chain_length = 0;  ///< hops walked before periodicity was cut
+  std::vector<CausalHop> cycle;  ///< one lap, oldest hop first
+};
+
+class CausalGraph {
+ public:
+  /// Ingests one parsed record; unknown "ev" names are skipped.
+  void add(const TraceRecord& record);
+  /// Parses and ingests one JSONL line (header and malformed lines skipped).
+  void add_line(std::string_view line);
+
+  /// Nodes that flipped best route at least `min_flips` times, ascending id.
+  [[nodiscard]] std::vector<std::int64_t> oscillating_nodes(
+      std::size_t min_flips = 4) const;
+
+  /// Walks the causal chain backward from `node`'s most recent flip and
+  /// extracts the smallest repeating hop cycle.  nullopt when the node
+  /// never flipped, the chain has no update hops, or no period emerges
+  /// within `max_walk` hops.
+  [[nodiscard]] std::optional<BlameChain> blame(std::int64_t node,
+                                                std::size_t max_walk = 256) const;
+
+  /// Human-readable one-line hop rendering using the trace's node/path
+  /// directory: "r3 -> B announce r3-AS2 [rule med]".
+  [[nodiscard]] std::string format_hop(const CausalHop& hop) const;
+
+  /// Directory lookups; "#<id>" when the preamble never named the id.
+  [[nodiscard]] std::string node_name(std::int64_t id) const;
+  [[nodiscard]] std::string path_name(std::int64_t id) const;
+
+  /// Every lid seen on any record (updates, flushes, injections, EoR,
+  /// faults) — the "live parent" domain for DAG validation.
+  [[nodiscard]] bool knows_lid(std::int64_t lid) const {
+    return lids_.count(lid) != 0;
+  }
+  [[nodiscard]] std::size_t update_count() const { return updates_.size(); }
+
+ private:
+  struct UpdateRec {
+    std::int64_t pid = -1;
+    std::int64_t from = -1;
+    std::int64_t to = -1;
+    std::int64_t path = -1;
+    bool announce = true;
+    bool flush = false;  ///< mrai-flush relay: pass-through, not a hop
+  };
+  struct DecisionRec {
+    std::int64_t node = -1;
+    std::string rule;
+    bool flip = false;
+  };
+
+  std::unordered_map<std::int64_t, UpdateRec> updates_;  // lid -> delivery
+  std::unordered_map<std::int64_t, DecisionRec> decisions_;  // lid -> decision
+  std::map<std::int64_t, std::vector<std::int64_t>> flips_;  // node -> flip lids
+  std::map<std::int64_t, std::string> node_names_;
+  std::map<std::int64_t, std::string> path_names_;
+  std::unordered_map<std::int64_t, char> lids_;
+};
+
+}  // namespace ibgp::obs

@@ -1,0 +1,32 @@
+#pragma once
+// Prometheus text exposition (version 0.0.4) rendering for registry
+// snapshots.  This is the operator-facing wire format the daemon serves
+// via the `metrics` query's file twin (`ibgpd --metrics-file`): counters
+// become `<name>_total`, gauges plain samples, histograms the standard
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+//
+// Metric names are mangled dot→underscore ("daemon.span.wal_fsync_ns" →
+// "daemon_span_wal_fsync_ns") since Prometheus names admit [a-zA-Z0-9_:]
+// only; any remaining invalid character also maps to '_'.  Label values
+// (the `le` bounds here) are escaped per the format spec: backslash,
+// double-quote, and newline.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ibgp::obs {
+
+/// Mangles a registry metric name into a valid Prometheus metric name.
+std::string exposition_name(std::string_view name);
+
+/// Escapes a label value: \ -> \\, " -> \", newline -> \n.
+std::string exposition_escape_label(std::string_view value);
+
+/// Renders one snapshot as Prometheus text exposition.  Each metric gets a
+/// `# TYPE` line; histograms render cumulative buckets ending in the
+/// mandatory `le="+Inf"` bucket (equal to `_count`).  Ends with a newline.
+std::string render_exposition(const std::vector<MetricSample>& samples);
+
+}  // namespace ibgp::obs

@@ -232,4 +232,34 @@ std::uint64_t MetricsRegistry::fingerprint() const {
   return fp.value();
 }
 
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.metric_class = entry->metric_class;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        sample.kind = MetricSample::Kind::kCounter;
+        sample.counter_value = entry->counter->value();
+        break;
+      case Kind::kGauge:
+        sample.kind = MetricSample::Kind::kGauge;
+        sample.gauge_value = entry->gauge->value();
+        break;
+      case Kind::kHistogram:
+        sample.kind = MetricSample::Kind::kHistogram;
+        sample.bounds = entry->histogram->bounds();
+        sample.counts = entry->histogram->counts();
+        sample.total = entry->histogram->total();
+        sample.sum = entry->histogram->sum();
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
 }  // namespace ibgp::obs

@@ -100,6 +100,22 @@ class Histogram {
   std::atomic<std::int64_t> sum_{0};
 };
 
+/// One metric's state copied out of the registry — the exchange format the
+/// Prometheus exposition renderer (obs/exposition.hpp) and other exporters
+/// consume without holding registry locks.
+struct MetricSample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  MetricClass metric_class = MetricClass::kDeterministic;
+  std::uint64_t counter_value = 0;           ///< kCounter
+  std::int64_t gauge_value = 0;              ///< kGauge
+  std::vector<std::int64_t> bounds;          ///< kHistogram, finite "le" bounds
+  std::vector<std::uint64_t> counts;         ///< kHistogram, bounds+1 (overflow)
+  std::uint64_t total = 0;                   ///< kHistogram
+  std::int64_t sum = 0;                      ///< kHistogram
+};
+
 /// Named metric registry.  Registration (counter()/gauge()/histogram()) is
 /// mutex-guarded and idempotent — repeating a name returns the existing
 /// metric, and re-registering under a different kind/class/bounds throws
@@ -139,6 +155,12 @@ class MetricsRegistry {
   /// Order-sensitive hash over the deterministic metrics (names, kinds,
   /// bounds, values) — foldable into sweep fingerprints.
   [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Copies every metric (deterministic and volatile) out in registration
+  /// order.  Each histogram's buckets are read once; the per-bucket loads
+  /// are individually atomic but the row is not a consistent cut — fine for
+  /// telemetry, same relaxation the JSON snapshots make.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };

@@ -1,0 +1,67 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ibgp::obs {
+
+const std::vector<std::int64_t>& span_bounds_ns() {
+  // Exponential ladder, x4 per step: 100ns .. ~1.6s finite bounds.  Wide
+  // enough that delivery (~us) and WAL fsync (~ms) share one layout.
+  static const std::vector<std::int64_t> bounds = [] {
+    std::vector<std::int64_t> out;
+    for (std::int64_t bound = 100; bound <= 2'000'000'000; bound *= 4) {
+      out.push_back(bound);
+    }
+    return out;
+  }();
+  return bounds;
+}
+
+Histogram& span_histogram(MetricsRegistry& registry, std::string_view name) {
+  return registry.histogram(name, span_bounds_ns(), MetricClass::kVolatile);
+}
+
+double histogram_quantile(const std::vector<std::int64_t>& bounds,
+                          const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : counts) total += count;
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge; report the last bound.
+      return static_cast<double>(bounds.back());
+    }
+    const double upper = static_cast<double>(bounds[i]);
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) return upper;
+    const double before = static_cast<double>(cumulative - in_bucket);
+    const double frac = (rank - before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+  }
+  return static_cast<double>(bounds.back());
+}
+
+double histogram_quantile(const Histogram& histogram, double q) {
+  return histogram_quantile(histogram.bounds(), histogram.counts(), q);
+}
+
+util::json::Value span_summary_json(const Histogram& histogram) {
+  const auto counts = histogram.counts();
+  const auto& bounds = histogram.bounds();
+  util::json::Object out;
+  out.emplace_back("count", histogram.total());
+  out.emplace_back("sum_ns", histogram.sum());
+  out.emplace_back("p50_ns", histogram_quantile(bounds, counts, 0.50));
+  out.emplace_back("p95_ns", histogram_quantile(bounds, counts, 0.95));
+  out.emplace_back("p99_ns", histogram_quantile(bounds, counts, 0.99));
+  return util::json::Value(std::move(out));
+}
+
+}  // namespace ibgp::obs

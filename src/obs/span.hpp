@@ -1,0 +1,73 @@
+#pragma once
+// Scoped profiler spans feeding volatile MetricsRegistry histograms.
+//
+// A Span is an RAII timer: construction reads the monotonic clock, the
+// destructor observes the elapsed nanoseconds into a Histogram.  The sink
+// is a plain pointer and the *null sink is the off switch*: a Span built
+// with nullptr never touches the clock — the whole body is one branch —
+// so instrumented hot paths cost nothing measurable when profiling is
+// disabled, the same compile-out-by-data discipline the provenance-sink
+// specialization in bgp/selection.cpp uses (the decisions count and the
+// metrics fingerprint stay bit-identical with profiling off).
+//
+// Span histograms are always registered kVolatile: wall time is schedule-
+// and host-dependent by nature and must never enter a fingerprint.  The
+// shared bucket layout (span_bounds_ns: exponential, ~100ns..1s) makes
+// every span histogram renderable by the same exposition path and
+// summarizable by the same quantile estimator.
+//
+// Nesting: spans are independent timers — a Span opened inside another
+// span's extent records its own (inner) elapsed time into its own
+// histogram; the outer span's sample includes the inner's.  Aggregation
+// is therefore per-histogram, not per-stack: sum(outer) >= sum(inner)
+// when the inner site only runs inside the outer one.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace ibgp::obs {
+
+/// The shared bucket layout for span histograms: exponential nanosecond
+/// bounds from 100ns to 1s (plus the implicit overflow bucket).
+const std::vector<std::int64_t>& span_bounds_ns();
+
+/// Registers (or fetches) a volatile histogram with the span bucket layout.
+Histogram& span_histogram(MetricsRegistry& registry, std::string_view name);
+
+/// Scoped monotonic timer.  Null sink: no clock read, no observation.
+class Span {
+ public:
+  explicit Span(Histogram* sink) : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() {
+    if (sink_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->observe(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prometheus-style quantile estimate from cumulative bucket counts:
+/// linear interpolation inside the bucket holding the q-th sample, the
+/// last finite bound for samples in the overflow bucket.  Returns 0 when
+/// the histogram is empty.  `q` in [0, 1].
+double histogram_quantile(const std::vector<std::int64_t>& bounds,
+                          const std::vector<std::uint64_t>& counts, double q);
+double histogram_quantile(const Histogram& histogram, double q);
+
+/// {"count": N, "sum_ns": S, "p50_ns": ..., "p95_ns": ..., "p99_ns": ...}
+/// — the summary object sweep/bench volatile JSON carries per span.
+util::json::Value span_summary_json(const Histogram& histogram);
+
+}  // namespace ibgp::obs

@@ -10,7 +10,7 @@ TraceSink::~TraceSink() { close(); }
 
 std::string TraceSink::header_line() {
   util::json::Object header;
-  header.emplace_back("schema", "ibgp-trace-v1");
+  header.emplace_back("schema", "ibgp-trace-v2");
   return util::json::Value(std::move(header)).dump_compact();
 }
 
@@ -129,7 +129,7 @@ std::int64_t TraceRecord::num(std::string_view key, std::int64_t fallback) const
 
 namespace {
 
-// Tiny scanner for flat ibgp-trace-v1 records; see trace.hpp.
+// Tiny scanner for flat ibgp-trace records; see trace.hpp.
 struct Scanner {
   std::string_view text;
   std::size_t pos = 0;

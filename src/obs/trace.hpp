@@ -1,15 +1,25 @@
 #pragma once
-// Structured event tracing: the `ibgp-trace-v1` JSONL stream.
+// Structured event tracing: the `ibgp-trace-v2` JSONL stream.
 //
 // A TraceSink serializes simulation events — activations, advertisements,
 // withdrawals, selection decisions with provenance, fault events, IGP epoch
 // swaps, GR phases — as one flat JSON object per line.  The first line is a
-// header record `{"schema": "ibgp-trace-v1", ...}`; every subsequent record
+// header record `{"schema": "ibgp-trace-v2", ...}`; every subsequent record
 // carries `"ev"` (event name), `"seq"` (emission sequence number), `"t"`
 // (virtual time), plus event-specific scalar fields.  Records are flat by
 // construction (scalar values only — no nested arrays/objects), which keeps
 // the bundled TraceReader a ~hundred-line scanner instead of a JSON parser
 // (util/json is deliberately write-only).
+//
+// v2 adds causal lineage on top of v1's record set: delivery-driven records
+// carry `"lid"` (the engine event seq being processed) and `"pid"` (the seq
+// of the event that caused it; omitted on injection roots), plus one new
+// event name, `"mrai-flush"`, marking a deferred-flush firing.  Forward
+// compatibility is the reader's contract, not the writer's: parse_trace_line
+// preserves unknown scalar fields verbatim, and consumers must skip records
+// whose `"ev"` they do not recognize — which is exactly how v1-era tools
+// keep working on v2 streams (pinned by the negative-corpus tests in
+// tests/test_obs.cpp).
 //
 // Zero overhead when disabled: instrumentation sites guard on `enabled()`,
 // a single bool load, and never build the field object on the cold path.
@@ -81,7 +91,7 @@ class TraceSink {
   /// Records discarded by the ring so far (0 outside ring mode).
   [[nodiscard]] std::uint64_t ring_dropped() const { return ring_dropped_; }
 
-  /// The header line every ibgp-trace-v1 stream starts with.
+  /// The header line every ibgp-trace-v2 stream starts with.
   static std::string header_line();
 
  private:
@@ -119,7 +129,9 @@ struct TraceRecord {
 };
 
 /// Parses one flat-JSON trace line.  Returns nullopt on malformed input or
-/// nested values (ibgp-trace-v1 records are flat by contract).
+/// nested values (ibgp-trace records are flat by contract, every version).
+/// Unknown keys are preserved as ordinary fields — a v1-era consumer reads
+/// a v2 line without error and simply ignores "lid"/"pid".
 std::optional<TraceRecord> parse_trace_line(std::string_view line);
 
 }  // namespace ibgp::obs

@@ -12,12 +12,14 @@
 // can cost a reply, never the process.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <variant>
@@ -25,9 +27,11 @@
 
 #include "daemon/daemon.hpp"
 #include "daemon/queue.hpp"
+#include "daemon/service.hpp"
 #include "daemon/stream.hpp"
 #include "daemon/watchdog.hpp"
 #include "daemon/wire.hpp"
+#include "obs/exposition.hpp"
 #include "engine/event_engine.hpp"
 #include "topo/figures.hpp"
 #include "util/json.hpp"
@@ -436,6 +440,172 @@ TEST(DaemonWhatIf, SandboxLeavesTheLiveEngineUntouched) {
   EXPECT_EQ(daemon.handle_line(R"({"ev": "query", "q": "whatif", "kind": "crash", "a": 0})"),
             whatif);
   EXPECT_EQ(daemon.handle_line(R"({"ev": "query", "q": "stats"})"), before);
+}
+
+// --- metrics query & live exposition ----------------------------------------
+
+TEST(DaemonMetrics, MetricsQueryReturnsFullRegistrySnapshot) {
+  Daemon daemon(fig1a_shared(), ProtocolKind::kModified, DaemonOptions{});
+  daemon.handle_line(
+      R"({"ev": "hello", "schema": "ibgp-wire-v1", "instance": "fig1a", "protocol": "modified"})");
+  daemon.handle_line(R"({"ev": "announce", "seq": 1, "t": 0, "path": 0})");
+
+  const std::string reply = daemon.handle_line(R"({"ev": "query", "q": "metrics"})");
+  EXPECT_FALSE(is_error_reply(reply)) << reply;
+  EXPECT_NE(reply.find("\"ev\": \"metrics\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"schema\": \"ibgp-metrics-v1\""), std::string::npos);
+  EXPECT_NE(reply.find("\"deterministic\""), std::string::npos);
+  EXPECT_NE(reply.find("\"volatile\""), std::string::npos);
+  EXPECT_NE(reply.find("\"metrics_fingerprint\": \"0x"), std::string::npos);
+  EXPECT_NE(reply.find("\"daemon.state_records\""), std::string::npos)
+      << "deterministic stream counters ride the snapshot";
+
+  // The per-query-kind latency span lands after its reply is rendered, so
+  // the *second* metrics reply carries the first call's sample.
+  const std::string second = daemon.handle_line(R"({"ev": "query", "q": "metrics"})");
+  EXPECT_NE(second.find("daemon.latency.metrics_ns"), std::string::npos) << second;
+}
+
+TEST(DaemonMetrics, ServiceSpansRecordWalFsyncAndCheckpointWrites) {
+  const auto dir = fresh_state_dir("spans");
+  DaemonOptions options;
+  options.state_dir = dir.string();
+  options.ckpt_every = 1;  // checkpoint on every accepted record
+  Daemon daemon(fig1a_shared(), ProtocolKind::kModified, options);
+  daemon.handle_line(
+      R"({"ev": "hello", "schema": "ibgp-wire-v1", "instance": "fig1a", "protocol": "modified"})");
+  daemon.handle_line(R"({"ev": "announce", "seq": 1, "t": 0, "path": 0})");
+
+  auto count_of = [&](const char* name) {
+    for (const auto& sample : daemon.metrics().snapshot()) {
+      if (sample.name == name) return sample.total;
+    }
+    return std::uint64_t{0};
+  };
+  EXPECT_GE(count_of("daemon.span.wal_fsync_ns"), 1u) << "the announce was journaled";
+  EXPECT_GE(count_of("daemon.span.ckpt_write_ns"), 1u) << "ckpt_every=1 checkpointed it";
+  EXPECT_GE(count_of("daemon.latency.best_ns"), 0u);  // registered, maybe unsampled
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DaemonMetrics, ExpositionRendersDaemonRegistryWellFormed) {
+  Daemon daemon(fig1a_shared(), ProtocolKind::kModified, DaemonOptions{});
+  daemon.handle_line(
+      R"({"ev": "hello", "schema": "ibgp-wire-v1", "instance": "fig1a", "protocol": "modified"})");
+  daemon.handle_line(R"({"ev": "announce", "seq": 1, "t": 0, "path": 0})");
+  daemon.handle_line(R"({"ev": "query", "q": "status"})");
+
+  const std::string text = obs::render_exposition(daemon.metrics().snapshot());
+  EXPECT_NE(text.find("# TYPE daemon_state_records_total counter\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("daemon_state_records_total 1\n"), std::string::npos);
+  // The status query above must have landed one sample in its latency
+  // histogram, with correct cumulative rendering.
+  EXPECT_NE(text.find("# TYPE daemon_latency_status_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_latency_status_ns_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_latency_status_ns_count 1\n"), std::string::npos);
+
+  // Structural sanity over the whole document: cumulative buckets and
+  // +Inf == _count for every histogram.
+  std::istringstream in(text);
+  std::string line;
+  std::string base;
+  std::uint64_t last = 0, inf = 0;
+  std::size_t histograms = 0;
+  while (std::getline(in, line)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const auto bucket = name.find("_bucket{");
+    if (bucket != std::string::npos) {
+      const std::string this_base = name.substr(0, bucket);
+      if (this_base != base) {
+        base = this_base;
+        last = 0;
+        ++histograms;
+      }
+      const std::uint64_t v = std::stoull(line.substr(space + 1));
+      EXPECT_GE(v, last) << "buckets must be cumulative: " << line;
+      last = v;
+      if (name.find("le=\"+Inf\"") != std::string::npos) inf = v;
+    } else if (name.size() > 6 && name.compare(name.size() - 6, 6, "_count") == 0) {
+      EXPECT_EQ(std::stoull(line.substr(space + 1)), inf)
+          << "+Inf bucket must equal _count: " << line;
+    }
+  }
+  EXPECT_GT(histograms, 5u) << "latency + span histograms all render";
+}
+
+TEST(DaemonService, HealthCarriesQueueHwmAndMetricsFileIsWritten) {
+  // End-to-end through the threaded service: pipe in a probe stream (the
+  // same shape `wire_client --health` emits), collect replies from a
+  // tmpfile, and scrape the --metrics-file exposition after drain.
+  const auto dir = fresh_state_dir("svc-metrics");
+  const std::string metrics_path = (dir / "metrics.prom").string();
+
+  Daemon daemon(fig1a_shared(), ProtocolKind::kModified, DaemonOptions{});
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+
+  ServiceOptions options;
+  options.watchdog_enabled = false;
+  options.metrics_file = metrics_path;
+  options.metrics_interval_ms = std::chrono::milliseconds(10);
+  DaemonService service(daemon, fds[0], out, options);
+
+  const std::string stream =
+      "{\"ev\": \"hello\", \"schema\": \"ibgp-wire-v1\", \"instance\": \"fig1a\", "
+      "\"protocol\": \"modified\"}\n"
+      "{\"ev\": \"announce\", \"seq\": 1, \"t\": 0, \"path\": 0}\n"
+      "{\"ev\": \"query\", \"q\": \"health\"}\n"
+      "{\"ev\": \"drain\"}\n";
+  std::thread writer([&] {
+    (void)!::write(fds[1], stream.data(), stream.size());
+    ::close(fds[1]);
+  });
+  EXPECT_EQ(service.run(), 0);
+  writer.join();
+  ::close(fds[0]);
+
+  std::string replies;
+  std::rewind(out);
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, out)) > 0) replies.append(buf, got);
+  std::fclose(out);
+
+  EXPECT_NE(replies.find("\"ev\": \"health\""), std::string::npos) << replies;
+  EXPECT_NE(replies.find("\"queue_depth_hwm\""), std::string::npos)
+      << "health must report the ingest high-water mark: " << replies;
+  EXPECT_NE(replies.find("\"sheds\": 0"), std::string::npos) << replies;
+  EXPECT_NE(replies.find("\"ev\": \"drained\""), std::string::npos) << replies;
+
+  // The exporter's final write reflects the drained stream.
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.is_open()) << metrics_path;
+  std::stringstream scraped;
+  scraped << in.rdbuf();
+  const std::string text = scraped.str();
+  EXPECT_NE(text.find("# TYPE daemon_state_records_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_state_records_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IngestQueue, TracksLiveDepthHighWaterMark) {
+  IngestQueue queue(4);
+  EXPECT_EQ(queue.max_depth(), 0u);
+  queue.push("{\"a\": 1}", /*is_query=*/false);
+  queue.push("{\"a\": 2}", /*is_query=*/false);
+  queue.push("{\"a\": 3}", /*is_query=*/false);
+  EXPECT_EQ(queue.max_depth(), 3u);
+  (void)queue.pop();
+  (void)queue.pop();
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.max_depth(), 3u) << "the HWM never decays";
+  queue.push("{\"a\": 4}", /*is_query=*/false);
+  EXPECT_EQ(queue.max_depth(), 3u) << "2 live after pops + 1 = 2 < old HWM";
 }
 
 }  // namespace

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdlib>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,7 +18,10 @@
 #include "fault/campaign.hpp"
 #include "fault/script.hpp"
 #include "fault/sweep.hpp"
+#include "obs/causal.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "topo/figures.hpp"
 #include "util/log.hpp"
@@ -163,7 +169,7 @@ TEST(Trace, WriterRoundTrip) {
   ASSERT_EQ(lines.size(), 2u) << "header + one record";
   const auto header = obs::parse_trace_line(lines[0]);
   ASSERT_TRUE(header);
-  EXPECT_EQ(header->str("schema"), "ibgp-trace-v1");
+  EXPECT_EQ(header->str("schema"), "ibgp-trace-v2");
 
   const auto record = obs::parse_trace_line(lines[1]);
   ASSERT_TRUE(record);
@@ -460,7 +466,7 @@ TEST(FlightRecorder, RingDumpsOnInvariantViolation) {
   ASSERT_GE(dumped.size(), 3u) << "header + ring-dump marker + retained tail";
   const auto header = obs::parse_trace_line(dumped[0]);
   ASSERT_TRUE(header);
-  EXPECT_EQ(header->str("schema"), "ibgp-trace-v1");
+  EXPECT_EQ(header->str("schema"), "ibgp-trace-v2");
   const auto marker = obs::parse_trace_line(dumped[1]);
   ASSERT_TRUE(marker);
   EXPECT_EQ(marker->str("ev"), "ring-dump");
@@ -554,6 +560,380 @@ TEST(SpfCacheMetrics, BoundedLruEvictsColdEpochsButNeverTheBase) {
   EXPECT_EQ(cache.get(base_costs).get(), base_epoch.get());
   cache.set_capacity(0);
   cache.attach_metrics(nullptr);
+}
+
+// --- profiler spans ----------------------------------------------------------
+
+TEST(Span, NestedSpansAggregatePerHistogram) {
+  MetricsRegistry reg;
+  auto& outer = obs::span_histogram(reg, "outer_ns");
+  auto& inner = obs::span_histogram(reg, "inner_ns");
+  {
+    const obs::Span outer_span(&outer);
+    { const obs::Span inner_span(&inner); }
+    { const obs::Span disabled(nullptr); }  // null sink: no clock, no sample
+  }
+  EXPECT_EQ(outer.total(), 1u);
+  EXPECT_EQ(inner.total(), 1u);
+  // The outer extent contains the inner span, so per-histogram aggregation
+  // must order their sums — that is the documented nesting semantics.
+  EXPECT_GE(outer.sum(), inner.sum());
+  EXPECT_GE(inner.sum(), 0);
+}
+
+TEST(Span, SpanHistogramsAreVolatile) {
+  MetricsRegistry reg;
+  const auto before = reg.fingerprint();
+  obs::span_histogram(reg, "engine.span.delivery_ns").observe(12345);
+  EXPECT_EQ(reg.fingerprint(), before) << "wall time must never enter a fingerprint";
+  EXPECT_EQ(obs::span_histogram(reg, "engine.span.delivery_ns").bounds(),
+            obs::span_bounds_ns());
+}
+
+TEST(Span, QuantileInterpolatesWithinBuckets) {
+  const std::vector<std::int64_t> bounds{100, 200, 400};
+  // 2 samples in (0,100], 2 in (100,200]: p50 rank=2 lands exactly on the
+  // end of bucket 0, p75 rank=3 is halfway through bucket 1.
+  const std::vector<std::uint64_t> counts{2, 2, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.50), 100.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.75), 150.0);
+  // Overflow-bucket samples report the last finite bound.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, {0, 0, 0, 5}, 0.99), 400.0);
+  // Empty histogram: 0, not NaN.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+}
+
+TEST(Span, SummaryJsonCarriesCountSumAndQuantiles) {
+  MetricsRegistry reg;
+  auto& h = obs::span_histogram(reg, "s_ns");
+  h.observe(150);
+  h.observe(250);
+  const std::string doc = obs::span_summary_json(h).dump();
+  for (const char* key : {"\"count\"", "\"sum_ns\"", "\"p50_ns\"", "\"p95_ns\"",
+                          "\"p99_ns\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Span, ProfileRunKeepsDeterministicSnapshotIdentical) {
+  // The zero-cost-when-off contract from the other side: profiling ON must
+  // only add volatile histograms — the deterministic snapshot (and hence
+  // the fingerprint CI diffs) stays byte-identical.
+  const auto inst = topo::fig3();
+  fault::FaultScriptConfig config;
+  config.seed = 5;
+  config.session_flaps = 2;
+  const auto script = fault::make_fault_script(inst, config);
+
+  MetricsRegistry plain_reg, profiled_reg;
+  fault::register_campaign_metrics(plain_reg);
+  fault::register_campaign_metrics(profiled_reg);
+
+  fault::CampaignOptions options;
+  options.max_deliveries = 60000;
+  options.metrics = &plain_reg;
+  (void)fault::run_campaign(inst, core::ProtocolKind::kModified, script, options);
+  options.metrics = &profiled_reg;
+  options.profile = true;
+  (void)fault::run_campaign(inst, core::ProtocolKind::kModified, script, options);
+
+  EXPECT_EQ(util::json::Value(plain_reg.deterministic_json()).dump(),
+            util::json::Value(profiled_reg.deterministic_json()).dump());
+  EXPECT_EQ(plain_reg.fingerprint(), profiled_reg.fingerprint());
+  EXPECT_EQ(obs::span_histogram(plain_reg, "engine.span.delivery_ns").total(), 0u)
+      << "no --profile: spans must never fire";
+  EXPECT_GT(obs::span_histogram(profiled_reg, "engine.span.delivery_ns").total(), 0u);
+  EXPECT_GT(obs::span_histogram(profiled_reg, "engine.span.decision_ns").total(), 0u);
+  EXPECT_GT(obs::span_histogram(profiled_reg, "engine.span.transfer_ns").total(), 0u);
+}
+
+TEST(Span, SpfRecomputeTimedWheneverMetricsAttached) {
+  const auto inst = topo::fig1a();
+  MetricsRegistry reg;
+  inst.spf_cache().attach_metrics(&reg);
+  std::vector<Cost> costs;
+  for (const auto& link : inst.physical().links()) costs.push_back(link.cost);
+  costs.front() += 3;  // new cost vector: a miss, hence a timed recompute
+  (void)inst.igp_epoch(costs);
+  EXPECT_EQ(obs::span_histogram(reg, "spf.recompute_ns").total(), 1u);
+  (void)inst.igp_epoch(costs);  // hit: no recompute, no sample
+  EXPECT_EQ(obs::span_histogram(reg, "spf.recompute_ns").total(), 1u);
+  inst.spf_cache().attach_metrics(nullptr);
+}
+
+// --- Prometheus exposition ---------------------------------------------------
+
+// In-test exposition checker: every line is `# TYPE <name> <kind>` or
+// `<name>[{label="v"}] <number>`; histogram buckets are cumulative and the
+// +Inf bucket equals _count.
+void check_exposition(const std::string& text) {
+  std::size_t value_lines = 0;
+  std::istringstream in(text);
+  std::string line;
+  std::uint64_t last_bucket = 0;
+  std::int64_t inf_value = -1;
+  std::string bucket_base;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "no blank lines in the exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto rest = line.substr(7);
+      const auto space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string kind = rest.substr(space + 1);
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram") << line;
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    ++value_lines;
+
+    const auto brace = name.find('{');
+    std::string labels;
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      labels = name.substr(brace + 1, name.size() - brace - 2);
+      name = name.substr(0, brace);
+    }
+    for (const char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+          << "invalid exposition name char in: " << line;
+    }
+    if (name.size() > 7 && name.substr(name.size() - 7) == "_bucket") {
+      const std::uint64_t v = std::stoull(value);
+      if (name != bucket_base) {  // first bucket of a new histogram
+        bucket_base = name;
+        last_bucket = 0;
+        inf_value = -1;
+      }
+      EXPECT_GE(v, last_bucket) << "buckets must be cumulative: " << line;
+      last_bucket = v;
+      if (labels == "le=\"+Inf\"") inf_value = static_cast<std::int64_t>(v);
+    } else if (name.size() > 6 && name.substr(name.size() - 6) == "_count") {
+      if (inf_value >= 0) {
+        EXPECT_EQ(std::stoll(value), inf_value)
+            << "+Inf bucket must equal _count: " << line;
+      }
+    }
+  }
+  EXPECT_GT(value_lines, 0u);
+}
+
+TEST(Exposition, NameManglingAndLabelEscaping) {
+  EXPECT_EQ(obs::exposition_name("engine.span.delivery_ns"), "engine_span_delivery_ns");
+  EXPECT_EQ(obs::exposition_name("9lives"), "_lives") << "leading digit is invalid";
+  EXPECT_EQ(obs::exposition_name("ok_name:v2"), "ok_name:v2");
+  EXPECT_EQ(obs::exposition_name(""), "_");
+  EXPECT_EQ(obs::exposition_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(Exposition, RendersCounterGaugeHistogramThroughChecker) {
+  MetricsRegistry reg;
+  reg.counter("daemon.records").add(42);
+  reg.gauge("daemon.queue_depth").set(7);
+  auto& h = reg.histogram("daemon.latency_ns", {10, 20}, MetricClass::kVolatile);
+  h.observe(5);
+  h.observe(10);  // upper-inclusive: still bucket le="10"
+  h.observe(15);
+  h.observe(20);
+  h.observe(99);  // overflow: only visible in +Inf/_count
+
+  const std::string text = obs::render_exposition(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE daemon_records_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_records_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_queue_depth 7\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_latency_ns_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_latency_ns_bucket{le=\"20\"} 4\n"), std::string::npos)
+      << "buckets are cumulative";
+  EXPECT_NE(text.find("daemon_latency_ns_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_latency_ns_sum 149\n"), std::string::npos);
+  EXPECT_NE(text.find("daemon_latency_ns_count 5\n"), std::string::npos);
+  check_exposition(text);
+}
+
+TEST(Exposition, SnapshotPreservesRegistrationOrderAndClasses) {
+  MetricsRegistry reg;
+  reg.counter("b.second");
+  reg.counter("a.first");  // registration order, not name order
+  reg.gauge("g");
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "b.second");
+  EXPECT_EQ(samples[1].name, "a.first");
+  EXPECT_EQ(samples[2].kind, obs::MetricSample::Kind::kGauge);
+  EXPECT_EQ(samples[0].metric_class, MetricClass::kDeterministic);
+}
+
+// --- trace v2 forward compatibility ------------------------------------------
+
+TEST(TraceV2, ReaderToleratesUnknownScalarFieldsAndEventNames) {
+  // A v3 writer may add scalar fields and whole record types; a v2 reader
+  // must read around both (exactly how v1 readers survive v2's lid/pid).
+  const auto with_extras = obs::parse_trace_line(
+      "{\"ev\": \"update\", \"seq\": 9, \"t\": 4, \"from\": 1, \"to\": 2, "
+      "\"path\": 0, \"announce\": true, \"lid\": 7, \"pid\": 3, "
+      "\"v3_hint\": 1.5, \"v3_tag\": \"x\"}");
+  ASSERT_TRUE(with_extras);
+  EXPECT_EQ(with_extras->num("from"), 1);
+  EXPECT_EQ(with_extras->num("lid"), 7);
+  EXPECT_DOUBLE_EQ(with_extras->find("v3_hint")->double_value, 1.5);
+
+  const auto unknown_ev = obs::parse_trace_line(
+      "{\"ev\": \"quantum-flush\", \"seq\": 1, \"t\": 0, \"lid\": 5}");
+  ASSERT_TRUE(unknown_ev) << "unknown ev names parse; consumers skip them";
+
+  // The structured consumer honors the skip contract: an unknown ev adds no
+  // update, no decision, no flip — and no error.
+  obs::CausalGraph graph;
+  graph.add(*unknown_ev);
+  EXPECT_EQ(graph.update_count(), 0u);
+  EXPECT_TRUE(graph.oscillating_nodes().empty());
+
+  // Nesting stays out of the format in v2 exactly as in v1.
+  EXPECT_FALSE(obs::parse_trace_line("{\"ev\": \"update\", \"meta\": {\"a\": 1}}"));
+}
+
+// --- causality: lid/pid DAG over a real churn run ---------------------------
+
+std::vector<std::string> fig3_churn_trace(core::ProtocolKind protocol,
+                                          std::size_t budget = 4000) {
+  const auto inst = topo::fig3();
+  engine::EventEngine engine(inst, protocol);
+  TraceSink sink;
+  std::vector<std::string> lines;
+  sink.open_writer([&](std::string_view line) { lines.emplace_back(line); });
+  engine.set_trace(&sink);
+  engine.inject_all_exits(0);
+  engine.withdraw_exit(0, 150);
+  engine.inject_exit(0, 400);
+  engine.withdraw_exit(1, 300);
+  (void)engine.run(budget);
+  sink.close();
+  return lines;
+}
+
+TEST(Causality, EveryDeliveredUpdateHasALiveParentAndPidPrecedesLid) {
+  const auto lines = fig3_churn_trace(core::ProtocolKind::kStandard);
+  std::set<std::int64_t> seen_lids;
+  std::size_t updates = 0, updates_with_pid = 0, roots = 0, flushes = 0;
+  for (const auto& line : lines) {
+    const auto record = obs::parse_trace_line(line);
+    ASSERT_TRUE(record) << line;
+    const auto* lid = record->find("lid");
+    const auto* pid = record->find("pid");
+    if (pid != nullptr) {
+      ASSERT_NE(lid, nullptr) << "pid without lid: " << line;
+      EXPECT_LT(record->num("pid"), record->num("lid"))
+          << "parent must precede child (acyclic by construction): " << line;
+      EXPECT_TRUE(seen_lids.count(record->num("pid")))
+          << "pid must reference a lid already delivered (live parent): " << line;
+    }
+    if (lid != nullptr) seen_lids.insert(record->num("lid"));
+    const std::string ev(record->str("ev"));
+    if (ev == "update") {
+      ++updates;
+      if (pid != nullptr) ++updates_with_pid;
+    } else if (ev == "ebgp-announce" || ev == "ebgp-withdraw") {
+      ++roots;
+      EXPECT_NE(lid, nullptr) << "injection roots carry a lid: " << line;
+      EXPECT_EQ(pid, nullptr) << "injection roots have no causal parent: " << line;
+    } else if (ev == "mrai-flush") {
+      ++flushes;
+      EXPECT_NE(pid, nullptr) << "a flush relays its scheduling delivery: " << line;
+    }
+  }
+  EXPECT_GT(updates, 100u);
+  EXPECT_EQ(updates, updates_with_pid)
+      << "every delivered update was caused by some processed event";
+  EXPECT_GE(roots, 4u) << "the churn script injects at least 4 roots";
+  (void)flushes;  // no MRAI configured in this run; presence tested elsewhere
+}
+
+TEST(Causality, MraiFlushRelaysResolveToLiveParents) {
+  const auto inst = topo::fig3();
+  engine::EventEngine engine(inst, core::ProtocolKind::kModified);
+  TraceSink sink;
+  std::vector<std::string> lines;
+  sink.open_writer([&](std::string_view line) { lines.emplace_back(line); });
+  engine.set_trace(&sink);
+  engine.set_mrai(30);
+  engine.inject_all_exits(0);
+  engine.withdraw_exit(0, 150);
+  engine.inject_exit(0, 400);
+  (void)engine.run(60000);
+  sink.close();
+
+  std::set<std::int64_t> seen_lids;
+  std::size_t flushes = 0;
+  for (const auto& line : lines) {
+    const auto record = obs::parse_trace_line(line);
+    ASSERT_TRUE(record);
+    if (record->str("ev") == "mrai-flush") {
+      ++flushes;
+      EXPECT_TRUE(seen_lids.count(record->num("pid")))
+          << "flush parent must be a previously delivered event: " << line;
+    }
+    if (record->find("lid") != nullptr) seen_lids.insert(record->num("lid"));
+  }
+  EXPECT_GT(flushes, 0u) << "MRAI=30 on churn must defer at least one flush";
+}
+
+TEST(Causality, BlameNamesTheFig3SustainingCycles) {
+  // Vanilla I-BGP on Figure 3 oscillates forever: B orbits r3<->r4 and C
+  // orbits r5<->r6 (the paper's Section 3 example).  The blame chain must
+  // name the causal cycle that sustains each orbit — the reflected
+  // advertisements bouncing over the B<->C mesh session — with the exact
+  // session, payload, and decisive rule per hop.
+  const auto inst = topo::fig3();
+  engine::EventEngine engine(inst, core::ProtocolKind::kStandard);
+  TraceSink sink;
+  obs::CausalGraph graph;
+  sink.open_writer([&](std::string_view line) { graph.add_line(line); });
+  engine.set_trace(&sink);
+  engine.inject_all_exits(0);
+  (void)engine.run(4000);
+  sink.close();
+
+  const auto oscillating = graph.oscillating_nodes();
+  ASSERT_EQ(oscillating.size(), 2u) << "exactly the two orbiting reflectors";
+  EXPECT_EQ(graph.node_name(oscillating[0]), "B");
+  EXPECT_EQ(graph.node_name(oscillating[1]), "C");
+
+  const auto blame_b = graph.blame(oscillating[0]);
+  ASSERT_TRUE(blame_b);
+  EXPECT_EQ(blame_b->period, 2u);
+  ASSERT_EQ(blame_b->cycle.size(), 2u);
+  EXPECT_EQ(graph.format_hop(blame_b->cycle[0]), "B -> C withdraw r3 [rule igp-cost]");
+  EXPECT_EQ(graph.format_hop(blame_b->cycle[1]), "C -> B withdraw r5 [rule igp-cost]");
+
+  const auto blame_c = graph.blame(oscillating[1]);
+  ASSERT_TRUE(blame_c);
+  EXPECT_EQ(blame_c->period, 2u);
+  ASSERT_EQ(blame_c->cycle.size(), 2u);
+  EXPECT_EQ(graph.format_hop(blame_c->cycle[0]),
+            "C -> B announce r5 [rule ebgp-over-ibgp]");
+  EXPECT_EQ(graph.format_hop(blame_c->cycle[1]),
+            "B -> C announce r3 [rule ebgp-over-ibgp]");
+
+  // Every hop in a blame cycle is a real recorded delivery.
+  for (const auto& hop : blame_b->cycle) EXPECT_TRUE(graph.knows_lid(hop.lid));
+}
+
+TEST(Causality, ConvergedRunHasNoOscillatingNodes) {
+  obs::CausalGraph graph;
+  const auto inst = topo::fig3();
+  engine::EventEngine engine(inst, core::ProtocolKind::kModified);
+  TraceSink sink;
+  sink.open_writer([&](std::string_view line) { graph.add_line(line); });
+  engine.set_trace(&sink);
+  engine.inject_all_exits(0);
+  (void)engine.run(60000);
+  sink.close();
+  EXPECT_TRUE(graph.oscillating_nodes(8).empty())
+      << "the modified protocol converges on fig3 — no sustained orbit";
+  EXPECT_FALSE(graph.blame(99).has_value()) << "unknown node: no chain";
 }
 
 // --- log level env & single write path ---------------------------------------
